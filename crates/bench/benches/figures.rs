@@ -1,0 +1,95 @@
+//! Criterion versions of the figure experiments at reduced scale — one
+//! benchmark per (figure, algorithm, sweep point) so `cargo bench`
+//! tracks regressions on the exact code paths the paper's evaluation
+//! exercises. The full-scale single-shot numbers come from the `figures`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regcube_bench::experiments::{threshold_for_rate, Workload};
+use regcube_core::{mo_cubing, popular_path, ExceptionPolicy};
+use regcube_datagen::{Dataset, DatasetSpec};
+use std::hint::black_box;
+
+fn workload(spec: DatasetSpec) -> Workload {
+    Workload::from_dataset(&Dataset::generate(spec).unwrap())
+}
+
+/// Figure 8 at D3L3C4T2K: both algorithms at a low and a high exception
+/// rate.
+fn bench_fig8(c: &mut Criterion) {
+    let w = workload(DatasetSpec::new(3, 3, 4, 2_000).unwrap());
+    let mut g = c.benchmark_group("fig8_time_vs_exception");
+    g.sample_size(10);
+    for rate in [1.0f64, 100.0] {
+        let policy = ExceptionPolicy::slope_threshold(threshold_for_rate(&w, rate));
+        g.bench_with_input(BenchmarkId::new("mo_cubing", rate), &policy, |b, p| {
+            b.iter(|| {
+                black_box(mo_cubing::compute(&w.schema, &w.layers, p, &w.tuples).unwrap())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("popular_path", rate), &policy, |b, p| {
+            b.iter(|| {
+                black_box(
+                    popular_path::compute(&w.schema, &w.layers, p, None, &w.tuples).unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9 at D3L3C4, sizes 1K and 4K, 1% exceptions.
+fn bench_fig9(c: &mut Criterion) {
+    let full = Dataset::generate(DatasetSpec::new(3, 3, 4, 4_000).unwrap()).unwrap();
+    let mut g = c.benchmark_group("fig9_time_vs_size");
+    g.sample_size(10);
+    for size in [1_000usize, 4_000] {
+        let w = Workload::from_dataset(&full.subset(size));
+        let policy = ExceptionPolicy::slope_threshold(threshold_for_rate(&w, 1.0));
+        g.bench_with_input(BenchmarkId::new("mo_cubing", size), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    mo_cubing::compute(&w.schema, &w.layers, &policy, &w.tuples).unwrap(),
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("popular_path", size), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    popular_path::compute(&w.schema, &w.layers, &policy, None, &w.tuples)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 10 at D2C4T1K, levels 3 and 5, 1% exceptions.
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_time_vs_levels");
+    g.sample_size(10);
+    for levels in [3u8, 5] {
+        let w = workload(DatasetSpec::new(2, levels, 4, 1_000).unwrap());
+        let policy = ExceptionPolicy::slope_threshold(threshold_for_rate(&w, 1.0));
+        g.bench_with_input(BenchmarkId::new("mo_cubing", levels), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    mo_cubing::compute(&w.schema, &w.layers, &policy, &w.tuples).unwrap(),
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("popular_path", levels), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    popular_path::compute(&w.schema, &w.layers, &policy, None, &w.tuples)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8, bench_fig9, bench_fig10);
+criterion_main!(benches);

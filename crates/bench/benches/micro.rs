@@ -1,0 +1,130 @@
+//! Micro-benchmarks of the hot primitives: OLS fitting, the two
+//! aggregation theorems, H-tree construction and tilt-frame maintenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use regcube_olap::htree::{AttrSpec, HTree};
+use regcube_regress::{aggregate, Isb, LinearFit, TimeSeries};
+use regcube_tilt::{TiltFrame, TiltSpec};
+use std::hint::black_box;
+
+fn series(n: usize) -> TimeSeries {
+    TimeSeries::from_fn(0, n as i64 - 1, |t| {
+        1.0 + 0.01 * t as f64 + ((t * 37) % 11) as f64 * 0.05
+    })
+    .unwrap()
+}
+
+fn bench_ols_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ols_fit");
+    for n in [20usize, 100, 1000] {
+        let z = series(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &z, |b, z| {
+            b.iter(|| black_box(LinearFit::fit(z)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge_standard(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm32_merge_standard");
+    for k in [2usize, 16, 64] {
+        let isbs: Vec<Isb> = (0..k)
+            .map(|i| Isb::new(0, 19, i as f64, 0.1 * i as f64).unwrap())
+            .collect();
+        g.throughput(Throughput::Elements(k as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &isbs, |b, isbs| {
+            b.iter(|| black_box(aggregate::merge_standard(isbs).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge_time(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm33_merge_time");
+    for k in [2usize, 8, 32] {
+        let seg = 10i64;
+        let isbs: Vec<Isb> = (0..k as i64)
+            .map(|i| Isb::new(i * seg, (i + 1) * seg - 1, 1.0, 0.01 * i as f64).unwrap())
+            .collect();
+        g.throughput(Throughput::Elements(k as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &isbs, |b, isbs| {
+            b.iter(|| black_box(aggregate::merge_time(isbs).unwrap()));
+        });
+        // The paper's verbatim formula, for comparison.
+        g.bench_with_input(
+            BenchmarkId::new("theorem33_verbatim", k),
+            &isbs,
+            |b, isbs| {
+                b.iter(|| black_box(aggregate::merge_time_theorem33(isbs).unwrap()));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_htree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("htree_insert");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        // 6-attribute paths (3 dims x 2 levels) over a fanout-10 space.
+        let order: Vec<AttrSpec> = (0..3)
+            .flat_map(|d| [AttrSpec { dim: d, level: 1 }, AttrSpec { dim: d, level: 2 }])
+            .collect();
+        let paths: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let x = (i * 2654435761) % 1000;
+                vec![
+                    (x / 100) as u32,
+                    (x % 100) as u32,
+                    ((x * 7) % 10) as u32,
+                    ((x * 7) % 100) as u32,
+                    ((x * 13) % 10) as u32,
+                    ((x * 13) % 100) as u32,
+                ]
+            })
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &paths, |b, paths| {
+            b.iter(|| {
+                let mut tree: HTree<u64> = HTree::new(order.clone()).unwrap();
+                for p in paths {
+                    let leaf = tree.insert_path(p).unwrap();
+                    *tree.payload_mut(leaf) = Some(1);
+                }
+                black_box(tree.num_nodes())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_tilt_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tilt_frame");
+    g.sample_size(20);
+    // A week of quarters through the paper's Figure 4 frame.
+    let quarters = 7 * 24 * 4;
+    g.throughput(Throughput::Elements(quarters as u64));
+    g.bench_function("push_week_of_quarters", |b| {
+        b.iter(|| {
+            let mut frame: TiltFrame<Isb> = TiltFrame::new(TiltSpec::paper_figure4());
+            for u in 0..quarters {
+                let start = u as i64 * 15;
+                let isb = Isb::new(start, start + 14, 1.0, 0.001).unwrap();
+                frame.push(isb).unwrap();
+            }
+            black_box(frame.retained_slots())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ols_fit,
+    bench_merge_standard,
+    bench_merge_time,
+    bench_htree_build,
+    bench_tilt_push
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! **Figure 10's discussion, extended**: "It is expected this exponential
+//! growth will be even more serious if the number of dimension (D)
+//! grows." The paper states but does not plot this; we sweep D at fixed
+//! L/C/T to verify the `L^D` lattice blow-up experimentally.
+
+use super::{run_mo, run_pp, threshold_for_rate, Workload};
+use crate::report::{fmt_mb, fmt_secs, Table};
+use regcube_core::ExceptionPolicy;
+use regcube_datagen::{Dataset, DatasetSpec};
+use std::time::Duration;
+
+/// The dimension axis.
+pub const DIMS: [usize; 4] = [1, 2, 3, 4];
+
+/// One measured sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Number of standard dimensions.
+    pub dims: usize,
+    /// Cuboids in the lattice (`L^D`).
+    pub cuboids: u64,
+    /// m/o-cubing runtime (seconds).
+    pub mo_secs: f64,
+    /// popular-path runtime (seconds).
+    pub pp_secs: f64,
+    /// m/o-cubing allocator peak (bytes).
+    pub mo_peak: usize,
+    /// popular-path allocator peak (bytes).
+    pub pp_peak: usize,
+}
+
+/// Runs the sweep at L3, 1% exceptions.
+pub fn run(quick: bool) -> Vec<Point> {
+    let (fanout, tuples) = if quick { (3u32, 1_000usize) } else { (6, 10_000) };
+    DIMS.iter()
+        .map(|&dims| {
+            let spec = DatasetSpec::new(dims, 3, fanout, tuples).unwrap();
+            let dataset = Dataset::generate(spec).expect("valid spec");
+            let workload = Workload::from_dataset(&dataset);
+            let threshold = threshold_for_rate(&workload, 1.0);
+            let policy = ExceptionPolicy::slope_threshold(threshold);
+            let mo = run_mo(&workload, &policy);
+            let pp = run_pp(&workload, &policy);
+            Point {
+                dims,
+                cuboids: spec.lattice_cuboids(),
+                mo_secs: mo.seconds,
+                pp_secs: pp.seconds,
+                mo_peak: mo.alloc_peak,
+                pp_peak: pp.alloc_peak,
+            }
+        })
+        .collect()
+}
+
+/// Prints the sweep and returns its table (for JSON export).
+pub fn print(points: &[Point], structure: &str) -> Vec<Table> {
+    let mut t = Table::new(
+        format!("Dimensions sweep: time & memory vs D ({structure}, L3, 1% exceptions)"),
+        &[
+            "D",
+            "cuboids",
+            "m/o-cubing (s)",
+            "popular-path (s)",
+            "m/o (MB)",
+            "pp (MB)",
+        ],
+    );
+    for p in points {
+        t.push_row(vec![
+            p.dims.to_string(),
+            p.cuboids.to_string(),
+            fmt_secs(Duration::from_secs_f64(p.mo_secs)),
+            fmt_secs(Duration::from_secs_f64(p.pp_secs)),
+            fmt_mb(p.mo_peak),
+            fmt_mb(p.pp_peak),
+        ]);
+    }
+    t.print();
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_grows_exponentially_in_dims() {
+        let pts = run(true);
+        assert_eq!(pts.len(), DIMS.len());
+        // L^D with L=3: 3, 9, 27, 81.
+        let cuboids: Vec<u64> = pts.iter().map(|p| p.cuboids).collect();
+        assert_eq!(cuboids, vec![3, 9, 27, 81]);
+        // Strictly growing cost with D (compare endpoints, dodging noise).
+        assert!(pts.last().unwrap().mo_secs >= pts.first().unwrap().mo_secs);
+    }
+}

@@ -1,0 +1,109 @@
+//! **Figure 10**: processing time and memory usage vs the number of
+//! levels between the m- and o-layers, structure `D2C10T10K`, 1%
+//! exceptions.
+//!
+//! Paper shape to reproduce: "with the growth of number of levels in the
+//! data cube, both processing time and space usage grow exponentially" —
+//! the curse of dimensionality (the lattice has `L^D` cuboids).
+
+use super::{run_mo, run_pp, threshold_for_rate, Workload};
+use crate::report::{fmt_mb, fmt_secs, Table};
+use regcube_core::ExceptionPolicy;
+use regcube_datagen::{Dataset, DatasetSpec};
+use std::time::Duration;
+
+/// The level axis of the paper.
+pub const LEVELS: [u8; 5] = [3, 4, 5, 6, 7];
+/// Quick-mode levels.
+pub const QUICK_LEVELS: [u8; 3] = [3, 4, 5];
+
+/// One measured sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Levels from the m-layer to the o-layer, inclusive.
+    pub levels: u8,
+    /// m/o-cubing runtime (seconds).
+    pub mo_secs: f64,
+    /// popular-path runtime (seconds).
+    pub pp_secs: f64,
+    /// m/o-cubing allocator peak (bytes).
+    pub mo_peak: usize,
+    /// popular-path allocator peak (bytes).
+    pub pp_peak: usize,
+    /// Cuboids in the lattice (`L^D`).
+    pub cuboids: u64,
+}
+
+/// Runs the sweep at a 1% exception rate.
+pub fn run(quick: bool) -> Vec<Point> {
+    let (levels, fanout, tuples): (&[u8], u32, usize) = if quick {
+        (&QUICK_LEVELS, 4, 2_000)
+    } else {
+        (&LEVELS, 10, 10_000)
+    };
+    levels
+        .iter()
+        .map(|&l| {
+            let spec = DatasetSpec::new(2, l, fanout, tuples).unwrap();
+            let dataset = Dataset::generate(spec).expect("valid spec");
+            let workload = Workload::from_dataset(&dataset);
+            let threshold = threshold_for_rate(&workload, 1.0);
+            let policy = ExceptionPolicy::slope_threshold(threshold);
+            let mo = run_mo(&workload, &policy);
+            let pp = run_pp(&workload, &policy);
+            Point {
+                levels: l,
+                mo_secs: mo.seconds,
+                pp_secs: pp.seconds,
+                mo_peak: mo.alloc_peak,
+                pp_peak: pp.alloc_peak,
+                cuboids: spec.lattice_cuboids(),
+            }
+        })
+        .collect()
+}
+
+/// Prints the two panels and returns them (for JSON export).
+pub fn print(points: &[Point], structure: &str) -> Vec<Table> {
+    let mut a = Table::new(
+        format!("Figure 10a: processing time vs # levels ({structure}, 1% exceptions)"),
+        &["levels", "cuboids", "m/o-cubing (s)", "popular-path (s)"],
+    );
+    let mut b = Table::new(
+        format!("Figure 10b: memory usage vs # levels ({structure}, 1% exceptions)"),
+        &["levels", "m/o-cubing (MB)", "popular-path (MB)"],
+    );
+    for p in points {
+        a.push_row(vec![
+            p.levels.to_string(),
+            p.cuboids.to_string(),
+            fmt_secs(Duration::from_secs_f64(p.mo_secs)),
+            fmt_secs(Duration::from_secs_f64(p.pp_secs)),
+        ]);
+        b.push_row(vec![
+            p.levels.to_string(),
+            fmt_mb(p.mo_peak),
+            fmt_mb(p.pp_peak),
+        ]);
+    }
+    a.print();
+    b.print();
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_growth_is_exponential() {
+        let pts = run(true);
+        assert_eq!(pts.len(), QUICK_LEVELS.len());
+        for pair in pts.windows(2) {
+            assert!(pair[1].cuboids > pair[0].cuboids);
+        }
+        // 3 levels on 2 dims -> 9 cuboids; 5 -> 25.
+        assert_eq!(pts[0].cuboids, 9);
+        assert_eq!(pts.last().unwrap().cuboids, 25);
+    }
+}

@@ -1,0 +1,248 @@
+//! The `RegressionCube` facade: configure once, (re)compute per window,
+//! query and drill.
+
+use crate::drill::{drill_children, drill_descendants, DrillHit};
+use crate::error::CoreError;
+use crate::exception::ExceptionPolicy;
+use crate::layers::CriticalLayers;
+use crate::measure::MTuple;
+use crate::result::{Algorithm, CubeResult};
+use crate::{mo_cubing, popular_path, Result};
+use regcube_olap::cell::CellKey;
+use regcube_olap::{CubeSchema, CuboidSpec, PopularPath};
+use regcube_regress::Isb;
+
+/// Builder-style configuration of a regression cube.
+#[derive(Debug, Clone)]
+pub struct RegressionCube {
+    schema: CubeSchema,
+    layers: CriticalLayers,
+    policy: ExceptionPolicy,
+    algorithm: Algorithm,
+    path: Option<PopularPath>,
+    result: Option<CubeResult>,
+}
+
+impl RegressionCube {
+    /// Creates a cube configured for m/o-cubing with the given layers and
+    /// a cube-wide slope threshold.
+    ///
+    /// # Errors
+    /// Layer validation errors.
+    pub fn new(
+        schema: CubeSchema,
+        o_layer: CuboidSpec,
+        m_layer: CuboidSpec,
+        policy: ExceptionPolicy,
+    ) -> Result<Self> {
+        let layers = CriticalLayers::new(&schema, o_layer, m_layer)?;
+        Ok(RegressionCube {
+            schema,
+            layers,
+            policy,
+            algorithm: Algorithm::MoCubing,
+            path: None,
+            result: None,
+        })
+    }
+
+    /// Switches to Algorithm 2 (popular-path cubing), optionally with an
+    /// explicit drilling path.
+    ///
+    /// # Errors
+    /// Path validation errors when an explicit path is supplied.
+    pub fn with_popular_path(mut self, path: Option<Vec<usize>>) -> Result<Self> {
+        self.algorithm = Algorithm::PopularPath;
+        self.path = match path {
+            Some(order) => Some(PopularPath::from_drill_order(
+                self.layers.lattice(),
+                &order,
+            )?),
+            None => None,
+        };
+        Ok(self)
+    }
+
+    /// Switches (back) to Algorithm 1 (m/o-cubing).
+    pub fn with_mo_cubing(mut self) -> Self {
+        self.algorithm = Algorithm::MoCubing;
+        self.path = None;
+        self
+    }
+
+    /// The schema.
+    #[inline]
+    pub fn schema(&self) -> &CubeSchema {
+        &self.schema
+    }
+
+    /// The critical layers.
+    #[inline]
+    pub fn layers(&self) -> &CriticalLayers {
+        &self.layers
+    }
+
+    /// The configured exception policy.
+    #[inline]
+    pub fn policy(&self) -> &ExceptionPolicy {
+        &self.policy
+    }
+
+    /// (Re)computes the cube from one window of m-layer tuples, replacing
+    /// any previous result. In the online pipeline `regcube-stream` calls
+    /// this once per m-layer time unit.
+    ///
+    /// # Errors
+    /// Propagates algorithm errors (bad input, structure mismatches).
+    pub fn recompute(&mut self, tuples: &[MTuple]) -> Result<&CubeResult> {
+        let result = match self.algorithm {
+            Algorithm::MoCubing => {
+                mo_cubing::compute(&self.schema, &self.layers, &self.policy, tuples)?
+            }
+            Algorithm::PopularPath => popular_path::compute(
+                &self.schema,
+                &self.layers,
+                &self.policy,
+                self.path.as_ref(),
+                tuples,
+            )?,
+        };
+        self.result = Some(result);
+        Ok(self.result.as_ref().expect("just set"))
+    }
+
+    /// The most recent computation result.
+    ///
+    /// # Errors
+    /// [`CoreError::NotMaterialized`] before the first
+    /// [`recompute`](Self::recompute).
+    pub fn result(&self) -> Result<&CubeResult> {
+        self.result.as_ref().ok_or_else(|| CoreError::NotMaterialized {
+            detail: "cube has not been computed yet".into(),
+        })
+    }
+
+    /// Looks up a retained cell measure.
+    ///
+    /// # Errors
+    /// [`CoreError::NotMaterialized`] before the first computation.
+    pub fn get(&self, cuboid: &CuboidSpec, key: &CellKey) -> Result<Option<&Isb>> {
+        Ok(self.result()?.get(cuboid, key))
+    }
+
+    /// The o-layer alarm list: exceptional observation cells, hottest
+    /// first.
+    ///
+    /// # Errors
+    /// [`CoreError::NotMaterialized`] before the first computation.
+    pub fn alarms(&self) -> Result<Vec<(&CellKey, &Isb)>> {
+        Ok(self.result()?.exceptional_o_cells())
+    }
+
+    /// Drills one step down from a cell (see [`crate::drill`]).
+    ///
+    /// # Errors
+    /// [`CoreError::NotMaterialized`] before the first computation.
+    pub fn drill_children(&self, cuboid: &CuboidSpec, key: &CellKey) -> Result<Vec<DrillHit>> {
+        Ok(drill_children(&self.schema, self.result()?, cuboid, key))
+    }
+
+    /// Finds all retained exceptional descendants of a cell.
+    ///
+    /// # Errors
+    /// [`CoreError::NotMaterialized`] before the first computation.
+    pub fn drill_descendants(
+        &self,
+        cuboid: &CuboidSpec,
+        key: &CellKey,
+    ) -> Result<Vec<DrillHit>> {
+        Ok(drill_descendants(&self.schema, self.result()?, cuboid, key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regcube_regress::TimeSeries;
+
+    fn isb(slope: f64) -> Isb {
+        let z = TimeSeries::from_fn(0, 9, |t| slope * t as f64).unwrap();
+        Isb::fit(&z).unwrap()
+    }
+
+    fn tuples() -> Vec<MTuple> {
+        let mut out = Vec::new();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                let slope = if a == 0 { 1.5 } else { 0.01 };
+                out.push(MTuple::new(vec![a, b], isb(slope)));
+            }
+        }
+        out
+    }
+
+    fn cube() -> RegressionCube {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        RegressionCube::new(
+            schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+            ExceptionPolicy::slope_threshold(1.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn facade_lifecycle() {
+        let mut c = cube();
+        assert!(c.result().is_err());
+        assert!(c.alarms().is_err());
+
+        c.recompute(&tuples()).unwrap();
+        let alarms = c.alarms().unwrap();
+        assert_eq!(alarms.len(), 1, "apex slope = 4*1.5 + 12*0.01");
+
+        let apex = CuboidSpec::new(vec![0, 0]);
+        let key = CellKey::new(vec![0, 0]);
+        assert!(c.get(&apex, &key).unwrap().is_some());
+        let hits = c.drill_descendants(&apex, &key).unwrap();
+        assert!(!hits.is_empty());
+        // The hot branch is dimension-0 member 0 at L1.
+        assert!(hits
+            .iter()
+            .any(|h| h.cuboid == CuboidSpec::new(vec![1, 0])
+                && h.key == CellKey::new(vec![0, 0])));
+    }
+
+    #[test]
+    fn algorithm_switching() {
+        let mut c = cube().with_popular_path(None).unwrap();
+        c.recompute(&tuples()).unwrap();
+        assert_eq!(c.result().unwrap().algorithm(), Algorithm::PopularPath);
+
+        let mut c2 = c.clone().with_mo_cubing();
+        c2.recompute(&tuples()).unwrap();
+        assert_eq!(c2.result().unwrap().algorithm(), Algorithm::MoCubing);
+
+        // Explicit drill order.
+        let c3 = cube().with_popular_path(Some(vec![1, 1, 0, 0])).unwrap();
+        assert!(matches!(c3.algorithm, Algorithm::PopularPath));
+        // Invalid drill order errors.
+        assert!(cube().with_popular_path(Some(vec![0, 0, 0, 0, 0])).is_err());
+    }
+
+    #[test]
+    fn recompute_replaces_previous_window() {
+        let mut c = cube();
+        c.recompute(&tuples()).unwrap();
+        let first_alarms = c.alarms().unwrap().len();
+        assert_eq!(first_alarms, 1);
+
+        // A quiet second window: no alarms.
+        let quiet: Vec<MTuple> = (0..4u32)
+            .flat_map(|a| (0..4u32).map(move |b| MTuple::new(vec![a, b], isb(0.001))))
+            .collect();
+        c.recompute(&quiet).unwrap();
+        assert_eq!(c.alarms().unwrap().len(), 0);
+    }
+}

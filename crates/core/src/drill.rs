@@ -1,0 +1,195 @@
+//! Exception-guided drilling over a computed cube (Section 4.3's analyst
+//! workflow: watch the o-layer, then "drill on the exception cells down to
+//! lower layers to find their corresponding exception supporters").
+
+use crate::result::CubeResult;
+use regcube_olap::cell::{project_key, CellKey};
+use regcube_olap::{CubeSchema, CuboidSpec};
+use regcube_regress::Isb;
+
+/// One step of a drill-down: an exceptional descendant cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrillHit {
+    /// The cuboid the hit lives in.
+    pub cuboid: CuboidSpec,
+    /// The cell's member-id key.
+    pub key: CellKey,
+    /// The cell's regression measure.
+    pub measure: Isb,
+}
+
+/// Finds the retained exceptional cells in the **one-step finer** cuboids
+/// that are descendants of `(cuboid, key)` — the "exception supporters"
+/// an analyst inspects first.
+pub fn drill_children(
+    schema: &CubeSchema,
+    cube: &CubeResult,
+    cuboid: &CuboidSpec,
+    key: &CellKey,
+) -> Vec<DrillHit> {
+    let lattice = cube.layers().lattice();
+    let mut hits = Vec::new();
+    for child in lattice.children(cuboid) {
+        collect_hits(schema, cube, cuboid, key, &child, &mut hits);
+    }
+    sort_hits(&mut hits);
+    hits
+}
+
+/// Finds **all** retained exceptional descendants of `(cuboid, key)` in
+/// every strictly finer cuboid of the lattice, down to (and including) the
+/// m-layer.
+pub fn drill_descendants(
+    schema: &CubeSchema,
+    cube: &CubeResult,
+    cuboid: &CuboidSpec,
+    key: &CellKey,
+) -> Vec<DrillHit> {
+    let lattice = cube.layers().lattice();
+    let mut hits = Vec::new();
+    for finer in lattice.enumerate() {
+        if &finer == cuboid || !cuboid.is_ancestor_or_equal(&finer) {
+            continue;
+        }
+        collect_hits(schema, cube, cuboid, key, &finer, &mut hits);
+    }
+    sort_hits(&mut hits);
+    hits
+}
+
+/// Collects exceptional cells of `target` (a descendant cuboid of
+/// `ancestor`) whose projection to `ancestor` equals `key`.
+fn collect_hits(
+    schema: &CubeSchema,
+    cube: &CubeResult,
+    ancestor: &CuboidSpec,
+    key: &CellKey,
+    target: &CuboidSpec,
+    hits: &mut Vec<DrillHit>,
+) {
+    let policy = cube.policy();
+    let lattice = cube.layers().lattice();
+    // Candidate stores for the target cuboid: exception tables, path
+    // tables, and the critical layers.
+    let mut scan = |table: &crate::table::CuboidTable, filter_exceptions: bool| {
+        for (k, m) in table {
+            if filter_exceptions && !policy.is_exception(target, m) {
+                continue;
+            }
+            let projected = project_key(schema, target, k.ids(), ancestor);
+            if projected.as_slice() == key.ids() {
+                hits.push(DrillHit {
+                    cuboid: target.clone(),
+                    key: k.clone(),
+                    measure: *m,
+                });
+            }
+        }
+    };
+    if target == lattice.m_layer() {
+        scan(cube.m_table(), true);
+    } else if target == lattice.o_layer() {
+        scan(cube.o_table(), true);
+    } else if let Some(t) = cube.exceptions_in(target) {
+        scan(t, false); // exception tables are pre-filtered
+    } else if let Some(t) = cube.path_tables().get(target) {
+        scan(t, true);
+    }
+}
+
+fn sort_hits(hits: &mut [DrillHit]) {
+    hits.sort_by(|a, b| {
+        crate::measure::exception_score(&b.measure)
+            .partial_cmp(&crate::measure::exception_score(&a.measure))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cuboid.cmp(&b.cuboid))
+            .then_with(|| a.key.cmp(&b.key))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exception::ExceptionPolicy;
+    use crate::layers::CriticalLayers;
+    use crate::measure::MTuple;
+    use crate::mo_cubing;
+    use regcube_olap::CubeSchema;
+    use regcube_regress::TimeSeries;
+
+    fn isb(slope: f64) -> Isb {
+        let z = TimeSeries::from_fn(0, 9, |t| slope * t as f64).unwrap();
+        Isb::fit(&z).unwrap()
+    }
+
+    fn setup() -> (CubeSchema, CubeResult) {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let layers = CriticalLayers::new(
+            &schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .unwrap();
+        // One strongly trending stream under member (0,0), flat elsewhere.
+        let mut tuples = vec![MTuple::new(vec![0, 0], isb(2.0))];
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if (a, b) != (0, 0) {
+                    tuples.push(MTuple::new(vec![a, b], isb(0.01)));
+                }
+            }
+        }
+        let cube = mo_cubing::compute(
+            &schema,
+            &layers,
+            &ExceptionPolicy::slope_threshold(1.0),
+            &tuples,
+        )
+        .unwrap();
+        (schema, cube)
+    }
+
+    #[test]
+    fn drilling_follows_the_hot_stream() {
+        let (schema, cube) = setup();
+        // The apex is exceptional (slope ≈ 2 + 15*0.01).
+        let o_hot = cube.exceptional_o_cells();
+        assert_eq!(o_hot.len(), 1);
+
+        let apex = CuboidSpec::new(vec![0, 0]);
+        let key = CellKey::new(vec![0, 0]);
+        let children = drill_children(&schema, &cube, &apex, &key);
+        assert!(!children.is_empty());
+        // Every child hit must be an ancestor chain member of the hot
+        // m-cell (0,0): its key projects from member 0s only.
+        for hit in &children {
+            assert!(hit.key.ids().iter().all(|&id| id == 0), "{}", hit.key);
+            assert!(hit.measure.slope() > 1.0);
+        }
+
+        let all = drill_descendants(&schema, &cube, &apex, &key);
+        assert!(all.len() >= children.len());
+        // The m-layer hot cell itself is among the descendants.
+        assert!(all
+            .iter()
+            .any(|h| h.cuboid == CuboidSpec::new(vec![2, 2])
+                && h.key == CellKey::new(vec![0, 0])));
+        // Hits are sorted by descending exception score.
+        for pair in all.windows(2) {
+            assert!(
+                crate::measure::exception_score(&pair[0].measure)
+                    >= crate::measure::exception_score(&pair[1].measure)
+            );
+        }
+    }
+
+    #[test]
+    fn drilling_a_quiet_cell_finds_nothing() {
+        let (schema, cube) = setup();
+        // Member 3 at L1 covers m-members {6,7} x ... all quiet.
+        let quiet = CuboidSpec::new(vec![1, 0]);
+        let key = CellKey::new(vec![1, 0]);
+        let hits = drill_descendants(&schema, &cube, &quiet, &key);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the regression-cube core.
+
+use regcube_olap::OlapError;
+use regcube_regress::RegressError;
+use std::fmt;
+
+/// Errors produced by cube construction and querying.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A substrate OLAP operation failed (bad schema, cuboid, path, …).
+    Olap(OlapError),
+    /// A regression aggregation failed (interval mismatch, …).
+    Regress(RegressError),
+    /// The input tuple set was structurally invalid.
+    BadInput {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A query addressed data the cube did not materialize.
+    NotMaterialized {
+        /// Description of what was asked for.
+        detail: String,
+    },
+    /// An exception policy was invalid (e.g. negative threshold).
+    BadPolicy {
+        /// Description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Olap(e) => write!(f, "cube structure error: {e}"),
+            CoreError::Regress(e) => write!(f, "regression error: {e}"),
+            CoreError::BadInput { detail } => write!(f, "bad input: {detail}"),
+            CoreError::NotMaterialized { detail } => {
+                write!(f, "not materialized: {detail}")
+            }
+            CoreError::BadPolicy { detail } => write!(f, "bad exception policy: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Olap(e) => Some(e),
+            CoreError::Regress(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OlapError> for CoreError {
+    fn from(e: OlapError) -> Self {
+        CoreError::Olap(e)
+    }
+}
+
+impl From<RegressError> for CoreError {
+    fn from(e: RegressError) -> Self {
+        CoreError::Regress(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_sources() {
+        let o: CoreError = OlapError::ArityMismatch { got: 1, expected: 2 }.into();
+        let r: CoreError = RegressError::NoInputs.into();
+        assert!(o.source().is_some());
+        assert!(r.source().is_some());
+        assert!(CoreError::BadInput { detail: "x".into() }.source().is_none());
+        for e in [
+            o,
+            r,
+            CoreError::BadInput { detail: "a".into() },
+            CoreError::NotMaterialized { detail: "b".into() },
+            CoreError::BadPolicy { detail: "c".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Cube histories across analysis windows.
+//!
+//! The online pipeline recomputes the cube every m-layer time unit
+//! (Section 4.5). Analysts rarely care about the absolute exception list
+//! — they care about *changes*: which cells became exceptional this
+//! quarter, which calmed down, which alarms persist (Example 1's "alert
+//! people about dramatic changes of situations"). [`CubeHistory`] keeps a
+//! bounded deque of per-window exception snapshots and diffs consecutive
+//! windows.
+
+use crate::result::CubeResult;
+use regcube_olap::cell::CellKey;
+use regcube_olap::fxhash::FxHashSet;
+use regcube_olap::CuboidSpec;
+use std::collections::VecDeque;
+
+/// A compact per-window snapshot: the exception cell set (including the
+/// exceptional o-layer cells) plus counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// Monotone window index (assigned by the history).
+    pub window: u64,
+    /// All exceptional cells, `(cuboid, key)`.
+    pub exceptions: FxHashSet<(CuboidSpec, CellKey)>,
+    /// Cells retained in total (layers + exceptions).
+    pub cells_retained: u64,
+}
+
+impl WindowSnapshot {
+    /// Builds a snapshot from a computation result.
+    pub fn from_result(window: u64, result: &CubeResult) -> Self {
+        let mut exceptions: FxHashSet<(CuboidSpec, CellKey)> = result
+            .iter_exceptions()
+            .map(|(c, k, _)| (c.clone(), k.clone()))
+            .collect();
+        let o = result.layers().o_layer().clone();
+        for (key, _) in result.exceptional_o_cells() {
+            exceptions.insert((o.clone(), key.clone()));
+        }
+        WindowSnapshot {
+            window,
+            exceptions,
+            cells_retained: result.stats().cells_retained,
+        }
+    }
+}
+
+/// The difference between two consecutive windows' exception sets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExceptionDiff {
+    /// Cells exceptional now but not before — the fresh alerts.
+    pub appeared: Vec<(CuboidSpec, CellKey)>,
+    /// Cells exceptional before but not now — recovered.
+    pub cleared: Vec<(CuboidSpec, CellKey)>,
+    /// Cells exceptional in both windows — persisting conditions.
+    pub persisted: Vec<(CuboidSpec, CellKey)>,
+}
+
+impl ExceptionDiff {
+    /// Computes `next − prev` / `prev − next` / intersection.
+    pub fn between(prev: &WindowSnapshot, next: &WindowSnapshot) -> Self {
+        let mut diff = ExceptionDiff::default();
+        for cell in &next.exceptions {
+            if prev.exceptions.contains(cell) {
+                diff.persisted.push(cell.clone());
+            } else {
+                diff.appeared.push(cell.clone());
+            }
+        }
+        for cell in &prev.exceptions {
+            if !next.exceptions.contains(cell) {
+                diff.cleared.push(cell.clone());
+            }
+        }
+        diff.appeared.sort();
+        diff.cleared.sort();
+        diff.persisted.sort();
+        diff
+    }
+
+    /// `true` when nothing changed.
+    pub fn is_quiet(&self) -> bool {
+        self.appeared.is_empty() && self.cleared.is_empty()
+    }
+}
+
+/// A bounded history of window snapshots.
+#[derive(Debug, Clone)]
+pub struct CubeHistory {
+    capacity: usize,
+    windows: VecDeque<WindowSnapshot>,
+    next_window: u64,
+}
+
+impl CubeHistory {
+    /// Creates a history retaining up to `capacity` windows (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        CubeHistory {
+            capacity: capacity.max(1),
+            windows: VecDeque::new(),
+            next_window: 0,
+        }
+    }
+
+    /// Records a window's result; returns the diff against the previous
+    /// window (`None` for the very first).
+    pub fn record(&mut self, result: &CubeResult) -> Option<ExceptionDiff> {
+        let snapshot = WindowSnapshot::from_result(self.next_window, result);
+        self.next_window += 1;
+        let diff = self
+            .windows
+            .back()
+            .map(|prev| ExceptionDiff::between(prev, &snapshot));
+        self.windows.push_back(snapshot);
+        while self.windows.len() > self.capacity {
+            self.windows.pop_front();
+        }
+        diff
+    }
+
+    /// Snapshots currently retained, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &WindowSnapshot> {
+        self.windows.iter()
+    }
+
+    /// Number of retained windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// `true` before the first recorded window.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Cells exceptional in **every** retained window — the chronic
+    /// conditions an analyst should already know about.
+    pub fn chronic_exceptions(&self) -> Vec<(CuboidSpec, CellKey)> {
+        let Some(first) = self.windows.front() else {
+            return Vec::new();
+        };
+        let mut chronic: Vec<(CuboidSpec, CellKey)> = first
+            .exceptions
+            .iter()
+            .filter(|cell| self.windows.iter().all(|w| w.exceptions.contains(*cell)))
+            .cloned()
+            .collect();
+        chronic.sort();
+        chronic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exception::ExceptionPolicy;
+    use crate::layers::CriticalLayers;
+    use crate::measure::MTuple;
+    use crate::mo_cubing;
+    use regcube_olap::CubeSchema;
+    use regcube_regress::{Isb, TimeSeries};
+
+    fn window(hot: &[(u32, u32)]) -> CubeResult {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let layers = CriticalLayers::new(
+            &schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .unwrap();
+        let mut tuples = Vec::new();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                let slope = if hot.contains(&(a, b)) { 3.0 } else { 0.01 };
+                let z = TimeSeries::from_fn(0, 9, |t| slope * t as f64).unwrap();
+                tuples.push(MTuple::new(vec![a, b], Isb::fit(&z).unwrap()));
+            }
+        }
+        mo_cubing::compute(
+            &schema,
+            &layers,
+            &ExceptionPolicy::slope_threshold(1.0),
+            &tuples,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn diffs_track_appearing_and_clearing_exceptions() {
+        let mut history = CubeHistory::new(4);
+        assert!(history.is_empty());
+        assert!(history.record(&window(&[(0, 0)])).is_none());
+
+        // Same hot cell: quiet diff, everything persists.
+        let diff = history.record(&window(&[(0, 0)])).unwrap();
+        assert!(diff.is_quiet());
+        assert!(!diff.persisted.is_empty());
+
+        // The hot spot moves: old chain clears, new chain appears.
+        let diff = history.record(&window(&[(3, 3)])).unwrap();
+        assert!(!diff.is_quiet());
+        assert!(!diff.appeared.is_empty());
+        assert!(!diff.cleared.is_empty());
+        // (0,0)'s m-layer ancestors cleared; (3,3)'s appeared.
+        assert!(diff
+            .appeared
+            .iter()
+            .any(|(_, k)| k.ids().iter().all(|&id| id != 0)));
+        assert_eq!(history.len(), 3);
+    }
+
+    #[test]
+    fn capacity_bounds_retention() {
+        let mut history = CubeHistory::new(2);
+        for _ in 0..5 {
+            history.record(&window(&[(1, 2)]));
+        }
+        assert_eq!(history.len(), 2);
+        let windows: Vec<u64> = history.windows().map(|w| w.window).collect();
+        assert_eq!(windows, vec![3, 4]);
+        assert_eq!(CubeHistory::new(0).capacity, 1, "capacity clamps to 1");
+    }
+
+    #[test]
+    fn chronic_exceptions_survive_every_window() {
+        let mut history = CubeHistory::new(8);
+        history.record(&window(&[(0, 0), (3, 3)]));
+        history.record(&window(&[(0, 0)]));
+        history.record(&window(&[(0, 0), (1, 1)]));
+        let chronic = history.chronic_exceptions();
+        assert!(!chronic.is_empty());
+        // Every chronic cell is an ancestor chain member of (0,0): all
+        // member ids 0 (the hot branch), never the (3,3)/(1,1) branches.
+        for (_, key) in &chronic {
+            assert!(key.ids().iter().all(|&id| id == 0), "{key}");
+        }
+        assert!(CubeHistory::new(2).chronic_exceptions().is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! The two critical layers (paper Section 4.2).
+
+use crate::Result;
+use regcube_olap::{CubeSchema, CuboidSpec, Lattice};
+
+/// The pair of critical cuboids the cube always materializes in full:
+/// the **m-layer** (minimal interesting layer, "the minimal layer that an
+/// analyst would like to study") and the **o-layer** (observation layer,
+/// "the layer at which an analyst … checks and makes decisions").
+///
+/// Internally this is the cuboid [`Lattice`] spanned between them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalLayers {
+    lattice: Lattice,
+}
+
+impl CriticalLayers {
+    /// Creates the layers, validating that the o-layer is an ancestor of
+    /// the m-layer in the schema.
+    ///
+    /// # Errors
+    /// Propagates lattice validation ([`regcube_olap::OlapError`]).
+    pub fn new(schema: &CubeSchema, o_layer: CuboidSpec, m_layer: CuboidSpec) -> Result<Self> {
+        Ok(CriticalLayers {
+            lattice: Lattice::new(schema, o_layer, m_layer)?,
+        })
+    }
+
+    /// Example 4's layers for a `(user, location)`-style schema with
+    /// 3-level hierarchies: m-layer `(user-group, street-block)` =
+    /// levels `(1, 2)`... generalized to "m-layer one level above the
+    /// finest everywhere; o-layer `(*, L1)`-shaped": dimension 0 rolls to
+    /// `*`, the rest to level 1. Useful as a sensible default.
+    ///
+    /// # Errors
+    /// Propagates lattice validation errors for schemas of depth 0.
+    pub fn default_for(schema: &CubeSchema) -> Result<Self> {
+        let m: Vec<u8> = schema
+            .dims()
+            .iter()
+            .map(|d| d.depth().saturating_sub(1).max(1))
+            .collect();
+        let mut o = vec![1u8; schema.num_dims()];
+        o[0] = 0;
+        for (d, level) in o.iter_mut().enumerate() {
+            *level = (*level).min(m[d]);
+        }
+        CriticalLayers::new(schema, CuboidSpec::new(o), CuboidSpec::new(m))
+    }
+
+    /// The observation layer.
+    #[inline]
+    pub fn o_layer(&self) -> &CuboidSpec {
+        self.lattice.o_layer()
+    }
+
+    /// The minimal interesting layer.
+    #[inline]
+    pub fn m_layer(&self) -> &CuboidSpec {
+        self.lattice.m_layer()
+    }
+
+    /// The cuboid lattice between the layers (both inclusive).
+    #[inline]
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// Number of cuboids between the layers, inclusive.
+    #[inline]
+    pub fn cuboid_count(&self) -> u64 {
+        self.lattice.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example5_layer_pair() {
+        let schema = CubeSchema::synthetic(3, 3, 10).unwrap();
+        let layers = CriticalLayers::new(
+            &schema,
+            CuboidSpec::new(vec![1, 0, 1]),
+            CuboidSpec::new(vec![2, 2, 2]),
+        )
+        .unwrap();
+        assert_eq!(layers.cuboid_count(), 12);
+        assert_eq!(layers.o_layer().levels(), &[1, 0, 1]);
+        assert_eq!(layers.m_layer().levels(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn inverted_layers_are_rejected() {
+        let schema = CubeSchema::synthetic(2, 2, 3).unwrap();
+        assert!(CriticalLayers::new(
+            &schema,
+            CuboidSpec::new(vec![2, 2]),
+            CuboidSpec::new(vec![1, 1]),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn default_layers_are_valid() {
+        for (d, l) in [(1usize, 2u8), (2, 3), (4, 2), (3, 1)] {
+            let schema = CubeSchema::synthetic(d, l, 3).unwrap();
+            let layers = CriticalLayers::default_for(&schema).unwrap();
+            assert!(layers
+                .o_layer()
+                .is_ancestor_or_equal(layers.m_layer()));
+            schema.check_cuboid(layers.m_layer()).unwrap();
+        }
+    }
+}

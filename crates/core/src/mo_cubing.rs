@@ -1,0 +1,354 @@
+//! **Algorithm 1 — m/o H-cubing**: compute regressions for *every* cell of
+//! every cuboid from the m-layer up to the o-layer; retain only exception
+//! cells in between (all cells at the two critical layers).
+//!
+//! Step 1 follows the paper exactly: one scan of the input aggregates the
+//! stream into an H-tree (attribute order by ascending cardinality) whose
+//! leaves carry the m-layer regressions, merged under Theorems 3.2/3.3.
+//!
+//! Step 2 computes the lattice bottom-up in depth *tiers*. Every cuboid's
+//! full table is aggregated from its **closest computed descendant** — a
+//! one-step-finer cuboid from the previous tier, still cached — which is
+//! the work-sharing that H-cubing's shared header tables achieve (the
+//! paper's own H-cubing departs from its reference 18 too (footnote 6); the
+//! computed and retained cell sets here are identical to Algorithm 1's).
+//! Full tables are transient: a tier's tables are dropped (exceptions
+//! first extracted) as soon as the next tier no longer needs them, so
+//! retained memory is exactly critical layers + exception cells.
+
+use crate::error::CoreError;
+use crate::exception::ExceptionPolicy;
+use crate::layers::CriticalLayers;
+use crate::measure::{merge_sibling, validate_tuples, MTuple};
+use crate::result::{Algorithm, CubeResult};
+use crate::stats::{MemoryAccountant, RunStats};
+use crate::table::{aggregate_from, table_bytes, CuboidTable};
+use crate::Result;
+use regcube_olap::cell::CellKey;
+use regcube_olap::fxhash::FxHashMap;
+use regcube_olap::htree::{attrs_by_cardinality, expand_tuple, path_values_to_key, HTree};
+use regcube_olap::{CubeSchema, CuboidSpec};
+use regcube_regress::Isb;
+use std::time::Instant;
+
+/// Builds the m-layer table by scanning `tuples` once through an H-tree in
+/// cardinality attribute order (Algorithm 1, Step 1). Returns the table
+/// and the peak bytes the tree occupied.
+pub(crate) fn build_m_layer(
+    schema: &CubeSchema,
+    layers: &CriticalLayers,
+    tuples: &[MTuple],
+) -> Result<(CuboidTable, usize)> {
+    let lattice = layers.lattice();
+    let attrs = attrs_by_cardinality(schema, lattice);
+    let mut tree: HTree<Isb> = HTree::new(attrs)?;
+    for t in tuples {
+        let values = expand_tuple(schema, lattice.m_layer(), t.ids(), tree.order());
+        let leaf = tree.insert_path(&values)?;
+        match tree.payload_mut(leaf) {
+            Some(acc) => merge_sibling(acc, t.isb())?,
+            slot @ None => *slot = Some(*t.isb()),
+        }
+    }
+    let tree_bytes = tree.approx_bytes();
+
+    let mut m_table = CuboidTable::default();
+    let order: Vec<_> = tree.order().to_vec();
+    let m_layer = lattice.m_layer().clone();
+    let mut leaves: Vec<regcube_olap::htree::NodeId> = Vec::with_capacity(tree.num_leaves());
+    tree.for_each_leaf(|leaf| leaves.push(leaf));
+    for leaf in leaves {
+        let values = tree.path_values(leaf);
+        let key = path_values_to_key(&order, &values, &m_layer).ok_or_else(|| {
+            CoreError::BadInput {
+                detail: "H-tree order misses an m-layer attribute".into(),
+            }
+        })?;
+        let isb = *tree.payload(leaf).expect("leaf payload set at insert");
+        m_table.insert(CellKey::new(key), isb);
+    }
+    Ok((m_table, tree_bytes))
+}
+
+/// Runs Algorithm 1 and returns the materialized cube.
+///
+/// # Errors
+/// * [`CoreError::BadInput`] for structurally invalid tuples.
+/// * Substrate errors for inconsistent schema/layers.
+pub fn compute(
+    schema: &CubeSchema,
+    layers: &CriticalLayers,
+    policy: &ExceptionPolicy,
+    tuples: &[MTuple],
+) -> Result<CubeResult> {
+    let lattice = layers.lattice();
+    validate_tuples(schema, lattice.m_layer(), tuples)?;
+    let start = Instant::now();
+    let mut stats = RunStats::default();
+    let mut mem = MemoryAccountant::new();
+    let dims = schema.num_dims();
+
+    // ---- Step 1: scan the stream once into the H-tree / m-layer --------
+    let (m_table, tree_bytes) = build_m_layer(schema, layers, tuples)?;
+    mem.add(tree_bytes); // the tree is live while the m-layer is extracted
+    mem.add(table_bytes(&m_table, dims));
+    mem.remove(tree_bytes); // dropped after extraction
+    stats.rows_folded += tuples.len() as u64;
+    stats.cells_computed += m_table.len() as u64;
+    stats.cuboids_computed += 1;
+
+    // ---- Step 2: bottom-up tiers from the m-layer to the o-layer -------
+    // Group cuboids by total depth, descending; each tier aggregates from
+    // the cached full tables of the tier below (or the m-layer itself).
+    let order = lattice.bottom_up_order();
+    let mut tiers: Vec<(u32, Vec<CuboidSpec>)> = Vec::new();
+    for cuboid in order {
+        if cuboid == *lattice.m_layer() {
+            continue;
+        }
+        let depth = cuboid.total_depth();
+        match tiers.last_mut() {
+            Some((d, group)) if *d == depth => group.push(cuboid),
+            _ => tiers.push((depth, vec![cuboid])),
+        }
+    }
+
+    let mut exceptions: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
+    let mut o_table = CuboidTable::default();
+    // Cache of full tables from the previous tier (plus the m-layer).
+    let mut cache: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
+
+    for (_, tier) in tiers {
+        let mut next_cache: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
+        for cuboid in tier {
+            // Closest computed descendant: prefer a cached one-step-finer
+            // table; fall back to the m-layer.
+            let (src_cuboid, src_table) = lattice
+                .closest_computed_descendant(&cuboid, cache.keys())
+                .map(|c| (c.clone(), &cache[c]))
+                .unwrap_or_else(|| (lattice.m_layer().clone(), &m_table));
+
+            let (full, rows) =
+                aggregate_from(schema, &src_cuboid, src_table, &cuboid, None)?;
+            stats.rows_folded += rows;
+            stats.cells_computed += full.len() as u64;
+            stats.cuboids_computed += 1;
+            mem.add(table_bytes(&full, dims));
+
+            if cuboid == *lattice.o_layer() {
+                o_table = full;
+                continue;
+            }
+            // Retain only the exception cells; cache the full table for
+            // the next tier.
+            let mut exc = CuboidTable::default();
+            for (key, isb) in &full {
+                if policy.is_exception(&cuboid, isb) {
+                    exc.insert(key.clone(), *isb);
+                }
+            }
+            if !exc.is_empty() {
+                mem.add(table_bytes(&exc, dims));
+                exceptions.insert(cuboid.clone(), exc);
+            }
+            next_cache.insert(cuboid, full);
+        }
+        // The old tier's full tables are no longer reachable as sources.
+        for (_, dropped) in cache.drain() {
+            mem.remove(table_bytes(&dropped, dims));
+        }
+        cache = next_cache;
+    }
+    for (_, dropped) in cache.drain() {
+        mem.remove(table_bytes(&dropped, dims));
+    }
+
+    stats.exception_cells = exceptions.values().map(|t| t.len() as u64).sum();
+    stats.cells_retained =
+        m_table.len() as u64 + o_table.len() as u64 + stats.exception_cells;
+    stats.retained_bytes = table_bytes(&m_table, dims)
+        + table_bytes(&o_table, dims)
+        + exceptions
+            .values()
+            .map(|t| table_bytes(t, dims))
+            .sum::<usize>();
+    mem.add(table_bytes(&o_table, dims));
+    stats.peak_bytes = mem.peak();
+    stats.elapsed = start.elapsed();
+
+    Ok(CubeResult::new(
+        layers.clone(),
+        policy.clone(),
+        Algorithm::MoCubing,
+        m_table,
+        o_table,
+        exceptions,
+        FxHashMap::default(),
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regcube_regress::TimeSeries;
+
+    fn isb(slope: f64, base: f64) -> Isb {
+        let z = TimeSeries::from_fn(0, 9, |t| base + slope * t as f64).unwrap();
+        Isb::fit(&z).unwrap()
+    }
+
+    /// 2 dims, 2 levels, fanout 2: m-layer (L2, L2) has 16 possible cells.
+    fn small_setup() -> (CubeSchema, CriticalLayers) {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let layers = CriticalLayers::new(
+            &schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .unwrap();
+        (schema, layers)
+    }
+
+    fn dense_tuples() -> Vec<MTuple> {
+        // All 16 m-layer cells, slope = (a + b)/10, base = 1.
+        let mut tuples = Vec::new();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                tuples.push(MTuple::new(
+                    vec![a, b],
+                    isb((a + b) as f64 / 10.0, 1.0),
+                ));
+            }
+        }
+        tuples
+    }
+
+    #[test]
+    fn m_layer_merges_duplicate_tuples() {
+        let (schema, layers) = small_setup();
+        let tuples = vec![
+            MTuple::new(vec![0, 0], isb(0.1, 0.0)),
+            MTuple::new(vec![0, 0], isb(0.2, 0.0)),
+            MTuple::new(vec![1, 1], isb(0.3, 0.0)),
+        ];
+        let cube = compute(&schema, &layers, &ExceptionPolicy::never(), &tuples).unwrap();
+        assert_eq!(cube.m_layer_cells(), 2);
+        let merged = cube
+            .m_table()
+            .get(&CellKey::new(vec![0, 0]))
+            .unwrap();
+        assert!((merged.slope() - 0.3).abs() < 1e-10, "0.1 + 0.2 merged");
+    }
+
+    #[test]
+    fn apex_aggregation_is_exact() {
+        let (schema, layers) = small_setup();
+        let tuples = dense_tuples();
+        let cube = compute(&schema, &layers, &ExceptionPolicy::never(), &tuples).unwrap();
+        // The o-layer here is the apex (*, *): one cell holding the sum of
+        // all 16 ISBs (Theorem 3.2): slope = Σ (a+b)/10 = 4.8, base = 16.
+        assert_eq!(cube.o_layer_cells(), 1);
+        let apex = cube.o_table().get(&CellKey::new(vec![0, 0])).unwrap();
+        assert!((apex.slope() - 4.8).abs() < 1e-9, "slope {}", apex.slope());
+        assert!((apex.base() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_cuboids_are_computed_and_counted() {
+        let (schema, layers) = small_setup();
+        let cube = compute(
+            &schema,
+            &layers,
+            &ExceptionPolicy::never(),
+            &dense_tuples(),
+        )
+        .unwrap();
+        // Lattice: 3 x 3 = 9 cuboids.
+        assert_eq!(cube.stats().cuboids_computed, 9);
+        // Cells: m (16) + (L2,L1) 8 + (L1,L2) 8 + (L2,*) 4 + (*,L2) 4 +
+        // (L1,L1) 4 + (L1,*) 2 + (*,L1) 2 + apex 1 = 49.
+        assert_eq!(cube.stats().cells_computed, 49);
+        assert_eq!(cube.total_exception_cells(), 0);
+        assert_eq!(
+            cube.stats().cells_retained,
+            16 + 1,
+            "never-policy retains only the critical layers"
+        );
+    }
+
+    #[test]
+    fn always_policy_retains_every_between_cell() {
+        let (schema, layers) = small_setup();
+        let cube = compute(
+            &schema,
+            &layers,
+            &ExceptionPolicy::always(),
+            &dense_tuples(),
+        )
+        .unwrap();
+        // All 49 cells minus m-layer(16) minus o-layer(1) = 32 exceptions.
+        assert_eq!(cube.total_exception_cells(), 32);
+        assert_eq!(cube.stats().cells_retained, 49);
+    }
+
+    #[test]
+    fn exception_cells_match_brute_force() {
+        let (schema, layers) = small_setup();
+        let threshold = 0.45;
+        let policy = ExceptionPolicy::slope_threshold(threshold);
+        let tuples = dense_tuples();
+        let cube = compute(&schema, &layers, &policy, &tuples).unwrap();
+
+        // Brute force: for every between-cuboid, aggregate from the m-layer
+        // directly and compare exception sets.
+        for cuboid in layers.lattice().enumerate() {
+            if cuboid == *layers.m_layer() || cuboid == *layers.o_layer() {
+                continue;
+            }
+            let (full, _) =
+                aggregate_from(&schema, layers.m_layer(), cube.m_table(), &cuboid, None)
+                    .unwrap();
+            let expected: std::collections::BTreeSet<_> = full
+                .iter()
+                .filter(|(_, m)| m.slope().abs() >= threshold)
+                .map(|(k, _)| k.clone())
+                .collect();
+            let got: std::collections::BTreeSet<_> = cube
+                .exceptions_in(&cuboid)
+                .map(|t| t.keys().cloned().collect())
+                .unwrap_or_default();
+            assert_eq!(got, expected, "cuboid {cuboid}");
+            // And the retained measures must equal the brute-force ones.
+            if let Some(table) = cube.exceptions_in(&cuboid) {
+                for (k, m) in table {
+                    assert!(m.approx_eq(&full[k], 1e-9));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (schema, layers) = small_setup();
+        let cube = compute(
+            &schema,
+            &layers,
+            &ExceptionPolicy::slope_threshold(0.3),
+            &dense_tuples(),
+        )
+        .unwrap();
+        let s = cube.stats();
+        assert!(s.rows_folded >= 16);
+        assert!(s.peak_bytes > 0);
+        assert!(s.retained_bytes > 0);
+        assert!(s.peak_bytes >= s.retained_bytes - table_bytes(&CuboidTable::default(), 2));
+        assert_eq!(cube.algorithm(), Algorithm::MoCubing);
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let (schema, layers) = small_setup();
+        assert!(compute(&schema, &layers, &ExceptionPolicy::never(), &[]).is_err());
+    }
+}

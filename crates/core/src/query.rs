@@ -1,0 +1,309 @@
+//! On-the-fly queries against a computed cube.
+//!
+//! Framework 4.1 deliberately materializes only the critical layers and
+//! exception cells; Section 4.3 lists "not at all (leave everything to
+//! on-the-fly computation)" as the other end of the spectrum. This module
+//! provides that end for *point* queries: any cell between the layers can
+//! be answered exactly by aggregating the retained m-layer with
+//! Theorem 3.2 — the m-layer is always materialized, so no query ever
+//! touches raw stream data.
+
+use crate::measure::{exception_score, merge_sibling};
+use crate::result::CubeResult;
+use crate::Result;
+use regcube_olap::cell::{project_key, CellKey};
+use regcube_olap::{CubeSchema, CuboidSpec};
+use regcube_regress::Isb;
+
+/// Computes the measure of **any** cell in the lattice, materialized or
+/// not: first consults the retained stores, then falls back to an exact
+/// on-the-fly aggregation over the m-layer.
+///
+/// Returns `None` when no m-layer descendant contributes to the cell
+/// (the cell is empty in this window).
+///
+/// # Errors
+/// Propagates measure-merge failures (impossible for a cube built from
+/// one validated window).
+pub fn cell_measure(
+    schema: &CubeSchema,
+    cube: &CubeResult,
+    cuboid: &CuboidSpec,
+    key: &CellKey,
+) -> Result<Option<Isb>> {
+    if let Some(m) = cube.get(cuboid, key) {
+        return Ok(Some(*m));
+    }
+    compute_from_m_layer(schema, cube, cuboid, key)
+}
+
+/// The pure on-the-fly path of [`cell_measure`] (skips retained stores),
+/// exposed for verification and benchmarks.
+///
+/// # Errors
+/// Propagates measure-merge failures.
+pub fn compute_from_m_layer(
+    schema: &CubeSchema,
+    cube: &CubeResult,
+    cuboid: &CuboidSpec,
+    key: &CellKey,
+) -> Result<Option<Isb>> {
+    let m_layer = cube.layers().m_layer();
+    let mut acc: Option<Isb> = None;
+    for (m_key, isb) in cube.m_table() {
+        let projected = project_key(schema, m_layer, m_key.ids(), cuboid);
+        if projected.as_slice() != key.ids() {
+            continue;
+        }
+        match &mut acc {
+            Some(a) => merge_sibling(a, isb)?,
+            None => acc = Some(*isb),
+        }
+    }
+    Ok(acc)
+}
+
+/// A ranked cell for analyst lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedCell {
+    /// Cuboid of the cell.
+    pub cuboid: CuboidSpec,
+    /// Member-id key.
+    pub key: CellKey,
+    /// Measure.
+    pub measure: Isb,
+    /// `|slope|`, the ranking score.
+    pub score: f64,
+}
+
+/// The `k` hottest cells of one cuboid, computed on the fly from the
+/// m-layer (works for *any* lattice cuboid, materialized or not) —
+/// the "which cells should I look at first?" query behind observation
+/// dashboards.
+///
+/// # Errors
+/// Propagates measure-merge failures.
+pub fn top_k_cells(
+    schema: &CubeSchema,
+    cube: &CubeResult,
+    cuboid: &CuboidSpec,
+    k: usize,
+) -> Result<Vec<RankedCell>> {
+    let (table, _) = crate::table::aggregate_from(
+        schema,
+        cube.layers().m_layer(),
+        cube.m_table(),
+        cuboid,
+        None,
+    )?;
+    let mut ranked: Vec<RankedCell> = table
+        .into_iter()
+        .map(|(key, measure)| RankedCell {
+            cuboid: cuboid.clone(),
+            key,
+            score: exception_score(&measure),
+            measure,
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    ranked.truncate(k);
+    Ok(ranked)
+}
+
+/// Compares a cell against its **siblings** (cells sharing a parent on
+/// one dimension, Section 2.1): returns `(rank, out_of)` of the cell's
+/// score among the sibling group along dimension `dim`, computed on the
+/// fly. Analysts use this to judge whether an exception is local or an
+/// artifact of a hot parent.
+///
+/// Returns `None` when the cell itself is empty, the dimension is at the
+/// `*` level (no sibling group), or out of range.
+///
+/// # Errors
+/// Propagates measure-merge failures.
+pub fn sibling_rank(
+    schema: &CubeSchema,
+    cube: &CubeResult,
+    cuboid: &CuboidSpec,
+    key: &CellKey,
+    dim: usize,
+) -> Result<Option<(usize, usize)>> {
+    if dim >= cuboid.num_dims() || cuboid.level(dim) == 0 {
+        return Ok(None);
+    }
+    let Some(own) = cell_measure(schema, cube, cuboid, key)? else {
+        return Ok(None);
+    };
+    let own_score = exception_score(&own);
+    let level = cuboid.level(dim);
+    let h = schema.dims()[dim].hierarchy();
+    let parent = h.ancestor_unchecked(level, key.ids()[dim], level - 1);
+    let siblings = h.children(dim, level - 1, parent)?;
+
+    let mut rank = 1;
+    let mut present = 0;
+    for sib in siblings {
+        let mut ids = key.ids().to_vec();
+        ids[dim] = sib;
+        let sib_key = CellKey::new(ids);
+        if let Some(m) = cell_measure(schema, cube, cuboid, &sib_key)? {
+            present += 1;
+            if sib_key != *key && exception_score(&m) > own_score {
+                rank += 1;
+            }
+        }
+    }
+    Ok(Some((rank, present)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exception::ExceptionPolicy;
+    use crate::layers::CriticalLayers;
+    use crate::measure::MTuple;
+    use crate::mo_cubing;
+    use regcube_olap::CubeSchema;
+    use regcube_regress::TimeSeries;
+
+    fn isb(slope: f64) -> Isb {
+        let z = TimeSeries::from_fn(0, 9, |t| slope * t as f64).unwrap();
+        Isb::fit(&z).unwrap()
+    }
+
+    fn setup() -> (CubeSchema, CubeResult) {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let layers = CriticalLayers::new(
+            &schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .unwrap();
+        let mut tuples = Vec::new();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                tuples.push(MTuple::new(vec![a, b], isb((a * 4 + b) as f64 / 10.0)));
+            }
+        }
+        // A strict policy so almost nothing is materialized in between.
+        let cube = mo_cubing::compute(
+            &schema,
+            &layers,
+            &ExceptionPolicy::slope_threshold(100.0),
+            &tuples,
+        )
+        .unwrap();
+        (schema, cube)
+    }
+
+    #[test]
+    fn on_the_fly_matches_direct_aggregation() {
+        let (schema, cube) = setup();
+        // (L1, L1) is not materialized (no exceptions, not a layer).
+        let cuboid = CuboidSpec::new(vec![1, 1]);
+        assert!(cube.exceptions_in(&cuboid).is_none());
+        // Cell (1, 0) covers m-members a ∈ {2,3}, b ∈ {0,1}:
+        // slopes (8+9+12+13)/10 = 4.2.
+        let key = CellKey::new(vec![1, 0]);
+        let m = cell_measure(&schema, &cube, &cuboid, &key)
+            .unwrap()
+            .expect("non-empty");
+        assert!((m.slope() - 4.2).abs() < 1e-9, "slope {}", m.slope());
+        // The pure fallback agrees.
+        let fallback = compute_from_m_layer(&schema, &cube, &cuboid, &key)
+            .unwrap()
+            .unwrap();
+        assert!(fallback.approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn materialized_cells_short_circuit() {
+        let (schema, cube) = setup();
+        let m_layer = cube.layers().m_layer().clone();
+        let key = CellKey::new(vec![3, 3]);
+        let via_query = cell_measure(&schema, &cube, &m_layer, &key)
+            .unwrap()
+            .unwrap();
+        assert!((via_query.slope() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cells_answer_none() {
+        let (schema, cube) = setup();
+        // All 16 m-cells exist here, so test an empty cell by building a
+        // sparser cube.
+        let layers = cube.layers().clone();
+        let sparse = mo_cubing::compute(
+            &schema,
+            &layers,
+            &ExceptionPolicy::never(),
+            &[MTuple::new(vec![0, 0], isb(1.0))],
+        )
+        .unwrap();
+        let cuboid = CuboidSpec::new(vec![1, 1]);
+        let absent = CellKey::new(vec![1, 1]);
+        assert!(cell_measure(&schema, &sparse, &cuboid, &absent)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn top_k_ranks_by_slope_magnitude() {
+        let (schema, cube) = setup();
+        let cuboid = CuboidSpec::new(vec![1, 1]);
+        let top = top_k_cells(&schema, &cube, &cuboid, 2).unwrap();
+        assert_eq!(top.len(), 2);
+        // Hottest (L1,L1) cell is (1,1): m-members a∈{2,3}, b∈{2,3}:
+        // (10+11+14+15)/10 = 5.0; then (1,0) = 4.2.
+        assert_eq!(top[0].key, CellKey::new(vec![1, 1]));
+        assert!((top[0].score - 5.0).abs() < 1e-9);
+        assert_eq!(top[1].key, CellKey::new(vec![1, 0]));
+        assert!(top[0].score >= top[1].score);
+
+        // k larger than the population returns everything.
+        let all = top_k_cells(&schema, &cube, &cuboid, 100).unwrap();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn sibling_rank_identifies_the_hot_branch() {
+        let (schema, cube) = setup();
+        let cuboid = CuboidSpec::new(vec![1, 1]);
+        // Along dimension 0, cell (1,1) vs sibling (0,1): (1,1) is hotter.
+        let (rank, out_of) = sibling_rank(
+            &schema,
+            &cube,
+            &cuboid,
+            &CellKey::new(vec![1, 1]),
+            0,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!((rank, out_of), (1, 2));
+        let (rank0, _) = sibling_rank(
+            &schema,
+            &cube,
+            &cuboid,
+            &CellKey::new(vec![0, 1]),
+            0,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(rank0, 2);
+
+        // A * dimension has no sibling group.
+        let apex = CuboidSpec::new(vec![0, 0]);
+        assert!(sibling_rank(&schema, &cube, &apex, &CellKey::new(vec![0, 0]), 0)
+            .unwrap()
+            .is_none());
+        // Out-of-range dimension.
+        assert!(sibling_rank(&schema, &cube, &cuboid, &CellKey::new(vec![1, 1]), 9)
+            .unwrap()
+            .is_none());
+    }
+}

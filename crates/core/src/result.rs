@@ -1,0 +1,166 @@
+//! The output of a cube computation, shared by both algorithms.
+
+use crate::exception::ExceptionPolicy;
+use crate::layers::CriticalLayers;
+use crate::stats::RunStats;
+use crate::table::CuboidTable;
+use regcube_olap::cell::CellKey;
+use regcube_olap::fxhash::FxHashMap;
+use regcube_olap::CuboidSpec;
+use regcube_regress::Isb;
+
+/// Which algorithm produced a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Algorithm 1: m/o-cubing (all cells computed, exceptions retained).
+    MoCubing,
+    /// Algorithm 2: popular-path cubing (path + drilled exceptions).
+    PopularPath,
+}
+
+/// A materialized regression cube per Framework 4.1: both critical layers
+/// in full, exception cells in between, plus (for popular-path) the full
+/// tables along the drilling path.
+#[derive(Debug, Clone)]
+pub struct CubeResult {
+    layers: CriticalLayers,
+    policy: ExceptionPolicy,
+    algorithm: Algorithm,
+    m_table: CuboidTable,
+    o_table: CuboidTable,
+    /// Exception cells per strictly-between cuboid.
+    exceptions: FxHashMap<CuboidSpec, CuboidTable>,
+    /// Full tables retained along the popular path (empty for m/o-cubing).
+    path_tables: FxHashMap<CuboidSpec, CuboidTable>,
+    stats: RunStats,
+}
+
+impl CubeResult {
+    /// Assembles a result (used by the algorithm modules).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        layers: CriticalLayers,
+        policy: ExceptionPolicy,
+        algorithm: Algorithm,
+        m_table: CuboidTable,
+        o_table: CuboidTable,
+        exceptions: FxHashMap<CuboidSpec, CuboidTable>,
+        path_tables: FxHashMap<CuboidSpec, CuboidTable>,
+        stats: RunStats,
+    ) -> Self {
+        CubeResult {
+            layers,
+            policy,
+            algorithm,
+            m_table,
+            o_table,
+            exceptions,
+            path_tables,
+            stats,
+        }
+    }
+
+    /// The critical layers the cube was computed for.
+    #[inline]
+    pub fn layers(&self) -> &CriticalLayers {
+        &self.layers
+    }
+
+    /// The exception policy in force.
+    #[inline]
+    pub fn policy(&self) -> &ExceptionPolicy {
+        &self.policy
+    }
+
+    /// Which algorithm produced this result.
+    #[inline]
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The full m-layer table.
+    #[inline]
+    pub fn m_table(&self) -> &CuboidTable {
+        &self.m_table
+    }
+
+    /// The full o-layer table.
+    #[inline]
+    pub fn o_table(&self) -> &CuboidTable {
+        &self.o_table
+    }
+
+    /// Number of m-layer cells.
+    pub fn m_layer_cells(&self) -> usize {
+        self.m_table.len()
+    }
+
+    /// Number of o-layer cells.
+    pub fn o_layer_cells(&self) -> usize {
+        self.o_table.len()
+    }
+
+    /// Retained exception cells of one strictly-between cuboid, if any.
+    pub fn exceptions_in(&self, cuboid: &CuboidSpec) -> Option<&CuboidTable> {
+        self.exceptions.get(cuboid)
+    }
+
+    /// Iterates `(cuboid, key, measure)` over all retained exception cells
+    /// between the layers.
+    pub fn iter_exceptions(&self) -> impl Iterator<Item = (&CuboidSpec, &CellKey, &Isb)> {
+        self.exceptions
+            .iter()
+            .flat_map(|(c, table)| table.iter().map(move |(k, m)| (c, k, m)))
+    }
+
+    /// Total retained exception cells between the layers.
+    pub fn total_exception_cells(&self) -> u64 {
+        self.exceptions.values().map(|t| t.len() as u64).sum()
+    }
+
+    /// Full tables retained along the popular path (empty for m/o-cubing).
+    pub fn path_tables(&self) -> &FxHashMap<CuboidSpec, CuboidTable> {
+        &self.path_tables
+    }
+
+    /// Looks a cell up in everything the cube retained: critical layers,
+    /// path tables, then exception stores.
+    pub fn get(&self, cuboid: &CuboidSpec, key: &CellKey) -> Option<&Isb> {
+        if cuboid == self.layers.m_layer() {
+            return self.m_table.get(key);
+        }
+        if cuboid == self.layers.o_layer() {
+            return self.o_table.get(key);
+        }
+        if let Some(t) = self.path_tables.get(cuboid) {
+            if let Some(m) = t.get(key) {
+                return Some(m);
+            }
+        }
+        self.exceptions.get(cuboid).and_then(|t| t.get(key))
+    }
+
+    /// Run statistics.
+    #[inline]
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// O-layer cells that pass the exception policy — the analyst's alarm
+    /// list, the starting points of exception-guided drilling.
+    pub fn exceptional_o_cells(&self) -> Vec<(&CellKey, &Isb)> {
+        let o = self.layers.o_layer();
+        let mut cells: Vec<(&CellKey, &Isb)> = self
+            .o_table
+            .iter()
+            .filter(|(_, m)| self.policy.is_exception(o, m))
+            .collect();
+        cells.sort_by(|a, b| {
+            crate::measure::exception_score(b.1)
+                .partial_cmp(&crate::measure::exception_score(a.1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(b.0))
+        });
+        cells
+    }
+}

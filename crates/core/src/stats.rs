@@ -1,0 +1,95 @@
+//! Run statistics and analytical memory accounting.
+//!
+//! The performance study (Section 5) reports processing time and memory
+//! usage. Besides wall-clock time we track *analytical* memory — the bytes
+//! of live cell tables and trees as the algorithm proceeds — which is
+//! allocator-independent and therefore stable across machines. The bench
+//! harness additionally measures true allocator peaks (`regcube-bench`).
+
+use std::time::Duration;
+
+/// Statistics of one cube computation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunStats {
+    /// Source rows folded into aggregations (the work measure).
+    pub rows_folded: u64,
+    /// Cells materialized across all cuboids (computed, before filtering).
+    pub cells_computed: u64,
+    /// Cells retained in the result (critical layers + exceptions).
+    pub cells_retained: u64,
+    /// Exception cells retained between the layers.
+    pub exception_cells: u64,
+    /// Cuboids whose tables were (at least partially) computed.
+    pub cuboids_computed: u32,
+    /// Wall-clock time of the computation.
+    pub elapsed: Duration,
+    /// Peak analytical bytes (retained + transient) during the run.
+    pub peak_bytes: usize,
+    /// Analytical bytes retained in the final result.
+    pub retained_bytes: usize,
+}
+
+/// Tracks live analytical bytes and their high-water mark.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemoryAccountant {
+    live: usize,
+    peak: usize,
+}
+
+impl MemoryAccountant {
+    /// Creates an empty accountant.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `bytes` as newly live.
+    pub fn add(&mut self, bytes: usize) {
+        self.live += bytes;
+        self.peak = self.peak.max(self.live);
+    }
+
+    /// Releases `bytes` (saturating; double-frees clamp to zero).
+    pub fn remove(&mut self, bytes: usize) {
+        self.live = self.live.saturating_sub(bytes);
+    }
+
+    /// Currently live bytes.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// High-water mark.
+    #[inline]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accountant_tracks_peak() {
+        let mut a = MemoryAccountant::new();
+        a.add(100);
+        a.add(50);
+        assert_eq!(a.live(), 150);
+        assert_eq!(a.peak(), 150);
+        a.remove(120);
+        assert_eq!(a.live(), 30);
+        assert_eq!(a.peak(), 150);
+        a.add(10);
+        assert_eq!(a.peak(), 150, "peak unchanged below the mark");
+        a.remove(1000);
+        assert_eq!(a.live(), 0, "saturating removal");
+    }
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let s = RunStats::default();
+        assert_eq!(s.cells_computed, 0);
+        assert_eq!(s.elapsed, Duration::ZERO);
+    }
+}

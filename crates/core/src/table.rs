@@ -1,0 +1,139 @@
+//! Cuboid tables: hash maps from cell keys to measures, plus the shared
+//! group-by-projection aggregation primitive both algorithms use.
+
+use crate::measure::merge_sibling;
+use crate::Result;
+use regcube_olap::cell::{project_key, CellKey};
+use regcube_olap::fxhash::FxHashMap;
+use regcube_olap::{CubeSchema, CuboidSpec};
+use regcube_regress::Isb;
+
+/// The cell store of one cuboid.
+pub type CuboidTable = FxHashMap<CellKey, Isb>;
+
+/// A predicate over projected target-cell coordinates, deciding which
+/// cells an aggregation materializes (Algorithm 2's drilling filter).
+pub type CellFilter<'a> = &'a dyn Fn(&[u32]) -> bool;
+
+/// Approximate retained bytes of a table (keys + measures + map overhead),
+/// used by the analytical memory accounting in [`crate::stats`].
+pub fn table_bytes(table: &CuboidTable, num_dims: usize) -> usize {
+    // CellKey: boxed slice header + ids; Isb: 4 scalars; ~1.4x map slack.
+    let per_entry = std::mem::size_of::<CellKey>()
+        + num_dims * std::mem::size_of::<u32>()
+        + std::mem::size_of::<Isb>();
+    (table.len() * per_entry * 14) / 10
+}
+
+/// Aggregates `target` from a (descendant) `source` table by projecting
+/// every source cell key to the target cuboid and merging collisions under
+/// Theorem 3.2. `filter` decides which *target* cells to materialize —
+/// `None` computes every cell (Algorithm 1), `Some(pred)` computes only
+/// qualifying cells (Algorithm 2's drilling).
+///
+/// Returns the new table and the number of *source rows* folded (the work
+/// measure reported in run statistics).
+///
+/// # Errors
+/// Propagates measure merge failures (interval mismatches — impossible
+/// for tables built from one validated tuple window).
+pub fn aggregate_from(
+    schema: &CubeSchema,
+    source_cuboid: &CuboidSpec,
+    source: &CuboidTable,
+    target_cuboid: &CuboidSpec,
+    filter: Option<CellFilter<'_>>,
+) -> Result<(CuboidTable, u64)> {
+    let mut out = CuboidTable::default();
+    let mut rows: u64 = 0;
+    for (key, isb) in source {
+        let projected = project_key(schema, source_cuboid, key.ids(), target_cuboid);
+        if let Some(pred) = filter {
+            if !pred(&projected) {
+                continue;
+            }
+        }
+        rows += 1;
+        match out.entry(CellKey::new(projected)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                merge_sibling(e.get_mut(), isb)?;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(*isb);
+            }
+        }
+    }
+    Ok((out, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regcube_regress::TimeSeries;
+
+    fn isb(slope: f64) -> Isb {
+        let z = TimeSeries::from_fn(0, 9, |t| slope * t as f64).unwrap();
+        Isb::fit(&z).unwrap()
+    }
+
+    fn schema() -> CubeSchema {
+        CubeSchema::synthetic(2, 2, 3).unwrap()
+    }
+
+    #[test]
+    fn aggregation_groups_by_ancestor() {
+        let s = schema();
+        let fine = CuboidSpec::new(vec![2, 2]);
+        let coarse = CuboidSpec::new(vec![1, 0]);
+        let mut src = CuboidTable::default();
+        // Members 0 and 1 at L2 share L1 parent 0 (fanout 3); 3 has parent 1.
+        src.insert(CellKey::new(vec![0, 5]), isb(0.1));
+        src.insert(CellKey::new(vec![1, 7]), isb(0.2));
+        src.insert(CellKey::new(vec![3, 5]), isb(0.4));
+
+        let (out, rows) = aggregate_from(&s, &fine, &src, &coarse, None).unwrap();
+        assert_eq!(rows, 3);
+        assert_eq!(out.len(), 2);
+        let a = out.get(&CellKey::new(vec![0, 0])).unwrap();
+        assert!((a.slope() - 0.3).abs() < 1e-12, "0.1 + 0.2 grouped");
+        let b = out.get(&CellKey::new(vec![1, 0])).unwrap();
+        assert!((b.slope() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_projection_copies() {
+        let s = schema();
+        let c = CuboidSpec::new(vec![2, 2]);
+        let mut src = CuboidTable::default();
+        src.insert(CellKey::new(vec![4, 4]), isb(-0.5));
+        let (out, _) = aggregate_from(&s, &c, &src, &c, None).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!((out[&CellKey::new(vec![4, 4])].slope() + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_restricts_materialized_cells() {
+        let s = schema();
+        let fine = CuboidSpec::new(vec![2, 2]);
+        let coarse = CuboidSpec::new(vec![1, 0]);
+        let mut src = CuboidTable::default();
+        src.insert(CellKey::new(vec![0, 5]), isb(0.1));
+        src.insert(CellKey::new(vec![3, 5]), isb(0.4));
+
+        let keep = |ids: &[u32]| ids[0] == 1;
+        let (out, rows) = aggregate_from(&s, &fine, &src, &coarse, Some(&keep)).unwrap();
+        assert_eq!(rows, 1, "filtered source rows are not folded");
+        assert_eq!(out.len(), 1);
+        assert!(out.contains_key(&CellKey::new(vec![1, 0])));
+    }
+
+    #[test]
+    fn byte_accounting_scales_with_entries() {
+        let mut t = CuboidTable::default();
+        assert_eq!(table_bytes(&t, 3), 0);
+        t.insert(CellKey::new(vec![0, 0, 0]), isb(0.0));
+        let one = table_bytes(&t, 3);
+        t.insert(CellKey::new(vec![1, 1, 1]), isb(0.0));
+        assert_eq!(table_bytes(&t, 3), 2 * one);
+    }
+}

@@ -1,0 +1,103 @@
+//! Exception-threshold calibration.
+//!
+//! The paper's Figure 8 sweeps "the percentage of aggregated cells that
+//! belong to exception cells" from 0.1% to 100%. Given a target rate, the
+//! matching slope threshold is a quantile of the cells' |slope|
+//! distribution. This module provides quantiles over arbitrary score
+//! collections; the bench harness feeds it the full cube's cell scores
+//! (m-layer scores make a cheaper approximation for quick runs).
+
+use crate::generate::GenTuple;
+
+/// The threshold that makes (approximately) `rate` of the given scores
+/// exceptional, i.e. the `(1 - rate)` quantile.
+///
+/// * `rate >= 1.0` returns `0.0` (everything exceptional).
+/// * `rate <= 0.0` returns `f64::INFINITY` (nothing exceptional).
+/// * An empty slice returns `f64::INFINITY`.
+///
+/// Scores need not be sorted; a copy is sorted internally.
+pub fn threshold_for_rate(scores: &[f64], rate: f64) -> f64 {
+    if scores.is_empty() || rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    if rate >= 1.0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // We want the smallest threshold T with |{s >= T}| / n ≈ rate:
+    // the element at index ceil(n·(1-rate)), clamped.
+    let n = sorted.len();
+    let idx = ((n as f64) * (1.0 - rate)).ceil() as usize;
+    let idx = idx.min(n - 1);
+    sorted[idx]
+}
+
+/// The fraction of `scores` at or above `threshold`.
+pub fn rate_at_threshold(scores: &[f64], threshold: f64) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let hits = scores.iter().filter(|s| **s >= threshold).count();
+    hits as f64 / scores.len() as f64
+}
+
+/// Convenience: |slope| scores of a tuple set (the m-layer approximation).
+pub fn m_layer_scores(tuples: &[GenTuple]) -> Vec<f64> {
+    tuples.iter().map(|t| t.isb.slope().abs()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::Dataset;
+    use crate::spec::DatasetSpec;
+
+    #[test]
+    fn quantile_inverts_rate() {
+        let scores: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        for rate in [0.001, 0.01, 0.1, 0.5, 0.9] {
+            let t = threshold_for_rate(&scores, rate);
+            let achieved = rate_at_threshold(&scores, t);
+            assert!(
+                (achieved - rate).abs() <= 2.0 / 1000.0,
+                "rate {rate}: threshold {t} achieves {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_rates() {
+        let scores = vec![1.0, 2.0, 3.0];
+        assert_eq!(threshold_for_rate(&scores, 0.0), f64::INFINITY);
+        assert_eq!(threshold_for_rate(&scores, -0.5), f64::INFINITY);
+        assert_eq!(threshold_for_rate(&scores, 1.0), 0.0);
+        assert_eq!(threshold_for_rate(&scores, 2.0), 0.0);
+        assert_eq!(threshold_for_rate(&[], 0.5), f64::INFINITY);
+        assert_eq!(rate_at_threshold(&[], 1.0), 0.0);
+        assert_eq!(rate_at_threshold(&scores, 0.0), 1.0);
+        assert_eq!(rate_at_threshold(&scores, 10.0), 0.0);
+    }
+
+    #[test]
+    fn calibration_on_generated_data_hits_the_target() {
+        let d = Dataset::generate(DatasetSpec::new(2, 2, 4, 2000).unwrap()).unwrap();
+        let scores = m_layer_scores(&d.tuples);
+        for rate in [0.01, 0.1, 0.5] {
+            let t = threshold_for_rate(&scores, rate);
+            let achieved = rate_at_threshold(&scores, t);
+            assert!(
+                (achieved - rate).abs() < 0.02,
+                "rate {rate} achieved {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let scores = vec![0.9, 0.1, 0.5, 0.3, 0.7];
+        let t = threshold_for_rate(&scores, 0.4);
+        assert!((0.5..=0.9).contains(&t), "threshold {t}");
+    }
+}

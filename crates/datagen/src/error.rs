@@ -1,0 +1,60 @@
+//! Error type for the data generator.
+
+use std::fmt;
+
+/// Errors produced by spec parsing and dataset generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatagenError {
+    /// A dataset name did not follow the `D?L?C?T?` convention.
+    BadSpecString {
+        /// The offending input.
+        input: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Spec parameters are out of range (zero dimensions, overflow, …).
+    BadParameters {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// An underlying substrate failed (hierarchy construction, fitting).
+    Substrate {
+        /// Description of the failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DatagenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatagenError::BadSpecString { input, detail } => {
+                write!(f, "cannot parse dataset spec {input:?}: {detail}")
+            }
+            DatagenError::BadParameters { detail } => {
+                write!(f, "bad generator parameters: {detail}")
+            }
+            DatagenError::Substrate { detail } => write!(f, "substrate failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DatagenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        for e in [
+            DatagenError::BadSpecString {
+                input: "X".into(),
+                detail: "no D".into(),
+            },
+            DatagenError::BadParameters { detail: "d".into() },
+            DatagenError::Substrate { detail: "s".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

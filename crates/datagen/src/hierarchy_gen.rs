@@ -1,0 +1,119 @@
+//! Random ragged hierarchies — real dimensions (cities, product
+//! taxonomies) are not perfectly balanced; this module generates
+//! reproducible ragged concept hierarchies for robustness testing of the
+//! cubing algorithms.
+
+use crate::error::DatagenError;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use regcube_olap::{CubeSchema, Dimension, Hierarchy};
+
+/// Generates a ragged hierarchy of the given depth: level `l + 1` has
+/// between `1x` and `2x·fanout` children per level-`l` member (at least
+/// one each, so no member is childless).
+///
+/// # Errors
+/// [`DatagenError::BadParameters`] for zero depth/fanout, or if a level
+/// would exceed `u32` capacity.
+pub fn ragged_hierarchy(rng: &mut StdRng, depth: u8, fanout: u32) -> Result<Hierarchy> {
+    if depth == 0 || fanout == 0 {
+        return Err(DatagenError::BadParameters {
+            detail: format!("ragged hierarchy needs depth/fanout > 0, got {depth}/{fanout}"),
+        });
+    }
+    let mut parents: Vec<Vec<u32>> = Vec::with_capacity(depth as usize);
+    let mut prev_card: u64 = 1;
+    for _ in 0..depth {
+        let mut level: Vec<u32> = Vec::new();
+        for parent in 0..prev_card {
+            let children = rng.random_range(1..=(2 * fanout).max(2));
+            for _ in 0..children {
+                level.push(parent as u32);
+            }
+        }
+        if level.len() as u64 > u32::MAX as u64 {
+            return Err(DatagenError::BadParameters {
+                detail: "ragged hierarchy cardinality overflow".into(),
+            });
+        }
+        prev_card = level.len() as u64;
+        parents.push(level);
+    }
+    Hierarchy::from_parents(parents).map_err(|e| DatagenError::Substrate {
+        detail: e.to_string(),
+    })
+}
+
+/// Generates a schema of `dims` ragged dimensions, reproducible from the
+/// seed.
+///
+/// # Errors
+/// Propagates hierarchy/schema construction failures.
+pub fn ragged_schema(seed: u64, dims: usize, depth: u8, fanout: u32) -> Result<CubeSchema> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dimensions = Vec::with_capacity(dims);
+    for i in 0..dims {
+        let h = ragged_hierarchy(&mut rng, depth, fanout)?;
+        dimensions.push(Dimension::new(format!("R{i}"), h));
+    }
+    CubeSchema::new(dimensions).map_err(|e| DatagenError::Substrate {
+        detail: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ragged_hierarchies_are_structurally_valid() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let h = ragged_hierarchy(&mut rng, 3, 4).unwrap();
+        assert_eq!(h.depth(), 3);
+        // Every member of every level has a valid parent; every parent
+        // has at least one child.
+        for level in 1..=3u8 {
+            for m in 0..h.cardinality(level) {
+                assert!(h.parent(level, m) < h.cardinality(level - 1));
+            }
+        }
+        for level in 0..3u8 {
+            for m in 0..h.cardinality(level) {
+                assert!(
+                    !h.children(0, level, m).unwrap().is_empty(),
+                    "member {m} at level {level} is childless"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = ragged_schema(7, 3, 2, 3).unwrap();
+        let b = ragged_schema(7, 3, 2, 3).unwrap();
+        assert_eq!(a, b);
+        let c = ragged_schema(8, 3, 2, 3).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(ragged_hierarchy(&mut rng, 0, 3).is_err());
+        assert!(ragged_hierarchy(&mut rng, 3, 0).is_err());
+    }
+
+    #[test]
+    fn cardinalities_grow_with_depth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = ragged_hierarchy(&mut rng, 3, 5).unwrap();
+        assert!(h.cardinality(1) >= 1);
+        assert!(h.cardinality(2) >= h.cardinality(1));
+        assert!(h.cardinality(3) >= h.cardinality(2));
+        assert_eq!(
+            h.total_members(),
+            (1..=3).map(|l| u64::from(h.cardinality(l))).sum::<u64>()
+        );
+    }
+}

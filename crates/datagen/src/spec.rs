@@ -1,0 +1,225 @@
+//! Dataset specifications in the paper's `DxLxCxTx` notation.
+
+use crate::error::DatagenError;
+use crate::Result;
+use std::fmt;
+use std::str::FromStr;
+
+/// A synthetic dataset shape: `D3L3C10T100K` = 3 dimensions, 3 levels per
+/// dimension from the m-layer to the o-layer inclusive, fan-out 10,
+/// 100,000 merged m-layer tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Number of standard dimensions (`D`).
+    pub dims: usize,
+    /// Levels per dimension from m-layer to o-layer inclusive (`L`).
+    pub levels: u8,
+    /// Fan-out / per-node cardinality (`C`).
+    pub fanout: u32,
+    /// Number of merged m-layer tuples (`T`).
+    pub tuples: usize,
+    /// Ticks per tuple time series (the analysis window width).
+    pub series_len: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Default window width used when the notation does not carry one.
+    pub const DEFAULT_SERIES_LEN: usize = 20;
+
+    /// Creates a spec, validating all parameters.
+    ///
+    /// # Errors
+    /// [`DatagenError::BadParameters`] for zero-sized shapes or level
+    /// counts beyond `u8`.
+    pub fn new(dims: usize, levels: u8, fanout: u32, tuples: usize) -> Result<Self> {
+        if dims == 0 || levels == 0 || fanout == 0 || tuples == 0 {
+            return Err(DatagenError::BadParameters {
+                detail: format!("D{dims}L{levels}C{fanout}T{tuples} has a zero parameter"),
+            });
+        }
+        Ok(DatasetSpec {
+            dims,
+            levels,
+            fanout,
+            tuples,
+            series_len: Self::DEFAULT_SERIES_LEN,
+            seed: 0x5eed_cafe,
+        })
+    }
+
+    /// Sets the series window width.
+    #[must_use]
+    pub fn with_series_len(mut self, len: usize) -> Self {
+        self.series_len = len.max(2);
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The paper's Figure 8 dataset: `D3L3C10T100K`.
+    pub fn d3l3c10t100k() -> Self {
+        DatasetSpec::new(3, 3, 10, 100_000).expect("static spec")
+    }
+
+    /// The m-layer hierarchy level of every dimension: with `L` levels
+    /// from m to o inclusive and the o-layer at level 1, the m-layer sits
+    /// at level `L`.
+    pub fn m_level(&self) -> u8 {
+        self.levels
+    }
+
+    /// The o-layer hierarchy level of every dimension (level 1, so that
+    /// m-to-o spans exactly `L` levels inclusive).
+    pub fn o_level(&self) -> u8 {
+        1
+    }
+
+    /// Number of cuboids between the layers: `L^D`.
+    pub fn lattice_cuboids(&self) -> u64 {
+        (u64::from(self.levels)).pow(self.dims as u32)
+    }
+}
+
+impl fmt::Display for DatasetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.tuples;
+        if t % 1_000_000 == 0 {
+            write!(
+                f,
+                "D{}L{}C{}T{}M",
+                self.dims,
+                self.levels,
+                self.fanout,
+                t / 1_000_000
+            )
+        } else if t % 1000 == 0 {
+            write!(
+                f,
+                "D{}L{}C{}T{}K",
+                self.dims,
+                self.levels,
+                self.fanout,
+                t / 1000
+            )
+        } else {
+            write!(f, "D{}L{}C{}T{}", self.dims, self.levels, self.fanout, t)
+        }
+    }
+}
+
+impl FromStr for DatasetSpec {
+    type Err = DatagenError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let bad = |detail: &str| DatagenError::BadSpecString {
+            input: s.to_string(),
+            detail: detail.to_string(),
+        };
+        let upper = s.to_ascii_uppercase();
+        let mut fields: [Option<u64>; 4] = [None; 4];
+        let order = ['D', 'L', 'C', 'T'];
+        let bytes = upper.as_bytes();
+        let mut i = 0;
+        let mut field_idx = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if field_idx >= 4 || c != order[field_idx] {
+                return Err(bad(&format!("expected '{}'", order.get(field_idx).unwrap_or(&'?'))));
+            }
+            i += 1;
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if start == i {
+                return Err(bad(&format!("missing number after '{c}'")));
+            }
+            let mut value: u64 = upper[start..i]
+                .parse()
+                .map_err(|_| bad("number overflow"))?;
+            // Optional K/M multiplier (only meaningful on T, accepted
+            // anywhere the paper's notation would use it).
+            if i < bytes.len() && (bytes[i] as char == 'K' || bytes[i] as char == 'M') {
+                value *= if bytes[i] as char == 'K' { 1_000 } else { 1_000_000 };
+                i += 1;
+            }
+            fields[field_idx] = Some(value);
+            field_idx += 1;
+        }
+        let [Some(d), Some(l), Some(c), Some(t)] = fields else {
+            return Err(bad("expected all of D, L, C, T"));
+        };
+        if l > u8::MAX as u64 {
+            return Err(bad("level count exceeds 255"));
+        }
+        DatasetSpec::new(d as usize, l as u8, c as u32, t as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_names() {
+        let s: DatasetSpec = "D3L3C10T100K".parse().unwrap();
+        assert_eq!(s.dims, 3);
+        assert_eq!(s.levels, 3);
+        assert_eq!(s.fanout, 10);
+        assert_eq!(s.tuples, 100_000);
+        assert_eq!(s.to_string(), "D3L3C10T100K");
+
+        // The Figure 10 dataset family is written D2C10T10K in the paper
+        // with L swept separately; our parser requires the L field.
+        assert!("D2C10T10K".parse::<DatasetSpec>().is_err());
+        let s2: DatasetSpec = "D2L4C10T10K".parse().unwrap();
+        assert_eq!(s2.levels, 4);
+        assert_eq!(s2.lattice_cuboids(), 16);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_names() {
+        for bad in ["", "D3", "L3C10T5", "D3L3C10", "D3L3C10T", "DXL3C10T5", "D3L3C10T5X"] {
+            assert!(bad.parse::<DatasetSpec>().is_err(), "{bad}");
+        }
+        assert!("D0L3C10T5".parse::<DatasetSpec>().is_err());
+        assert!("D3L999C10T5".parse::<DatasetSpec>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for name in ["D3L3C10T100K", "D2L5C4T1M", "D1L2C3T7"] {
+            let spec: DatasetSpec = name.parse().unwrap();
+            assert_eq!(spec.to_string(), name);
+            let again: DatasetSpec = spec.to_string().parse().unwrap();
+            assert_eq!(spec, again);
+        }
+    }
+
+    #[test]
+    fn layer_levels_follow_the_convention() {
+        let s: DatasetSpec = "D3L3C10T1K".parse().unwrap();
+        assert_eq!(s.m_level(), 3);
+        assert_eq!(s.o_level(), 1);
+        // Levels from m to o inclusive = 3 (levels 3, 2, 1).
+        assert_eq!(s.lattice_cuboids(), 27);
+    }
+
+    #[test]
+    fn builders() {
+        let s = DatasetSpec::d3l3c10t100k()
+            .with_series_len(32)
+            .with_seed(99);
+        assert_eq!(s.series_len, 32);
+        assert_eq!(s.seed, 99);
+        let tiny = DatasetSpec::new(1, 1, 2, 1).unwrap().with_series_len(0);
+        assert_eq!(tiny.series_len, 2, "window clamps to 2");
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the data generator: naming round-trips, structural
+//! bounds of generated datasets, and calibration inverses.
+
+use proptest::prelude::*;
+use regcube_datagen::calibrate::{rate_at_threshold, threshold_for_rate};
+use regcube_datagen::{Dataset, DatasetSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Display -> parse is the identity on valid specs.
+    #[test]
+    fn spec_display_parse_round_trip(
+        dims in 1usize..6,
+        levels in 1u8..6,
+        fanout in 1u32..20,
+        tuples in 1usize..2_000_000,
+    ) {
+        let spec = DatasetSpec::new(dims, levels, fanout, tuples).unwrap();
+        let parsed: DatasetSpec = spec.to_string().parse().unwrap();
+        prop_assert_eq!(spec, parsed);
+    }
+
+    /// Generated datasets respect their spec: distinct keys, ids within
+    /// the m-layer cardinality, one shared window.
+    #[test]
+    fn generated_datasets_respect_bounds(seed in 0u64..1_000) {
+        let spec = DatasetSpec::new(2, 2, 3, 120).unwrap().with_seed(seed);
+        let d = Dataset::generate(spec).unwrap();
+        let card = 9u32;
+        let mut keys = std::collections::BTreeSet::new();
+        for t in &d.tuples {
+            prop_assert_eq!(t.ids.len(), 2);
+            prop_assert!(t.ids.iter().all(|&id| id < card));
+            prop_assert_eq!(t.isb.interval(), d.window());
+            prop_assert!(keys.insert(t.ids.clone()), "duplicate key {:?}", t.ids);
+        }
+        prop_assert!(!d.tuples.is_empty());
+    }
+
+    /// threshold_for_rate / rate_at_threshold are approximate inverses on
+    /// arbitrary score multisets.
+    #[test]
+    fn calibration_inverse(
+        scores in prop::collection::vec(0.0..10.0f64, 10..300),
+        rate in 0.01..0.99f64,
+    ) {
+        let t = threshold_for_rate(&scores, rate);
+        let achieved = rate_at_threshold(&scores, t);
+        // Ties and discreteness allow a one-element slack... plus
+        // duplicates; bound the error by the largest tie group.
+        let slack = {
+            let mut sorted = scores.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let max_ties = sorted
+                .chunk_by(|a, b| a == b)
+                .map(<[f64]>::len)
+                .max()
+                .unwrap_or(1);
+            (max_ties as f64 + 1.0) / scores.len() as f64
+        };
+        prop_assert!(
+            achieved >= rate - slack && achieved <= rate + slack,
+            "rate {rate} achieved {achieved} (slack {slack})"
+        );
+        // Monotonicity: higher rates never raise the threshold.
+        let t2 = threshold_for_rate(&scores, (rate + 0.3).min(1.0));
+        prop_assert!(t2 <= t);
+    }
+
+    /// Subsets are prefixes and never exceed the parent.
+    #[test]
+    fn subsets_are_prefixes(n in 1usize..200) {
+        let d = Dataset::generate(DatasetSpec::new(2, 1, 4, 200).unwrap()).unwrap();
+        let s = d.subset(n);
+        prop_assert!(s.tuples.len() <= n);
+        prop_assert_eq!(&s.tuples[..], &d.tuples[..s.tuples.len()]);
+    }
+}

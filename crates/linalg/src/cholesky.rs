@@ -1,0 +1,183 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! The normal equations `XᵀX β = Xᵀy` of a well-posed least-squares problem
+//! have a symmetric positive-definite coefficient matrix, which makes
+//! Cholesky the natural (and cheapest) solver for the multiple linear
+//! regression measures warehoused by `regcube`.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// A lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read, so callers may pass a matrix
+    /// whose upper triangle is stale.
+    ///
+    /// # Errors
+    /// * [`LinalgError::BadShape`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive,
+    ///   not finite, or negligibly small relative to the largest diagonal
+    ///   entry (the matrix is indefinite, singular, or numerically
+    ///   collinear — e.g. a rank-deficient `XᵀX` from duplicate design
+    ///   rows, where exact cancellation leaves a pivot of a few ulps).
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::BadShape {
+                detail: format!("Cholesky of non-square {}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut max_diag = 0.0f64;
+        for j in 0..n {
+            max_diag = max_diag.max(a[(j, j)].abs());
+        }
+        let tol = max_diag * 1e-12;
+        let mut l = Matrix::zeros(n, n)?;
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if !(diag.is_finite() && diag > tol) {
+                return Err(LinalgError::NotPositiveDefinite { index: j });
+            }
+            let dsqrt = diag.sqrt();
+            l[(j, j)] = dsqrt;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / dsqrt;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` using the stored factorization.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] when `b.len()` differs from the
+    /// factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "cholesky_solve",
+            });
+        }
+        // Forward substitution: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = y;
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.l[(k, i)] * x[k];
+            }
+            x[i] /= self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix (product of squared diagonals).
+    pub fn det(&self) -> f64 {
+        let n = self.l.rows();
+        let mut d = 1.0;
+        for i in 0..n {
+            d *= self.l[(i, i)];
+        }
+        d * d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops::approx_eq;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for B with full rank is SPD; this one is hand-picked.
+        Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6],
+            &[2.0, 5.0, 1.0],
+            &[0.6, 1.0, 3.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs_a() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let back = ch.l().mul(&ch.l().transpose()).unwrap();
+        assert!(back.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.mul_vec(&x_true).unwrap();
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b).unwrap();
+        assert!(approx_eq(&x, &x_true, 1e-10));
+    }
+
+    #[test]
+    fn rejects_non_square_and_indefinite() {
+        let rect = Matrix::zeros(2, 3).unwrap();
+        assert!(matches!(
+            Cholesky::factor(&rect),
+            Err(LinalgError::BadShape { .. })
+        ));
+
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::factor(&indef),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+
+        let singular = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(Cholesky::factor(&singular).is_err());
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let ch = Cholesky::factor(&spd3()).unwrap();
+        assert!(ch.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn determinant_of_identity_is_one() {
+        let ch = Cholesky::factor(&Matrix::identity(4).unwrap()).unwrap();
+        assert!((ch.det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_scales_with_diagonal() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 8.0]]).unwrap();
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.det() - 16.0).abs() < 1e-10);
+    }
+}

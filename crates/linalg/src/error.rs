@@ -1,0 +1,99 @@
+//! Error type for the linear-algebra substrate.
+
+use std::fmt;
+
+/// Errors produced by matrix construction and decomposition routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// The requested shape is empty or inconsistent with the supplied data.
+    BadShape {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// Two operands have incompatible dimensions for the requested operation.
+    DimensionMismatch {
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+        /// Name of the attempted operation.
+        op: &'static str,
+    },
+    /// The matrix is singular (or numerically so) and cannot be factored.
+    Singular {
+        /// Pivot index at which the factorization broke down.
+        pivot: usize,
+    },
+    /// The matrix is not positive definite (Cholesky breakdown).
+    NotPositiveDefinite {
+        /// Diagonal index at which a non-positive pivot appeared.
+        index: usize,
+    },
+    /// A least-squares system has fewer rows than unknowns.
+    Underdetermined {
+        /// Number of observations (rows).
+        rows: usize,
+        /// Number of unknowns (columns).
+        cols: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::BadShape { detail } => write!(f, "bad matrix shape: {detail}"),
+            LinalgError::DimensionMismatch { left, right, op } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at index {pivot})")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite (diagonal index {index})")
+            }
+            LinalgError::Underdetermined { rows, cols } => write!(
+                f,
+                "least-squares system is underdetermined: {rows} rows < {cols} columns"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimensionMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "mul",
+        };
+        let s = e.to_string();
+        assert!(s.contains("mul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+
+        assert!(LinalgError::Singular { pivot: 7 }.to_string().contains('7'));
+        assert!(LinalgError::NotPositiveDefinite { index: 2 }
+            .to_string()
+            .contains("positive definite"));
+        assert!(LinalgError::Underdetermined { rows: 1, cols: 3 }
+            .to_string()
+            .contains("underdetermined"));
+        assert!(LinalgError::BadShape { detail: "x".into() }
+            .to_string()
+            .contains("bad matrix shape"));
+    }
+
+    #[test]
+    fn errors_are_comparable_and_cloneable() {
+        let e = LinalgError::Singular { pivot: 1 };
+        assert_eq!(e.clone(), e);
+    }
+}

@@ -1,0 +1,54 @@
+//! Small dense linear-algebra substrate for `regcube`.
+//!
+//! The VLDB 2002 paper generalizes its warehousing result from simple linear
+//! regression to *multiple* linear regression (several regression variables,
+//! e.g. spatial coordinates of sensors in addition to time). Solving the
+//! normal equations for those models needs a dense matrix toolkit. The
+//! offline dependency policy of this repository excludes `nalgebra`/`ndarray`
+//! (see `DESIGN.md` §5), so this crate provides the small, well-tested subset
+//! we need:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the usual arithmetic,
+//! * [`cholesky`] — Cholesky factorization/solve for symmetric
+//!   positive-definite systems (the `XᵀX` normal equations),
+//! * [`lu`] — LU with partial pivoting (general square solves, determinant,
+//!   inverse),
+//! * [`qr`] — Householder QR (rank-revealing-ish least squares for
+//!   ill-conditioned designs),
+//! * [`lstsq`] — a high-level least-squares entry point that picks between
+//!   the normal equations and QR.
+//!
+//! All routines are deterministic, allocation-conscious and pure Rust; no
+//! `unsafe` is used anywhere in the crate.
+//!
+//! # Example
+//!
+//! ```
+//! use regcube_linalg::{Matrix, lstsq};
+//!
+//! // Fit y = a + b*t for t = 0..4, y = 1 + 2t (exactly).
+//! let x = Matrix::from_rows(&[
+//!     &[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0], &[1.0, 4.0],
+//! ]).unwrap();
+//! let y = [1.0, 3.0, 5.0, 7.0, 9.0];
+//! let beta = lstsq::solve_least_squares(&x, &y).unwrap();
+//! assert!((beta[0] - 1.0).abs() < 1e-10);
+//! assert!((beta[1] - 2.0).abs() < 1e-10);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cholesky;
+pub mod error;
+pub mod lstsq;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod vecops;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

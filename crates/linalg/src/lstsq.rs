@@ -1,0 +1,138 @@
+//! High-level least-squares entry points.
+
+use crate::cholesky::Cholesky;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+use crate::Result;
+
+/// Solves `min ||X β - y||₂` for an `m x n` design matrix `X` (`m >= n`).
+///
+/// Strategy: try the normal equations with Cholesky first (one pass over the
+/// data, `O(m n²)` with a tiny constant); if `XᵀX` is numerically indefinite
+/// — which happens exactly when `X` is ill-conditioned — fall back to
+/// Householder QR on the original matrix.
+///
+/// # Errors
+/// * [`LinalgError::Underdetermined`] when `m < n`.
+/// * [`LinalgError::DimensionMismatch`] when `y.len() != m`.
+/// * [`LinalgError::Singular`] when `X` is rank deficient.
+pub fn solve_least_squares(x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    let (m, n) = x.shape();
+    if m < n {
+        return Err(LinalgError::Underdetermined { rows: m, cols: n });
+    }
+    if y.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            left: (m, n),
+            right: (y.len(), 1),
+            op: "solve_least_squares",
+        });
+    }
+    match solve_normal_equations(x, y) {
+        Ok(beta) => Ok(beta),
+        Err(LinalgError::NotPositiveDefinite { .. }) => Qr::factor(x)?.solve(y),
+        Err(e) => Err(e),
+    }
+}
+
+/// Solves the least-squares problem via the normal equations
+/// `XᵀX β = Xᵀ y` with a Cholesky factorization.
+///
+/// # Errors
+/// Propagates shape errors and [`LinalgError::NotPositiveDefinite`] when
+/// `XᵀX` is not SPD (rank-deficient or ill-conditioned `X`).
+pub fn solve_normal_equations(x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    let gram = x.gram();
+    let rhs = x.tr_mul_vec(y)?;
+    Cholesky::factor(&gram)?.solve(&rhs)
+}
+
+/// Residual sum of squares `||X β - y||₂²` of a candidate solution.
+///
+/// # Errors
+/// Propagates dimension mismatches from the matrix-vector product.
+pub fn residual_sum_of_squares(x: &Matrix, y: &[f64], beta: &[f64]) -> Result<f64> {
+    let fitted = x.mul_vec(beta)?;
+    if fitted.len() != y.len() {
+        return Err(LinalgError::DimensionMismatch {
+            left: (fitted.len(), 1),
+            right: (y.len(), 1),
+            op: "residual_sum_of_squares",
+        });
+    }
+    Ok(y.iter()
+        .zip(fitted.iter())
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops::approx_eq;
+
+    #[test]
+    fn simple_line_fit() {
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            &[1.0, 2.0],
+            &[1.0, 3.0],
+        ])
+        .unwrap();
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let beta = solve_least_squares(&x, &y).unwrap();
+        assert!(approx_eq(&beta, &[1.0, 2.0], 1e-10));
+        assert!(residual_sum_of_squares(&x, &y, &beta).unwrap() < 1e-18);
+    }
+
+    #[test]
+    fn normal_equations_and_driver_agree() {
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.5, 0.25],
+            &[1.0, 1.5, 2.25],
+            &[1.0, 2.5, 6.25],
+            &[1.0, 3.5, 12.25],
+            &[1.0, 4.5, 20.25],
+        ])
+        .unwrap();
+        let y = [0.1, 1.2, 3.9, 8.2, 14.1];
+        let a = solve_least_squares(&x, &y).unwrap();
+        let b = solve_normal_equations(&x, &y).unwrap();
+        assert!(approx_eq(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        assert!(matches!(
+            solve_least_squares(&x, &[1.0]),
+            Err(LinalgError::Underdetermined { .. })
+        ));
+        let x2 = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        assert!(matches!(
+            solve_least_squares(&x2, &[1.0, 2.0, 3.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_deficient_design_is_an_error() {
+        // Second column is 3x the first: XᵀX singular, QR fallback also fails.
+        let x = Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 6.0], &[3.0, 9.0]]).unwrap();
+        assert!(solve_least_squares(&x, &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn rss_measures_misfit() {
+        let x = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
+        let y = [0.0, 2.0];
+        // beta = [1.0] is the LS solution; RSS = 1 + 1 = 2.
+        let rss = residual_sum_of_squares(&x, &y, &[1.0]).unwrap();
+        assert!((rss - 2.0).abs() < 1e-12);
+    }
+}

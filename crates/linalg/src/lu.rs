@@ -1,0 +1,195 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used for general square solves (e.g. inverting small covariance blocks in
+//! diagnostics) where the matrix is not known to be positive definite.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Packed LU factorization `P A = L U` with partial (row) pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined storage: strictly-lower part holds `L` (unit diagonal
+    /// implied), upper part holds `U`.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for the determinant.
+    sign: f64,
+}
+
+impl Lu {
+    /// Pivot magnitudes below this are treated as singular.
+    const PIVOT_EPS: f64 = 1e-300;
+
+    /// Factors the square matrix `a`.
+    ///
+    /// # Errors
+    /// * [`LinalgError::BadShape`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if no usable pivot exists in a column.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::BadShape {
+                detail: format!("LU of non-square {}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude in column k.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if !(pmax.is_finite()) || pmax < Self::PIVOT_EPS {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                perm.swap(p, k);
+                sign = -sign;
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(p, c)];
+                    lu[(p, c)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for c in (k + 1)..n {
+                        let sub = factor * lu[(k, c)];
+                        lu[(i, c)] -= sub;
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] on a wrong-length `b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "lu_solve",
+            });
+        }
+        // Apply permutation, then forward/back substitution.
+        let mut y: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            for k in 0..i {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+            y[i] /= self.lu[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the factored matrix, column by column.
+    ///
+    /// # Errors
+    /// Propagates solve errors (cannot occur for a successfully factored
+    /// matrix with correct dimensions).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n)?;
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            e[c] = 0.0;
+            for (r, v) in col.into_iter().enumerate() {
+                inv[(r, c)] = v;
+            }
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops::approx_eq;
+
+    fn a3() -> Matrix {
+        Matrix::from_rows(&[
+            &[0.0, 2.0, 1.0], // zero leading pivot forces a row swap
+            &[1.0, -1.0, 3.0],
+            &[4.0, 0.5, -2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn solve_with_pivoting() {
+        let a = a3();
+        let x_true = vec![2.0, -1.0, 0.5];
+        let b = a.mul_vec(&x_true).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        assert!(approx_eq(&lu.solve(&b).unwrap(), &x_true, 1e-10));
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_expansion() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = a3();
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.mul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3).unwrap(), 1e-10));
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::factor(&s), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let r = Matrix::zeros(2, 3).unwrap();
+        assert!(matches!(Lu::factor(&r), Err(LinalgError::BadShape { .. })));
+    }
+
+    #[test]
+    fn wrong_rhs_length_is_rejected() {
+        let lu = Lu::factor(&Matrix::identity(3).unwrap()).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+}

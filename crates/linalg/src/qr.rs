@@ -1,0 +1,259 @@
+//! Householder QR factorization and least-squares solves.
+//!
+//! QR is numerically safer than the normal equations when design matrices
+//! are ill-conditioned (e.g. polynomial bases over long time intervals,
+//! which arise from the paper's non-linear regression extension).
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Householder QR factorization of an `m x n` matrix with `m >= n`.
+///
+/// The factorization is stored compactly: the upper triangle of `qr` holds
+/// `R`; the essential parts of the Householder vectors live below the
+/// diagonal, with scaling factors in `beta`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    qr: Matrix,
+    beta: Vec<f64>,
+}
+
+impl Qr {
+    /// Diagonal entries of `R` below this magnitude flag rank deficiency.
+    const RANK_EPS: f64 = 1e-12;
+
+    /// Factors `a` (requires at least as many rows as columns).
+    ///
+    /// # Errors
+    /// [`LinalgError::Underdetermined`] when `a.rows() < a.cols()`.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::Underdetermined { rows: m, cols: n });
+        }
+        let mut qr = a.clone();
+        let mut beta = vec![0.0; n];
+
+        for k in 0..n {
+            // Build the Householder reflector for column k.
+            let mut norm = 0.0f64;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                beta[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = (v0, a[k+1..m, k]); beta = 2 / vᵀv
+            let mut vtv = v0 * v0;
+            for i in (k + 1)..m {
+                vtv += qr[(i, k)] * qr[(i, k)];
+            }
+            if vtv == 0.0 {
+                beta[k] = 0.0;
+                qr[(k, k)] = alpha;
+                continue;
+            }
+            beta[k] = 2.0 / vtv;
+
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = v0 * qr[(k, j)];
+                for i in (k + 1)..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                let scale = beta[k] * dot;
+                qr[(k, j)] -= scale * v0;
+                for i in (k + 1)..m {
+                    let sub = scale * qr[(i, k)];
+                    qr[(i, j)] -= sub;
+                }
+            }
+            // Store alpha on the diagonal and keep v (with explicit v0) below.
+            qr[(k, k)] = alpha;
+            // Normalize the stored vector so that v0 is implicit: we keep
+            // v0 in a separate slot by rescaling the subdiagonal entries.
+            for i in (k + 1)..m {
+                let scaled = qr[(i, k)] / v0;
+                qr[(i, k)] = scaled;
+            }
+            beta[k] *= v0 * v0; // adjust beta for the rescaled vector (v0 -> 1)
+        }
+        Ok(Qr { qr, beta })
+    }
+
+    /// The upper-triangular factor `R` (square, `n x n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        let mut r = Matrix::zeros(n, n).expect("n>0 by construction");
+        for i in 0..n {
+            for j in i..n {
+                r[(i, j)] = self.qr[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`.
+    // Index loops mirror the textbook Householder updates; zipping the
+    // packed-matrix column against `y` obscures them without a measurable
+    // win at these sizes.
+    #[allow(clippy::needless_range_loop)]
+    fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = self.qr.shape();
+        let mut y = b.to_vec();
+        for k in 0..n {
+            if self.beta[k] == 0.0 {
+                continue;
+            }
+            // v = (1, qr[k+1..m, k])
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.qr[(i, k)] * y[i];
+            }
+            let scale = self.beta[k] * dot;
+            y[k] -= scale;
+            for i in (k + 1)..m {
+                let sub = scale * self.qr[(i, k)];
+                y[i] -= sub;
+            }
+        }
+        y
+    }
+
+    /// Solves the least-squares problem `min ||A x - b||₂`.
+    ///
+    /// # Errors
+    /// * [`LinalgError::DimensionMismatch`] for a wrong-length `b`.
+    /// * [`LinalgError::Singular`] when `R` has a (near-)zero diagonal,
+    ///   i.e. the design matrix is rank deficient.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                left: (m, n),
+                right: (b.len(), 1),
+                op: "qr_solve",
+            });
+        }
+        let y = self.apply_qt(b);
+        let mut x = y[..n].to_vec();
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.qr[(i, k)] * x[k];
+            }
+            let d = self.qr[(i, i)];
+            if d.abs() < Self::RANK_EPS {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] /= d;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops::{approx_eq, dot};
+
+    #[test]
+    fn exact_system_is_recovered() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            &[1.0, 2.0],
+            &[1.0, 3.0],
+        ])
+        .unwrap();
+        let x_true = vec![0.5, -1.25];
+        let b = a.mul_vec(&x_true).unwrap();
+        let x = Qr::factor(&a).unwrap().solve(&b).unwrap();
+        assert!(approx_eq(&x, &x_true, 1e-10));
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        // Overdetermined noisy system; compare against Cholesky on XᵀX.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[1.0, 1.0, 1.0],
+            &[1.0, 2.0, 4.0],
+            &[1.0, 3.0, 9.0],
+            &[1.0, 4.0, 16.0],
+            &[1.0, 5.0, 25.0],
+        ])
+        .unwrap();
+        let b = [0.9, 2.1, 4.2, 6.8, 10.1, 14.3];
+
+        let x_qr = Qr::factor(&a).unwrap().solve(&b).unwrap();
+
+        let g = a.gram();
+        let rhs = a.tr_mul_vec(&b).unwrap();
+        let x_ne = crate::cholesky::Cholesky::factor(&g)
+            .unwrap()
+            .solve(&rhs)
+            .unwrap();
+
+        assert!(approx_eq(&x_qr, &x_ne, 1e-8));
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[1.0, 3.0],
+            &[1.0, 5.0],
+            &[1.0, 7.0],
+        ])
+        .unwrap();
+        let b = [1.0, -1.0, 2.0, 0.0];
+        let x = Qr::factor(&a).unwrap().solve(&b).unwrap();
+        let fitted = a.mul_vec(&x).unwrap();
+        let resid: Vec<f64> = b.iter().zip(fitted.iter()).map(|(u, v)| u - v).collect();
+        for c in 0..a.cols() {
+            let col = a.col(c);
+            assert!(dot(&col, &resid).abs() < 1e-9, "residual not orthogonal");
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_correct_gram() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 4.0],
+            &[2.0, 5.0],
+            &[3.0, 6.0],
+        ])
+        .unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        let r = qr.r();
+        assert_eq!(r[(1, 0)], 0.0);
+        // RᵀR must equal AᵀA (Q is orthogonal).
+        let rtr = r.transpose().mul(&r).unwrap();
+        assert!(rtr.approx_eq(&a.gram(), 1e-9));
+    }
+
+    #[test]
+    fn underdetermined_and_rank_deficient_are_rejected() {
+        let wide = Matrix::zeros(2, 3).unwrap();
+        assert!(matches!(
+            Qr::factor(&wide),
+            Err(LinalgError::Underdetermined { .. })
+        ));
+
+        let rank1 = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = Qr::factor(&rank1).unwrap();
+        assert!(qr.solve(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn wrong_rhs_length_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.solve(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

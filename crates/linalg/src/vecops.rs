@@ -1,0 +1,73 @@
+//! Small vector helpers shared by the decomposition routines.
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+/// Panics in debug builds when the lengths differ; in release the shorter
+/// length wins (the callers in this crate always pass equal lengths).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x`, the classic axpy kernel.
+///
+/// # Panics
+/// Debug-asserts equal lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy of unequal lengths");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Maximum absolute difference between two slices; `f64::INFINITY` when the
+/// lengths differ. Useful for approximate comparisons in tests.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() {
+        return f64::INFINITY;
+    }
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// `true` when every pairwise difference is within `tol`.
+pub fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    max_abs_diff(a, b) <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn diff_helpers() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+        assert_eq!(max_abs_diff(&[1.0], &[1.0, 2.0]), f64::INFINITY);
+        assert!(approx_eq(&[1.0], &[1.0 + 1e-12], 1e-10));
+        assert!(!approx_eq(&[1.0], &[1.1], 1e-10));
+    }
+}

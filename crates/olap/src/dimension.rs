@@ -1,0 +1,120 @@
+//! Named standard dimensions.
+
+use crate::hierarchy::Hierarchy;
+use crate::Result;
+
+/// A standard (non-time) dimension: a name, optional level names and a
+/// concept hierarchy.
+///
+/// Example 1's power-grid cube has dimensions `user` (`* > user-group >
+/// individual-user`) and `location` (`* > city > street-block >
+/// street-address`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dimension {
+    name: String,
+    level_names: Vec<String>,
+    hierarchy: Hierarchy,
+}
+
+impl Dimension {
+    /// Creates a dimension with auto-generated level names
+    /// (`<name>.L1`, `<name>.L2`, …).
+    pub fn new(name: impl Into<String>, hierarchy: Hierarchy) -> Self {
+        let name = name.into();
+        let level_names = (1..=hierarchy.depth())
+            .map(|l| format!("{name}.L{l}"))
+            .collect();
+        Dimension {
+            name,
+            level_names,
+            hierarchy,
+        }
+    }
+
+    /// Creates a dimension with explicit level names (finest last).
+    ///
+    /// # Errors
+    /// [`crate::OlapError::BadHierarchy`] when the number of names differs
+    /// from the hierarchy depth.
+    pub fn with_level_names(
+        name: impl Into<String>,
+        hierarchy: Hierarchy,
+        level_names: Vec<String>,
+    ) -> Result<Self> {
+        if level_names.len() != hierarchy.depth() as usize {
+            return Err(crate::OlapError::BadHierarchy {
+                detail: format!(
+                    "{} level names for depth {}",
+                    level_names.len(),
+                    hierarchy.depth()
+                ),
+            });
+        }
+        Ok(Dimension {
+            name: name.into(),
+            level_names,
+            hierarchy,
+        })
+    }
+
+    /// Dimension name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dimension's concept hierarchy.
+    #[inline]
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Depth of the hierarchy (number of named levels).
+    #[inline]
+    pub fn depth(&self) -> u8 {
+        self.hierarchy.depth()
+    }
+
+    /// Human-readable name of `level` (`"*"` for level 0).
+    pub fn level_name(&self, level: u8) -> &str {
+        if level == 0 {
+            "*"
+        } else {
+            &self.level_names[(level - 1) as usize]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_level_names() {
+        let d = Dimension::new("location", Hierarchy::balanced(3, 4).unwrap());
+        assert_eq!(d.name(), "location");
+        assert_eq!(d.level_name(0), "*");
+        assert_eq!(d.level_name(1), "location.L1");
+        assert_eq!(d.level_name(3), "location.L3");
+        assert_eq!(d.depth(), 3);
+    }
+
+    #[test]
+    fn explicit_level_names() {
+        let d = Dimension::with_level_names(
+            "location",
+            Hierarchy::balanced(3, 4).unwrap(),
+            vec!["city".into(), "street-block".into(), "street-address".into()],
+        )
+        .unwrap();
+        assert_eq!(d.level_name(1), "city");
+        assert_eq!(d.level_name(3), "street-address");
+
+        assert!(Dimension::with_level_names(
+            "x",
+            Hierarchy::balanced(2, 2).unwrap(),
+            vec!["one".into()],
+        )
+        .is_err());
+    }
+}

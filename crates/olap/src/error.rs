@@ -1,0 +1,125 @@
+//! Error type for the OLAP substrate.
+
+use std::fmt;
+
+/// Errors produced by schema construction, cell addressing and tree
+/// operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OlapError {
+    /// A dimension index was out of range for the schema.
+    UnknownDimension {
+        /// Offending dimension index.
+        dim: usize,
+        /// Number of dimensions in the schema.
+        count: usize,
+    },
+    /// A level was out of range for a dimension's hierarchy.
+    UnknownLevel {
+        /// Dimension index.
+        dim: usize,
+        /// Offending level.
+        level: u8,
+        /// Deepest valid level.
+        depth: u8,
+    },
+    /// A member id was out of range for its level.
+    MemberOutOfRange {
+        /// Dimension index.
+        dim: usize,
+        /// Level the member was addressed at.
+        level: u8,
+        /// Offending member id.
+        member: u32,
+        /// Cardinality of that level.
+        cardinality: u32,
+    },
+    /// A hierarchy definition was internally inconsistent.
+    BadHierarchy {
+        /// Description of the inconsistency.
+        detail: String,
+    },
+    /// A cuboid specification does not fit the schema or layer bounds.
+    BadCuboid {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A popular path is not a valid monotone refinement chain.
+    BadPath {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A coordinate vector had the wrong number of components.
+    ArityMismatch {
+        /// Components supplied.
+        got: usize,
+        /// Components expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for OlapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OlapError::UnknownDimension { dim, count } => {
+                write!(f, "dimension {dim} out of range (schema has {count})")
+            }
+            OlapError::UnknownLevel { dim, level, depth } => {
+                write!(f, "level {level} out of range for dimension {dim} (depth {depth})")
+            }
+            OlapError::MemberOutOfRange {
+                dim,
+                level,
+                member,
+                cardinality,
+            } => write!(
+                f,
+                "member {member} out of range at dimension {dim} level {level} (cardinality {cardinality})"
+            ),
+            OlapError::BadHierarchy { detail } => write!(f, "bad hierarchy: {detail}"),
+            OlapError::BadCuboid { detail } => write!(f, "bad cuboid: {detail}"),
+            OlapError::BadPath { detail } => write!(f, "bad popular path: {detail}"),
+            OlapError::ArityMismatch { got, expected } => {
+                write!(f, "arity mismatch: got {got} components, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OlapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_display() {
+        let cases = vec![
+            OlapError::UnknownDimension { dim: 3, count: 2 },
+            OlapError::UnknownLevel {
+                dim: 0,
+                level: 9,
+                depth: 3,
+            },
+            OlapError::MemberOutOfRange {
+                dim: 0,
+                level: 1,
+                member: 50,
+                cardinality: 10,
+            },
+            OlapError::BadHierarchy {
+                detail: "x".into(),
+            },
+            OlapError::BadCuboid {
+                detail: "y".into(),
+            },
+            OlapError::BadPath { detail: "z".into() },
+            OlapError::ArityMismatch {
+                got: 1,
+                expected: 3,
+            },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

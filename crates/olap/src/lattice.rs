@@ -1,0 +1,304 @@
+//! The cuboid lattice between the m-layer and the o-layer.
+//!
+//! Framework 4.1 computes (a) the two critical layers and (b) exception
+//! cells in the cuboids strictly between them. Those cuboids form a
+//! sub-lattice: every per-dimension level between the o-layer's and the
+//! m-layer's is admissible, giving `∏_d (m_d - o_d + 1)` cuboids
+//! (Example 5 / Figure 6: `2 · 3 · 2 = 12`).
+
+use crate::cuboid::CuboidSpec;
+use crate::error::OlapError;
+use crate::schema::CubeSchema;
+use crate::Result;
+
+/// The lattice of cuboids spanned between an o-layer (coarse bound) and an
+/// m-layer (fine bound), both inclusive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lattice {
+    o_layer: CuboidSpec,
+    m_layer: CuboidSpec,
+}
+
+impl Lattice {
+    /// Creates the lattice between `o_layer` and `m_layer`.
+    ///
+    /// # Errors
+    /// * Schema validation errors for either cuboid.
+    /// * [`OlapError::BadCuboid`] when the o-layer is not an ancestor (or
+    ///   equal) of the m-layer on every dimension — the paper requires the
+    ///   observation layer to sit above the minimal interesting layer.
+    pub fn new(schema: &CubeSchema, o_layer: CuboidSpec, m_layer: CuboidSpec) -> Result<Self> {
+        schema.check_cuboid(&o_layer)?;
+        schema.check_cuboid(&m_layer)?;
+        if !o_layer.is_ancestor_or_equal(&m_layer) {
+            return Err(OlapError::BadCuboid {
+                detail: format!(
+                    "o-layer {o_layer} is not an ancestor of m-layer {m_layer}"
+                ),
+            });
+        }
+        Ok(Lattice { o_layer, m_layer })
+    }
+
+    /// The observation layer (coarse bound).
+    #[inline]
+    pub fn o_layer(&self) -> &CuboidSpec {
+        &self.o_layer
+    }
+
+    /// The minimal interesting layer (fine bound).
+    #[inline]
+    pub fn m_layer(&self) -> &CuboidSpec {
+        &self.m_layer
+    }
+
+    /// Number of cuboids in the lattice: `∏_d (m_d - o_d + 1)`.
+    pub fn count(&self) -> u64 {
+        self.o_layer
+            .levels()
+            .iter()
+            .zip(self.m_layer.levels().iter())
+            .map(|(&o, &m)| u64::from(m - o) + 1)
+            .product()
+    }
+
+    /// `true` when `cuboid` lies within the lattice bounds.
+    pub fn contains(&self, cuboid: &CuboidSpec) -> bool {
+        self.o_layer.is_ancestor_or_equal(cuboid) && cuboid.is_ancestor_or_equal(&self.m_layer)
+    }
+
+    /// Enumerates every cuboid in the lattice, ordered by descending total
+    /// depth (m-layer first, o-layer last) with a deterministic tie order.
+    /// This is a valid bottom-up computation order: every cuboid appears
+    /// after all of its lattice descendants.
+    pub fn bottom_up_order(&self) -> Vec<CuboidSpec> {
+        let mut all = self.enumerate();
+        all.sort_by(|a, b| {
+            b.total_depth()
+                .cmp(&a.total_depth())
+                .then_with(|| a.levels().cmp(b.levels()))
+        });
+        all
+    }
+
+    /// Enumerates every cuboid in the lattice in mixed-radix order.
+    pub fn enumerate(&self) -> Vec<CuboidSpec> {
+        let dims = self.o_layer.num_dims();
+        let mut out = Vec::with_capacity(self.count() as usize);
+        let mut current: Vec<u8> = self.o_layer.levels().to_vec();
+        loop {
+            out.push(CuboidSpec::new(current.clone()));
+            // Increment mixed-radix counter bounded by [o_d, m_d].
+            let mut d = 0;
+            loop {
+                if d == dims {
+                    return out;
+                }
+                if current[d] < self.m_layer.level(d) {
+                    current[d] += 1;
+                    break;
+                }
+                current[d] = self.o_layer.level(d);
+                d += 1;
+            }
+        }
+    }
+
+    /// The lattice **children** of `cuboid`: one-step finer cuboids still
+    /// inside the lattice. In roll-up direction these are the cuboids
+    /// `cuboid` can be computed *from*.
+    pub fn children(&self, cuboid: &CuboidSpec) -> Vec<CuboidSpec> {
+        (0..cuboid.num_dims())
+            .filter_map(|d| cuboid.refine(d))
+            .filter(|c| self.contains(c))
+            .collect()
+    }
+
+    /// The lattice **parents** of `cuboid`: one-step coarser cuboids still
+    /// inside the lattice — where `cuboid`'s aggregates roll up *to*.
+    pub fn parents(&self, cuboid: &CuboidSpec) -> Vec<CuboidSpec> {
+        (0..cuboid.num_dims())
+            .filter_map(|d| cuboid.coarsen(d))
+            .filter(|c| self.contains(c))
+            .collect()
+    }
+
+    /// Among `computed` cuboids, picks the best source to aggregate
+    /// `target` from: a descendant (finer-or-equal on all dimensions,
+    /// excluding `target` itself) with the smallest total depth difference,
+    /// i.e. the *closest lower level computed cuboid* of the paper's
+    /// Algorithm 2, Step 3. Ties break deterministically by level vector.
+    pub fn closest_computed_descendant<'a>(
+        &self,
+        target: &CuboidSpec,
+        computed: impl IntoIterator<Item = &'a CuboidSpec>,
+    ) -> Option<&'a CuboidSpec> {
+        computed
+            .into_iter()
+            .filter(|c| *c != target && target.is_ancestor_or_equal(c))
+            .min_by(|a, b| {
+                a.total_depth()
+                    .cmp(&b.total_depth())
+                    .then_with(|| a.levels().cmp(b.levels()))
+            })
+    }
+
+    /// Renders the lattice as a Figure 6-style text diagram: one row per
+    /// depth tier, o-layer on top, m-layer at the bottom, with cuboids
+    /// marked by `highlight` (e.g. a popular path) wrapped in `*…*`.
+    pub fn render(&self, highlight: impl Fn(&CuboidSpec) -> bool) -> String {
+        use std::fmt::Write as _;
+        let mut tiers: Vec<(u32, Vec<CuboidSpec>)> = Vec::new();
+        let mut all = self.enumerate();
+        all.sort_by_key(|c| (c.total_depth(), c.levels().to_vec()));
+        for cuboid in all {
+            let depth = cuboid.total_depth();
+            match tiers.last_mut() {
+                Some((d, row)) if *d == depth => row.push(cuboid),
+                _ => tiers.push((depth, vec![cuboid])),
+            }
+        }
+        let mut out = String::new();
+        for (depth, row) in tiers {
+            let _ = write!(out, "depth {depth:>2}: ");
+            for (i, cuboid) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if highlight(cuboid) {
+                    let _ = write!(out, "*{cuboid}*");
+                } else {
+                    let _ = write!(out, "{cuboid}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example5() -> (CubeSchema, Lattice) {
+        // 3 dimensions, 3 levels each; m = (A2,B2,C2), o = (A1,*,C1).
+        let schema = CubeSchema::synthetic(3, 3, 3).unwrap();
+        let lattice = Lattice::new(
+            &schema,
+            CuboidSpec::new(vec![1, 0, 1]),
+            CuboidSpec::new(vec![2, 2, 2]),
+        )
+        .unwrap();
+        (schema, lattice)
+    }
+
+    #[test]
+    fn fig6_lattice_has_12_cuboids() {
+        let (_, lattice) = example5();
+        assert_eq!(lattice.count(), 12);
+        let all = lattice.enumerate();
+        assert_eq!(all.len(), 12);
+        // All distinct and all inside bounds.
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), 12);
+        for c in &all {
+            assert!(lattice.contains(c));
+        }
+    }
+
+    #[test]
+    fn bottom_up_order_visits_descendants_first() {
+        let (_, lattice) = example5();
+        let order = lattice.bottom_up_order();
+        assert_eq!(order.first().unwrap(), lattice.m_layer());
+        assert_eq!(order.last().unwrap(), lattice.o_layer());
+        // No cuboid appears before any of its lattice descendants: nothing
+        // after `c` may be a strict descendant (finer refinement) of `c`.
+        for (i, c) in order.iter().enumerate() {
+            for later in &order[i + 1..] {
+                assert!(
+                    !c.is_ancestor_or_equal(later) || later == c,
+                    "descendant {later} appears after its ancestor {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_layer_order_is_rejected() {
+        let schema = CubeSchema::synthetic(2, 2, 3).unwrap();
+        // o-layer finer than m-layer on dim 0.
+        assert!(Lattice::new(
+            &schema,
+            CuboidSpec::new(vec![2, 0]),
+            CuboidSpec::new(vec![1, 2]),
+        )
+        .is_err());
+        // Arity mismatch.
+        assert!(Lattice::new(
+            &schema,
+            CuboidSpec::new(vec![0]),
+            CuboidSpec::new(vec![1, 2]),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn children_and_parents_are_adjoint() {
+        let (_, lattice) = example5();
+        for c in lattice.enumerate() {
+            for child in lattice.children(&c) {
+                assert!(lattice.parents(&child).contains(&c));
+                assert!(c.single_step_dim(&child).is_some());
+            }
+        }
+        // The m-layer has no lattice children; the o-layer no parents.
+        assert!(lattice.children(lattice.m_layer()).is_empty());
+        assert!(lattice.parents(lattice.o_layer()).is_empty());
+    }
+
+    #[test]
+    fn closest_descendant_prefers_shallowest() {
+        let (_, lattice) = example5();
+        let target = CuboidSpec::new(vec![1, 1, 1]);
+        let computed = [
+            CuboidSpec::new(vec![2, 2, 2]), // m-layer: depth 6
+            CuboidSpec::new(vec![1, 2, 1]), // depth 4, descendant
+            CuboidSpec::new(vec![2, 0, 1]), // not a descendant (B too coarse)
+        ];
+        let best = lattice
+            .closest_computed_descendant(&target, computed.iter())
+            .unwrap();
+        assert_eq!(best, &CuboidSpec::new(vec![1, 2, 1]));
+
+        // Excluding the target itself.
+        let only_self = [target.clone()];
+        assert!(lattice
+            .closest_computed_descendant(&target, only_self.iter())
+            .is_none());
+    }
+
+    #[test]
+    fn degenerate_lattice_of_one() {
+        let schema = CubeSchema::synthetic(2, 2, 3).unwrap();
+        let layer = CuboidSpec::new(vec![1, 1]);
+        let lattice = Lattice::new(&schema, layer.clone(), layer.clone()).unwrap();
+        assert_eq!(lattice.count(), 1);
+        assert_eq!(lattice.enumerate(), vec![layer]);
+    }
+
+    #[test]
+    fn render_draws_every_cuboid_once_with_highlights() {
+        let (_, lattice) = example5();
+        let hot = CuboidSpec::new(vec![1, 1, 1]);
+        let diagram = lattice.render(|c| *c == hot);
+        // One diagram line per depth tier 2..=6.
+        assert_eq!(diagram.lines().count(), 5);
+        // Every cuboid appears; the highlighted one is starred.
+        assert_eq!(diagram.matches("(L").count() + diagram.matches("(*, ").count(), 12);
+        assert!(diagram.contains("*(L1, L1, L1)*"));
+        assert!(diagram.starts_with("depth  2: (L1, *, L1)"));
+        assert!(diagram.trim_end().ends_with("(L2, L2, L2)"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Cube schemas: the ordered set of standard dimensions.
+
+use crate::cuboid::CuboidSpec;
+use crate::dimension::Dimension;
+use crate::error::OlapError;
+use crate::Result;
+
+/// The schema of a regression cube: its standard dimensions.
+///
+/// The time dimension is deliberately *not* part of the schema — the paper
+/// handles it separately through the tilt time frame (`regcube-tilt`), and
+/// every cell's measure carries its own time interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CubeSchema {
+    dims: Vec<Dimension>,
+}
+
+impl CubeSchema {
+    /// Creates a schema from an ordered dimension list.
+    ///
+    /// # Errors
+    /// [`OlapError::BadCuboid`] when no dimensions are supplied.
+    pub fn new(dims: Vec<Dimension>) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(OlapError::BadCuboid {
+                detail: "schema needs at least one dimension".into(),
+            });
+        }
+        Ok(CubeSchema { dims })
+    }
+
+    /// A synthetic schema with `d` dimensions, each a balanced hierarchy of
+    /// the given depth and fanout — the `DxLxCx` structure of the paper's
+    /// data generator.
+    ///
+    /// # Errors
+    /// Propagates hierarchy construction errors.
+    pub fn synthetic(d: usize, depth: u8, fanout: u32) -> Result<Self> {
+        let mut dims = Vec::with_capacity(d);
+        for i in 0..d {
+            let name = match i {
+                0 => "A".to_string(),
+                1 => "B".to_string(),
+                2 => "C".to_string(),
+                3 => "D".to_string(),
+                _ => format!("D{i}"),
+            };
+            dims.push(Dimension::new(
+                name,
+                crate::hierarchy::Hierarchy::balanced(depth, fanout)?,
+            ));
+        }
+        CubeSchema::new(dims)
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The dimensions in order.
+    #[inline]
+    pub fn dims(&self) -> &[Dimension] {
+        &self.dims
+    }
+
+    /// Dimension by index.
+    ///
+    /// # Errors
+    /// [`OlapError::UnknownDimension`] when out of range.
+    pub fn dim(&self, d: usize) -> Result<&Dimension> {
+        self.dims.get(d).ok_or(OlapError::UnknownDimension {
+            dim: d,
+            count: self.dims.len(),
+        })
+    }
+
+    /// Looks a dimension up by name.
+    pub fn dim_by_name(&self, name: &str) -> Option<(usize, &Dimension)> {
+        self.dims
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.name() == name)
+    }
+
+    /// The cuboid at every dimension's finest level.
+    pub fn finest_cuboid(&self) -> CuboidSpec {
+        CuboidSpec::new(self.dims.iter().map(Dimension::depth).collect())
+    }
+
+    /// The apex cuboid `(*, *, …, *)`.
+    pub fn apex_cuboid(&self) -> CuboidSpec {
+        CuboidSpec::new(vec![0; self.dims.len()])
+    }
+
+    /// Validates that a cuboid fits this schema (arity and level bounds).
+    ///
+    /// # Errors
+    /// [`OlapError::ArityMismatch`] or [`OlapError::UnknownLevel`].
+    pub fn check_cuboid(&self, cuboid: &CuboidSpec) -> Result<()> {
+        if cuboid.num_dims() != self.dims.len() {
+            return Err(OlapError::ArityMismatch {
+                got: cuboid.num_dims(),
+                expected: self.dims.len(),
+            });
+        }
+        for (d, dim) in self.dims.iter().enumerate() {
+            dim.hierarchy().check_level(d, cuboid.level(d))?;
+        }
+        Ok(())
+    }
+
+    /// Number of potential cells in `cuboid` (product of level
+    /// cardinalities) — a capacity diagnostic for planners.
+    ///
+    /// # Errors
+    /// Propagates [`Self::check_cuboid`] errors.
+    pub fn cuboid_capacity(&self, cuboid: &CuboidSpec) -> Result<u64> {
+        self.check_cuboid(cuboid)?;
+        let mut cap: u64 = 1;
+        for (d, dim) in self.dims.iter().enumerate() {
+            cap = cap.saturating_mul(u64::from(dim.hierarchy().cardinality(cuboid.level(d))));
+        }
+        Ok(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_schema_matches_spec() {
+        let s = CubeSchema::synthetic(3, 3, 10).unwrap();
+        assert_eq!(s.num_dims(), 3);
+        assert_eq!(s.dims()[0].name(), "A");
+        assert_eq!(s.dims()[2].name(), "C");
+        assert_eq!(s.finest_cuboid().levels(), &[3, 3, 3]);
+        assert_eq!(s.apex_cuboid().levels(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_schema_is_rejected() {
+        assert!(CubeSchema::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn dim_lookup() {
+        let s = CubeSchema::synthetic(2, 2, 3).unwrap();
+        assert!(s.dim(0).is_ok());
+        assert!(matches!(
+            s.dim(2),
+            Err(OlapError::UnknownDimension { dim: 2, count: 2 })
+        ));
+        assert_eq!(s.dim_by_name("B").unwrap().0, 1);
+        assert!(s.dim_by_name("Z").is_none());
+    }
+
+    #[test]
+    fn cuboid_validation_and_capacity() {
+        let s = CubeSchema::synthetic(2, 2, 3).unwrap();
+        let ok = CuboidSpec::new(vec![1, 2]);
+        s.check_cuboid(&ok).unwrap();
+        assert_eq!(s.cuboid_capacity(&ok).unwrap(), 3 * 9);
+        assert_eq!(s.cuboid_capacity(&s.apex_cuboid()).unwrap(), 1);
+
+        assert!(s.check_cuboid(&CuboidSpec::new(vec![1])).is_err());
+        assert!(s.check_cuboid(&CuboidSpec::new(vec![1, 7])).is_err());
+    }
+
+    #[test]
+    fn many_dimension_names_are_unique() {
+        let s = CubeSchema::synthetic(6, 1, 2).unwrap();
+        let names: Vec<&str> = s.dims().iter().map(Dimension::name).collect();
+        assert_eq!(names, vec!["A", "B", "C", "D", "D4", "D5"]);
+    }
+}

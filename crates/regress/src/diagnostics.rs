@@ -1,0 +1,142 @@
+//! Fit diagnostics: is an exceptional slope *statistically* exceptional?
+//!
+//! The paper thresholds raw slope magnitudes; real deployments also want
+//! to know whether a slope is distinguishable from noise before waking an
+//! operator. These diagnostics are computed at fit time (they need the
+//! raw series — the residual information the ISB deliberately discards)
+//! and can be warehoused next to the ISB when the application wants them.
+
+use crate::error::RegressError;
+use crate::ols::{svs, LinearFit};
+use crate::series::TimeSeries;
+use crate::Result;
+
+/// Classical OLS diagnostics of a linear fit against its series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitDiagnostics {
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Unbiased residual variance estimate `s² = RSS / (n - 2)`.
+    pub sigma2: f64,
+    /// Standard error of the slope `s / sqrt(SVS)`.
+    pub slope_stderr: f64,
+    /// `t`-statistic of the slope (`β̂ / stderr`); large magnitudes mean
+    /// the trend is unlikely to be noise.
+    pub slope_t: f64,
+}
+
+impl FitDiagnostics {
+    /// Computes diagnostics for `fit` over `series`.
+    ///
+    /// # Errors
+    /// [`RegressError::NotEnoughData`] for fewer than 3 observations
+    /// (the residual variance needs `n - 2 > 0`).
+    pub fn compute(fit: &LinearFit, series: &TimeSeries) -> Result<Self> {
+        let n = series.len();
+        if n < 3 {
+            return Err(RegressError::NotEnoughData { have: n, need: 3 });
+        }
+        let rss = fit.rss(series);
+        let r_squared = fit.r_squared(series);
+        let sigma2 = rss / (n as f64 - 2.0);
+        let slope_stderr = (sigma2 / svs(n as u64)).sqrt();
+        let slope_t = if slope_stderr > 0.0 {
+            fit.slope / slope_stderr
+        } else if fit.slope == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * fit.slope.signum()
+        };
+        Ok(FitDiagnostics {
+            rss,
+            r_squared,
+            sigma2,
+            slope_stderr,
+            slope_t,
+        })
+    }
+
+    /// A pragmatic significance check: `|t| >= critical` (use ~2.0 for a
+    /// rough 95% level at moderate `n`).
+    pub fn slope_is_significant(&self, critical: f64) -> bool {
+        self.slope_t.abs() >= critical
+    }
+}
+
+/// Convenience: fit and diagnose in one step.
+///
+/// # Errors
+/// See [`FitDiagnostics::compute`].
+pub fn fit_with_diagnostics(series: &TimeSeries) -> Result<(LinearFit, FitDiagnostics)> {
+    let fit = LinearFit::fit(series);
+    let diag = FitDiagnostics::compute(&fit, series)?;
+    Ok((fit, diag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_has_infinite_t() {
+        let z = TimeSeries::from_fn(0, 19, |t| 1.0 + 0.5 * t as f64).unwrap();
+        let (fit, diag) = fit_with_diagnostics(&z).unwrap();
+        assert!(fit.slope > 0.0);
+        assert!(diag.rss < 1e-18);
+        assert_eq!(diag.r_squared, 1.0);
+        assert!(diag.slope_t.is_infinite() && diag.slope_t > 0.0);
+        assert!(diag.slope_is_significant(2.0));
+    }
+
+    #[test]
+    fn flat_noise_is_insignificant() {
+        // Alternating noise with zero net trend.
+        let z = TimeSeries::from_fn(0, 29, |t| if t % 2 == 0 { 1.0 } else { -1.0 }).unwrap();
+        let (fit, diag) = fit_with_diagnostics(&z).unwrap();
+        assert!(fit.slope.abs() < 0.05);
+        assert!(!diag.slope_is_significant(2.0), "t = {}", diag.slope_t);
+        assert!(diag.r_squared < 0.1);
+    }
+
+    #[test]
+    fn strong_trend_with_noise_is_significant() {
+        let z = TimeSeries::from_fn(0, 29, |t| {
+            2.0 * t as f64 + if t % 2 == 0 { 0.3 } else { -0.3 }
+        })
+        .unwrap();
+        let (_, diag) = fit_with_diagnostics(&z).unwrap();
+        assert!(diag.slope_is_significant(2.0));
+        assert!(diag.r_squared > 0.99);
+        assert!(diag.slope_stderr > 0.0);
+    }
+
+    #[test]
+    fn short_series_are_rejected() {
+        let z = TimeSeries::new(0, vec![1.0, 2.0]).unwrap();
+        let fit = LinearFit::fit(&z);
+        assert!(matches!(
+            FitDiagnostics::compute(&fit, &z),
+            Err(RegressError::NotEnoughData { have: 2, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn constant_series_with_zero_slope_has_zero_t() {
+        let z = TimeSeries::new(0, vec![5.0; 10]).unwrap();
+        let (fit, diag) = fit_with_diagnostics(&z).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(diag.slope_t, 0.0);
+        assert!(!diag.slope_is_significant(2.0));
+    }
+
+    #[test]
+    fn sigma2_matches_manual_computation() {
+        let z = TimeSeries::new(0, vec![0.0, 1.0, 0.0, 1.0, 0.0]).unwrap();
+        let (fit, diag) = fit_with_diagnostics(&z).unwrap();
+        let manual_rss = fit.rss(&z);
+        assert!((diag.rss - manual_rss).abs() < 1e-12);
+        assert!((diag.sigma2 - manual_rss / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,203 @@
+//! Folding aggregation on the time hierarchy (paper Section 6.2).
+//!
+//! Besides merging small time intervals into larger ones (Theorem 3.3),
+//! a time-series cube needs a third aggregation: **folding** values at a
+//! fine granularity into one value per coarse granularity unit — e.g.
+//! folding 365 daily readings into 12 monthly values. "Different SQL
+//! aggregation functions can be used for folding, such as sum, avg, min,
+//! max, or last (e.g., stock closing value)."
+
+use crate::error::RegressError;
+use crate::series::TimeSeries;
+use crate::Result;
+
+/// The SQL-style aggregate applied to each fold group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FoldOp {
+    /// Sum of the group's values.
+    Sum,
+    /// Arithmetic mean of the group's values.
+    Avg,
+    /// Minimum value in the group.
+    Min,
+    /// Maximum value in the group.
+    Max,
+    /// First value of the group (e.g. opening price).
+    First,
+    /// Last value of the group (e.g. stock closing value).
+    Last,
+}
+
+impl FoldOp {
+    /// Applies the operation to one non-empty group of values.
+    fn apply(self, group: &[f64]) -> f64 {
+        debug_assert!(!group.is_empty());
+        match self {
+            FoldOp::Sum => group.iter().sum(),
+            FoldOp::Avg => group.iter().sum::<f64>() / group.len() as f64,
+            FoldOp::Min => group.iter().cloned().fold(f64::INFINITY, f64::min),
+            FoldOp::Max => group.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            FoldOp::First => group[0],
+            FoldOp::Last => group[group.len() - 1],
+        }
+    }
+
+    /// All supported operations, for exhaustive testing and CLI listings.
+    pub const ALL: [FoldOp; 6] = [
+        FoldOp::Sum,
+        FoldOp::Avg,
+        FoldOp::Min,
+        FoldOp::Max,
+        FoldOp::First,
+        FoldOp::Last,
+    ];
+}
+
+/// Folds `series` from its native tick unit into a coarser unit of
+/// `group` ticks each, applying `op` per group.
+///
+/// The result's tick `i` covers source ticks
+/// `[start + i·group, start + (i+1)·group - 1]`; a trailing partial group
+/// (the paper's footnote 5: "there might be a partial interval which is
+/// less than a full unit") is folded from however many ticks it has.
+/// The folded series starts at tick `0` of the coarse unit obtained by
+/// integer-dividing the source start by `group`, preserving calendar
+/// alignment when the source starts on a group boundary.
+///
+/// # Errors
+/// [`RegressError::InvalidParameter`] when `group == 0`.
+pub fn fold_series(series: &TimeSeries, group: usize, op: FoldOp) -> Result<TimeSeries> {
+    if group == 0 {
+        return Err(RegressError::InvalidParameter {
+            name: "group",
+            detail: "fold group must be positive".into(),
+        });
+    }
+    let folded: Vec<f64> = series
+        .values()
+        .chunks(group)
+        .map(|chunk| op.apply(chunk))
+        .collect();
+    let coarse_start = series.start().div_euclid(group as i64);
+    TimeSeries::new(coarse_start, folded)
+}
+
+/// A reusable fold specification: group width plus operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FoldSpec {
+    /// Number of fine ticks per coarse tick.
+    pub group: usize,
+    /// Aggregate applied to each group.
+    pub op: FoldOp,
+}
+
+impl FoldSpec {
+    /// Creates a specification, validating the group width.
+    ///
+    /// # Errors
+    /// [`RegressError::InvalidParameter`] when `group == 0`.
+    pub fn new(group: usize, op: FoldOp) -> Result<Self> {
+        if group == 0 {
+            return Err(RegressError::InvalidParameter {
+                name: "group",
+                detail: "fold group must be positive".into(),
+            });
+        }
+        Ok(FoldSpec { group, op })
+    }
+
+    /// Applies the fold to a series.
+    ///
+    /// # Errors
+    /// Propagates [`fold_series`] errors.
+    pub fn apply(&self, series: &TimeSeries) -> Result<TimeSeries> {
+        fold_series(series, self.group, self.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(start: i64, v: &[f64]) -> TimeSeries {
+        TimeSeries::new(start, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn fold_sum_groups_exactly() {
+        let z = s(0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let f = fold_series(&z, 3, FoldOp::Sum).unwrap();
+        assert_eq!(f.values(), &[6.0, 15.0]);
+        assert_eq!(f.interval(), (0, 1));
+    }
+
+    #[test]
+    fn fold_handles_partial_trailing_group() {
+        let z = s(0, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let f = fold_series(&z, 2, FoldOp::Avg).unwrap();
+        assert_eq!(f.values(), &[1.5, 3.5, 5.0]);
+    }
+
+    #[test]
+    fn all_ops_on_a_known_group() {
+        let z = s(0, &[3.0, 1.0, 2.0]);
+        let expect = [
+            (FoldOp::Sum, 6.0),
+            (FoldOp::Avg, 2.0),
+            (FoldOp::Min, 1.0),
+            (FoldOp::Max, 3.0),
+            (FoldOp::First, 3.0),
+            (FoldOp::Last, 2.0),
+        ];
+        for (op, want) in expect {
+            let f = fold_series(&z, 3, op).unwrap();
+            assert_eq!(f.values(), &[want], "{op:?}");
+        }
+        assert_eq!(FoldOp::ALL.len(), 6);
+    }
+
+    #[test]
+    fn fold_group_one_is_identity_on_values() {
+        let z = s(4, &[9.0, 8.0, 7.0]);
+        let f = fold_series(&z, 1, FoldOp::Last).unwrap();
+        assert_eq!(f.values(), z.values());
+        assert_eq!(f.start(), 4);
+    }
+
+    #[test]
+    fn coarse_start_respects_alignment() {
+        // 12 daily values starting at day 24 with 12-day "months": the
+        // series starts inside coarse unit 2.
+        let z = TimeSeries::from_fn(24, 35, |t| t as f64).unwrap();
+        let f = fold_series(&z, 12, FoldOp::First).unwrap();
+        assert_eq!(f.start(), 2);
+        assert_eq!(f.values(), &[24.0]);
+    }
+
+    #[test]
+    fn zero_group_is_rejected() {
+        let z = s(0, &[1.0]);
+        assert!(fold_series(&z, 0, FoldOp::Sum).is_err());
+        assert!(FoldSpec::new(0, FoldOp::Sum).is_err());
+    }
+
+    #[test]
+    fn fold_spec_round_trip() {
+        let spec = FoldSpec::new(4, FoldOp::Max).unwrap();
+        let z = TimeSeries::from_fn(0, 7, |t| (t % 4) as f64).unwrap();
+        let f = spec.apply(&z).unwrap();
+        assert_eq!(f.values(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn fold_then_fit_models_the_year_example() {
+        // The paper's example: daily values folded to 12 "months" (31-day
+        // groups; 372 days so every group is full and the algebra is exact).
+        let daily = TimeSeries::from_fn(0, 371, |t| 100.0 + 0.2 * t as f64).unwrap();
+        let monthly = fold_series(&daily, 31, FoldOp::Avg).unwrap();
+        assert_eq!(monthly.len(), 12);
+        // Averaging preserves a linear trend: slope scales by group width.
+        let fit = crate::ols::LinearFit::fit(&monthly);
+        assert!((fit.slope - 0.2 * 31.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,362 @@
+//! Multiple linear regression measures (paper Section 6.2, "general
+//! theory ... applicable to regression analysis ... with more than one
+//! regression variable").
+//!
+//! For a model `z = β₀ + β₁ x₁ + … + β_{k-1} x_{k-1}` the compressed,
+//! losslessly-aggregatable measure is the pair of sufficient statistics
+//! `(XᵀX, Xᵀz)` (plus `n` and `zᵀz` for diagnostics):
+//!
+//! * **time-style merges** (disjoint unions of observation rows — e.g.
+//!   merging adjacent time windows, or pooling sensors that are modeled
+//!   jointly) simply add all components;
+//! * **standard-dimension merges** (point-wise sum of responses observed
+//!   at *identical* design rows — the multi-variable generalization of
+//!   Theorem 3.2) share `XᵀX` and add `Xᵀz`.
+//!
+//! [`MlrMeasure`] stores these statistics; [`MlrMeasure::solve`] recovers
+//! the coefficient vector through the Cholesky normal equations of
+//! [`regcube_linalg`]. The simple ISB of Section 3 is the special case
+//! `k = 2`, `x₁ = t` — property-tested in `tests/proptests.rs`.
+
+use crate::error::RegressError;
+use crate::series::TimeSeries;
+use crate::Result;
+use regcube_linalg::cholesky::Cholesky;
+use regcube_linalg::Matrix;
+
+/// Sufficient statistics of a multiple linear regression, the warehoused
+/// cell measure for multi-variable models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlrMeasure {
+    /// Number of coefficients `k` (including the intercept column).
+    k: usize,
+    /// Number of observation rows folded in.
+    n: u64,
+    /// `XᵀX`, a `k x k` symmetric matrix.
+    xtx: Matrix,
+    /// `Xᵀz`, length `k`.
+    xtz: Vec<f64>,
+    /// `zᵀz`, for residual diagnostics.
+    ztz: f64,
+}
+
+impl MlrMeasure {
+    /// An empty measure for models with `k` coefficients.
+    ///
+    /// # Errors
+    /// [`RegressError::InvalidParameter`] when `k == 0`.
+    pub fn empty(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(RegressError::InvalidParameter {
+                name: "k",
+                detail: "a regression needs at least one coefficient".into(),
+            });
+        }
+        Ok(MlrMeasure {
+            k,
+            n: 0,
+            xtx: Matrix::zeros(k, k).expect("k > 0"),
+            xtz: vec![0.0; k],
+            ztz: 0.0,
+        })
+    }
+
+    /// Builds the measure from a design matrix (`n x k`) and responses.
+    ///
+    /// # Errors
+    /// [`RegressError::InvalidParameter`] on a row-count mismatch.
+    pub fn from_observations(design: &Matrix, z: &[f64]) -> Result<Self> {
+        if design.rows() != z.len() {
+            return Err(RegressError::InvalidParameter {
+                name: "z",
+                detail: format!(
+                    "{} responses for {} design rows",
+                    z.len(),
+                    design.rows()
+                ),
+            });
+        }
+        let mut m = MlrMeasure::empty(design.cols())?;
+        for (r, &zr) in z.iter().enumerate() {
+            m.push_row(design.row(r), zr)?;
+        }
+        Ok(m)
+    }
+
+    /// Builds the time-regression measure (`k = 2`, columns `[1, t]`) of a
+    /// time series — the MLR view of the ISB representation.
+    ///
+    /// # Errors
+    /// Never fails for a valid series; signature kept fallible for parity
+    /// with the general constructor.
+    pub fn from_time_series(series: &TimeSeries) -> Result<Self> {
+        let mut m = MlrMeasure::empty(2)?;
+        for (t, z) in series.iter() {
+            m.push_row(&[1.0, t as f64], z)?;
+        }
+        Ok(m)
+    }
+
+    /// Folds one observation row into the statistics.
+    ///
+    /// # Errors
+    /// [`RegressError::InvalidParameter`] when the row length differs
+    /// from `k`.
+    pub fn push_row(&mut self, row: &[f64], z: f64) -> Result<()> {
+        if row.len() != self.k {
+            return Err(RegressError::InvalidParameter {
+                name: "row",
+                detail: format!("length {} != k = {}", row.len(), self.k),
+            });
+        }
+        for (i, &xi) in row.iter().enumerate() {
+            for (j, &xj) in row.iter().enumerate() {
+                self.xtx[(i, j)] += xi * xj;
+            }
+            self.xtz[i] += xi * z;
+        }
+        self.ztz += z * z;
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Number of coefficients.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of folded observations.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Merges a measure built over a **disjoint set of observation rows**
+    /// (the MLR analogue of a time-dimension roll-up): every statistic adds.
+    ///
+    /// # Errors
+    /// [`RegressError::InvalidParameter`] on mismatched `k`.
+    pub fn merge_disjoint(&mut self, other: &MlrMeasure) -> Result<()> {
+        if self.k != other.k {
+            return Err(RegressError::InvalidParameter {
+                name: "other",
+                detail: format!("k mismatch: {} vs {}", self.k, other.k),
+            });
+        }
+        self.xtx
+            .add_assign(&other.xtx)
+            .map_err(RegressError::from)?;
+        for (a, b) in self.xtz.iter_mut().zip(other.xtz.iter()) {
+            *a += b;
+        }
+        self.ztz += other.ztz;
+        self.n += other.n;
+        Ok(())
+    }
+
+    /// Merges a measure observed at the **same design rows** whose
+    /// responses are summed point-wise (the MLR analogue of Theorem 3.2).
+    /// `XᵀX` and `n` must agree and stay fixed; `Xᵀz` adds. `zᵀz` of a
+    /// point-wise sum is *not* derivable (cross terms are lost), so it is
+    /// invalidated to `NaN`; [`Self::solve`] remains exact.
+    ///
+    /// # Errors
+    /// [`RegressError::InvalidParameter`] when `k`, `n` or `XᵀX` differ.
+    pub fn merge_same_design(&mut self, other: &MlrMeasure) -> Result<()> {
+        if self.k != other.k || self.n != other.n {
+            return Err(RegressError::InvalidParameter {
+                name: "other",
+                detail: format!(
+                    "shape mismatch: k {} vs {}, n {} vs {}",
+                    self.k, other.k, self.n, other.n
+                ),
+            });
+        }
+        if !self.xtx.approx_eq(&other.xtx, 1e-9) {
+            return Err(RegressError::InvalidParameter {
+                name: "other",
+                detail: "designs differ (XᵀX mismatch)".into(),
+            });
+        }
+        for (a, b) in self.xtz.iter_mut().zip(other.xtz.iter()) {
+            *a += b;
+        }
+        self.ztz = f64::NAN;
+        Ok(())
+    }
+
+    /// Solves the normal equations for the coefficient vector `β̂`.
+    ///
+    /// # Errors
+    /// * [`RegressError::NotEnoughData`] when `n < k`.
+    /// * [`RegressError::Linalg`] when `XᵀX` is not positive definite
+    ///   (collinear design).
+    pub fn solve(&self) -> Result<Vec<f64>> {
+        if (self.n as usize) < self.k {
+            return Err(RegressError::NotEnoughData {
+                have: self.n as usize,
+                need: self.k,
+            });
+        }
+        let ch = Cholesky::factor(&self.xtx)?;
+        Ok(ch.solve(&self.xtz)?)
+    }
+
+    /// Residual sum of squares `zᵀz - β̂ᵀXᵀz`, available when `zᵀz` is
+    /// known (i.e. no same-design merge occurred).
+    ///
+    /// # Errors
+    /// Propagates [`Self::solve`] errors.
+    pub fn rss(&self) -> Result<Option<f64>> {
+        if self.ztz.is_nan() {
+            return Ok(None);
+        }
+        let beta = self.solve()?;
+        let explained: f64 = beta.iter().zip(self.xtz.iter()).map(|(b, x)| b * x).sum();
+        // Clamp tiny negatives from floating-point cancellation.
+        Ok(Some((self.ztz - explained).max(0.0)))
+    }
+}
+
+/// Builds a polynomial-in-time design matrix with columns
+/// `[1, t, t², …, t^degree]` over the ticks of `series`.
+///
+/// # Errors
+/// [`RegressError::InvalidParameter`] for `degree + 1 > n`.
+pub fn time_polynomial_design(series: &TimeSeries, degree: usize) -> Result<Matrix> {
+    let k = degree + 1;
+    if k > series.len() {
+        return Err(RegressError::InvalidParameter {
+            name: "degree",
+            detail: format!("degree {degree} needs > {degree} observations"),
+        });
+    }
+    let mut data = Vec::with_capacity(series.len() * k);
+    for (t, _) in series.iter() {
+        let tf = t as f64;
+        let mut p = 1.0;
+        for _ in 0..k {
+            data.push(p);
+            p *= tf;
+        }
+    }
+    Ok(Matrix::from_vec(series.len(), k, data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regcube_linalg::vecops::approx_eq;
+
+    #[test]
+    fn time_series_measure_matches_isb_fit() {
+        let z = TimeSeries::new(0, vec![1.0, 2.5, 2.0, 4.0, 5.5]).unwrap();
+        let m = MlrMeasure::from_time_series(&z).unwrap();
+        let beta = m.solve().unwrap();
+        let isb = crate::isb::Isb::fit(&z).unwrap();
+        assert!((beta[0] - isb.base()).abs() < 1e-10);
+        assert!((beta[1] - isb.slope()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn disjoint_merge_equals_pooled_fit() {
+        let z = TimeSeries::from_fn(0, 19, |t| 2.0 + 0.3 * t as f64 + ((t % 3) as f64) * 0.1)
+            .unwrap();
+        let (a, b) = (z.window(0, 9).unwrap(), z.window(10, 19).unwrap());
+        let mut ma = MlrMeasure::from_time_series(&a).unwrap();
+        let mb = MlrMeasure::from_time_series(&b).unwrap();
+        ma.merge_disjoint(&mb).unwrap();
+
+        let pooled = MlrMeasure::from_time_series(&z).unwrap();
+        assert!(approx_eq(&ma.solve().unwrap(), &pooled.solve().unwrap(), 1e-9));
+        assert_eq!(ma.n(), 20);
+        let (r1, r2) = (ma.rss().unwrap().unwrap(), pooled.rss().unwrap().unwrap());
+        assert!((r1 - r2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn same_design_merge_adds_coefficients() {
+        // The MLR generalization of Theorem 3.2: identical designs, summed
+        // responses => summed coefficient vectors.
+        let z1 = TimeSeries::new(0, vec![1.0, 2.0, 3.5, 3.0]).unwrap();
+        let z2 = TimeSeries::new(0, vec![0.5, 1.5, 0.0, 2.0]).unwrap();
+        let mut m = MlrMeasure::from_time_series(&z1).unwrap();
+        m.merge_same_design(&MlrMeasure::from_time_series(&z2).unwrap())
+            .unwrap();
+        let merged = m.solve().unwrap();
+
+        let sum = z1.pointwise_sum(&z2).unwrap();
+        let direct = MlrMeasure::from_time_series(&sum).unwrap().solve().unwrap();
+        assert!(approx_eq(&merged, &direct, 1e-9));
+        // RSS is intentionally unavailable after a same-design merge.
+        assert!(m.rss().unwrap().is_none());
+    }
+
+    #[test]
+    fn merge_validation() {
+        let a = MlrMeasure::empty(2).unwrap();
+        let b = MlrMeasure::empty(3).unwrap();
+        let mut a2 = a.clone();
+        assert!(a2.merge_disjoint(&b).is_err());
+        assert!(a2.merge_same_design(&b).is_err());
+
+        // Same k but different designs must be rejected by same-design merge.
+        let z1 = TimeSeries::new(0, vec![1.0, 2.0]).unwrap();
+        let z2 = TimeSeries::new(5, vec![1.0, 2.0]).unwrap();
+        let mut m1 = MlrMeasure::from_time_series(&z1).unwrap();
+        let m2 = MlrMeasure::from_time_series(&z2).unwrap();
+        assert!(m1.merge_same_design(&m2).is_err());
+    }
+
+    #[test]
+    fn underdetermined_and_collinear_systems_error() {
+        let mut m = MlrMeasure::empty(2).unwrap();
+        m.push_row(&[1.0, 0.0], 1.0).unwrap();
+        assert!(matches!(m.solve(), Err(RegressError::NotEnoughData { .. })));
+
+        // Two identical rows: XᵀX singular even though n = k.
+        let mut c = MlrMeasure::empty(2).unwrap();
+        c.push_row(&[1.0, 1.0], 1.0).unwrap();
+        c.push_row(&[1.0, 1.0], 2.0).unwrap();
+        assert!(matches!(c.solve(), Err(RegressError::Linalg(_))));
+    }
+
+    #[test]
+    fn push_row_validates_width() {
+        let mut m = MlrMeasure::empty(2).unwrap();
+        assert!(m.push_row(&[1.0], 0.0).is_err());
+        assert!(MlrMeasure::empty(0).is_err());
+    }
+
+    #[test]
+    fn from_observations_and_polynomial_design() {
+        // Quadratic data is fitted exactly by a degree-2 design.
+        let z = TimeSeries::from_fn(0, 9, |t| 1.0 - 2.0 * t as f64 + 0.5 * (t * t) as f64)
+            .unwrap();
+        let x = time_polynomial_design(&z, 2).unwrap();
+        let m = MlrMeasure::from_observations(&x, z.values()).unwrap();
+        let beta = m.solve().unwrap();
+        assert!(approx_eq(&beta, &[1.0, -2.0, 0.5], 1e-7));
+        assert!(m.rss().unwrap().unwrap() < 1e-10);
+
+        assert!(time_polynomial_design(&z, 10).is_err());
+        let bad = MlrMeasure::from_observations(&x, &[1.0]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn spatial_regression_example() {
+        // The paper's sensor-network motivation: regress on time AND a
+        // spatial coordinate. z = 3 + 0.5 t - 1.5 s.
+        let mut m = MlrMeasure::empty(3).unwrap();
+        for t in 0..6 {
+            for s in 0..4 {
+                let z = 3.0 + 0.5 * t as f64 - 1.5 * s as f64;
+                m.push_row(&[1.0, t as f64, s as f64], z).unwrap();
+            }
+        }
+        let beta = m.solve().unwrap();
+        assert!(approx_eq(&beta, &[3.0, 0.5, -1.5], 1e-9));
+    }
+}

@@ -1,0 +1,220 @@
+//! Streaming OLS over irregular time ticks.
+//!
+//! Section 3 of the paper restricts exposition to consecutive integer
+//! ticks and notes that "the general case of multiple linear regression
+//! for general stream data with more than one regression variable and/or
+//! with **irregular time ticks**" is handled by the same machinery. This
+//! module provides that case for simple linear regression: a constant-
+//! space accumulator of the sufficient statistics
+//! `(n, Σt, Σz, Σt·z, Σt²)` that
+//!
+//! * accepts observations at arbitrary (gapped, unordered, repeated)
+//!   abscissae,
+//! * merges with any other accumulator over disjoint observations (the
+//!   irregular-tick analogue of Theorem 3.3), and
+//! * emits the exact LSE fit at any moment.
+
+use crate::error::RegressError;
+use crate::ols::LinearFit;
+use crate::series::TimeSeries;
+use crate::Result;
+
+/// A constant-space streaming least-squares fitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningFit {
+    n: u64,
+    sum_t: f64,
+    sum_z: f64,
+    sum_tz: f64,
+    sum_tt: f64,
+    min_t: f64,
+    max_t: f64,
+}
+
+impl Default for RunningFit {
+    fn default() -> Self {
+        RunningFit::new()
+    }
+}
+
+impl RunningFit {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningFit {
+            n: 0,
+            sum_t: 0.0,
+            sum_z: 0.0,
+            sum_tz: 0.0,
+            sum_tt: 0.0,
+            min_t: f64::INFINITY,
+            max_t: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds an accumulator from a dense series (for cross-checks).
+    pub fn from_series(series: &TimeSeries) -> Self {
+        let mut fit = RunningFit::new();
+        for (t, z) in series.iter() {
+            fit.push(t as f64, z);
+        }
+        fit
+    }
+
+    /// Folds one observation `(t, z)` in. Ticks may arrive out of order,
+    /// with gaps, or repeatedly (a repeated tick is a second observation
+    /// at the same abscissa, not an overwrite).
+    pub fn push(&mut self, t: f64, z: f64) {
+        self.n += 1;
+        self.sum_t += t;
+        self.sum_z += z;
+        self.sum_tz += t * z;
+        self.sum_tt += t * t;
+        self.min_t = self.min_t.min(t);
+        self.max_t = self.max_t.max(t);
+    }
+
+    /// Number of observations folded in.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The observed abscissa range, or `None` when empty.
+    pub fn t_range(&self) -> Option<(f64, f64)> {
+        (self.n > 0).then_some((self.min_t, self.max_t))
+    }
+
+    /// Merges another accumulator over a **disjoint** set of observations
+    /// (all statistics add). Unlike Theorem 3.3 there is no contiguity
+    /// requirement — irregular ticks have no adjacency to preserve.
+    pub fn merge(&mut self, other: &RunningFit) {
+        self.n += other.n;
+        self.sum_t += other.sum_t;
+        self.sum_z += other.sum_z;
+        self.sum_tz += other.sum_tz;
+        self.sum_tt += other.sum_tt;
+        self.min_t = self.min_t.min(other.min_t);
+        self.max_t = self.max_t.max(other.max_t);
+    }
+
+    /// The exact LSE fit of everything folded in so far.
+    ///
+    /// # Errors
+    /// * [`RegressError::NotEnoughData`] when empty.
+    /// * [`RegressError::InvalidParameter`] when all abscissae coincide
+    ///   (the slope is undefined; unlike dense integer series there is no
+    ///   natural zero-slope convention for a *repeated* single abscissa
+    ///   with scattered values).
+    pub fn fit(&self) -> Result<LinearFit> {
+        if self.n == 0 {
+            return Err(RegressError::NotEnoughData { have: 0, need: 1 });
+        }
+        let n = self.n as f64;
+        if self.n == 1 {
+            // One observation: flat line through it (matches LinearFit::fit).
+            return Ok(LinearFit {
+                base: self.sum_z,
+                slope: 0.0,
+            });
+        }
+        let svs = self.sum_tt - self.sum_t * self.sum_t / n;
+        if !(svs.is_finite()) || svs <= f64::EPSILON * self.sum_tt.abs().max(1.0) {
+            return Err(RegressError::InvalidParameter {
+                name: "abscissae",
+                detail: "all observations share one tick; slope undefined".into(),
+            });
+        }
+        let slope = (self.sum_tz - self.sum_t * self.sum_z / n) / svs;
+        let base = (self.sum_z - slope * self.sum_t) / n;
+        Ok(LinearFit { base, slope })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_batch_fit_on_dense_series() {
+        let z = TimeSeries::new(3, vec![1.0, 4.0, 2.0, 8.0, 5.0]).unwrap();
+        let batch = LinearFit::fit(&z);
+        let streaming = RunningFit::from_series(&z).fit().unwrap();
+        assert!((batch.base - streaming.base).abs() < 1e-10);
+        assert!((batch.slope - streaming.slope).abs() < 1e-10);
+    }
+
+    #[test]
+    fn handles_irregular_and_unordered_ticks() {
+        // Exact line sampled at gapped, shuffled, non-integer abscissae.
+        let mut fit = RunningFit::new();
+        for &t in &[10.0, 2.5, 100.0, 7.0, 33.3] {
+            fit.push(t, 1.5 - 0.25 * t);
+        }
+        let f = fit.fit().unwrap();
+        assert!((f.base - 1.5).abs() < 1e-9);
+        assert!((f.slope + 0.25).abs() < 1e-10);
+        assert_eq!(fit.t_range(), Some((2.5, 100.0)));
+        assert_eq!(fit.n(), 5);
+    }
+
+    #[test]
+    fn repeated_abscissae_average() {
+        let mut fit = RunningFit::new();
+        fit.push(0.0, 1.0);
+        fit.push(0.0, 3.0); // two observations at t = 0, mean 2
+        fit.push(2.0, 6.0);
+        let f = fit.fit().unwrap();
+        // LSE through {(0,1),(0,3),(2,6)}: slope 2, base 2.
+        assert!((f.slope - 2.0).abs() < 1e-10);
+        assert!((f.base - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_equals_pooled_stream() {
+        let mut a = RunningFit::new();
+        let mut b = RunningFit::new();
+        let mut pooled = RunningFit::new();
+        for i in 0..20 {
+            let (t, z) = (i as f64 * 1.7, (i % 5) as f64 - 0.3 * i as f64);
+            if i % 2 == 0 {
+                a.push(t, z);
+            } else {
+                b.push(t, z);
+            }
+            pooled.push(t, z);
+        }
+        a.merge(&b);
+        let (fa, fp) = (a.fit().unwrap(), pooled.fit().unwrap());
+        assert!((fa.base - fp.base).abs() < 1e-9);
+        assert!((fa.slope - fp.slope).abs() < 1e-10);
+        assert_eq!(a.n(), pooled.n());
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        let empty = RunningFit::new();
+        assert!(matches!(
+            empty.fit(),
+            Err(RegressError::NotEnoughData { .. })
+        ));
+        assert_eq!(empty.t_range(), None);
+
+        let mut single = RunningFit::new();
+        single.push(5.0, 7.0);
+        let f = single.fit().unwrap();
+        assert_eq!((f.base, f.slope), (7.0, 0.0));
+
+        let mut repeated = RunningFit::new();
+        repeated.push(1.0, 0.0);
+        repeated.push(1.0, 5.0);
+        assert!(matches!(
+            repeated.fit(),
+            Err(RegressError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert_eq!(RunningFit::default(), RunningFit::new());
+    }
+}

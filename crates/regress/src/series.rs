@@ -1,0 +1,369 @@
+//! Discrete-time series over integer tick intervals.
+//!
+//! A time series in the paper's sense (Section 2.2) is a function
+//! `z(t) : t ∈ [t_b, t_e]` over *consecutive integer* time points. We store
+//! the start tick and a dense vector of values.
+
+use crate::error::RegressError;
+use crate::Result;
+
+/// A time series `z(t)` over the integer interval `[start, start+len-1]`.
+///
+/// Values are dense: index `i` of [`values`](Self::values) is the
+/// observation at tick `start + i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    start: i64,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series starting at tick `start` with the given values.
+    ///
+    /// # Errors
+    /// [`RegressError::EmptySeries`] when `values` is empty.
+    pub fn new(start: i64, values: Vec<f64>) -> Result<Self> {
+        if values.is_empty() {
+            return Err(RegressError::EmptySeries);
+        }
+        Ok(TimeSeries { start, values })
+    }
+
+    /// Creates a series by sampling `f` at each tick of `[start, end]`.
+    ///
+    /// # Errors
+    /// [`RegressError::EmptySeries`] when `end < start`.
+    pub fn from_fn(start: i64, end: i64, mut f: impl FnMut(i64) -> f64) -> Result<Self> {
+        if end < start {
+            return Err(RegressError::EmptySeries);
+        }
+        let values = (start..=end).map(&mut f).collect();
+        TimeSeries::new(start, values)
+    }
+
+    /// First tick `t_b`.
+    #[inline]
+    pub fn start(&self) -> i64 {
+        self.start
+    }
+
+    /// Last tick `t_e`.
+    #[inline]
+    pub fn end(&self) -> i64 {
+        self.start + self.values.len() as i64 - 1
+    }
+
+    /// The closed interval `[t_b, t_e]`.
+    #[inline]
+    pub fn interval(&self) -> (i64, i64) {
+        (self.start(), self.end())
+    }
+
+    /// Number of observations `n = t_e - t_b + 1`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always `false`: construction rejects empty series.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The raw observation values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Observation at absolute tick `t`, or `None` outside the interval.
+    pub fn value_at(&self, t: i64) -> Option<f64> {
+        if t < self.start || t > self.end() {
+            None
+        } else {
+            Some(self.values[(t - self.start) as usize])
+        }
+    }
+
+    /// Iterates `(tick, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (self.start + i as i64, v))
+    }
+
+    /// Arithmetic mean `z̄`.
+    pub fn mean(&self) -> f64 {
+        self.sum() / self.values.len() as f64
+    }
+
+    /// Sum of all observations `S = Σ z(t)`.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// The time centroid `t̄ = (t_b + t_e) / 2`.
+    pub fn mean_t(&self) -> f64 {
+        (self.start as f64 + self.end() as f64) / 2.0
+    }
+
+    /// `Σ t·z(t)`, one of the two sufficient statistics of a linear fit.
+    pub fn sum_tz(&self) -> f64 {
+        self.iter().map(|(t, z)| t as f64 * z).sum()
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.values.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Point-wise sum with another series over the *same* interval — the
+    /// aggregation semantics of a standard-dimension roll-up (Section 3.3).
+    ///
+    /// # Errors
+    /// [`RegressError::IntervalMismatch`] when the intervals differ.
+    pub fn pointwise_sum(&self, other: &TimeSeries) -> Result<TimeSeries> {
+        if self.interval() != other.interval() {
+            return Err(RegressError::IntervalMismatch {
+                left: self.interval(),
+                right: other.interval(),
+            });
+        }
+        let values = self
+            .values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        TimeSeries::new(self.start, values)
+    }
+
+    /// Point-wise sum of many series over the same interval.
+    ///
+    /// # Errors
+    /// [`RegressError::NoInputs`] for an empty slice;
+    /// [`RegressError::IntervalMismatch`] when intervals differ.
+    pub fn sum_many(series: &[TimeSeries]) -> Result<TimeSeries> {
+        let first = series.first().ok_or(RegressError::NoInputs)?;
+        let mut acc = first.clone();
+        for s in &series[1..] {
+            acc = acc.pointwise_sum(s)?;
+        }
+        Ok(acc)
+    }
+
+    /// Concatenation with a series starting exactly one tick after `self`
+    /// ends — the aggregation semantics of a time-dimension roll-up
+    /// (Section 3.4).
+    ///
+    /// # Errors
+    /// [`RegressError::NotAPartition`] when `other` does not start at
+    /// `self.end() + 1`.
+    pub fn concat(&self, other: &TimeSeries) -> Result<TimeSeries> {
+        if other.start != self.end() + 1 {
+            return Err(RegressError::NotAPartition {
+                detail: format!(
+                    "segment starting at {} does not follow segment ending at {}",
+                    other.start,
+                    self.end()
+                ),
+            });
+        }
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        TimeSeries::new(self.start, values)
+    }
+
+    /// Concatenates an ordered run of contiguous segments.
+    ///
+    /// # Errors
+    /// [`RegressError::NoInputs`] for an empty slice;
+    /// [`RegressError::NotAPartition`] on any gap or overlap.
+    pub fn concat_many(segments: &[TimeSeries]) -> Result<TimeSeries> {
+        let first = segments.first().ok_or(RegressError::NoInputs)?;
+        let mut acc = first.clone();
+        for s in &segments[1..] {
+            acc = acc.concat(s)?;
+        }
+        Ok(acc)
+    }
+
+    /// The sub-series on `[from, to]` (inclusive), or an error when the
+    /// window leaves the series interval.
+    ///
+    /// # Errors
+    /// [`RegressError::InvalidParameter`] when `[from, to]` is not contained
+    /// in the series interval or is empty.
+    pub fn window(&self, from: i64, to: i64) -> Result<TimeSeries> {
+        if from > to || from < self.start || to > self.end() {
+            return Err(RegressError::InvalidParameter {
+                name: "window",
+                detail: format!(
+                    "[{from}, {to}] not contained in [{}, {}]",
+                    self.start,
+                    self.end()
+                ),
+            });
+        }
+        let lo = (from - self.start) as usize;
+        let hi = (to - self.start) as usize;
+        TimeSeries::new(from, self.values[lo..=hi].to_vec())
+    }
+
+    /// Splits the series into `k`-tick contiguous segments (the final
+    /// segment may be shorter), e.g. quarters of an hour into hours.
+    ///
+    /// # Errors
+    /// [`RegressError::InvalidParameter`] when `k == 0`.
+    pub fn split_into(&self, k: usize) -> Result<Vec<TimeSeries>> {
+        if k == 0 {
+            return Err(RegressError::InvalidParameter {
+                name: "k",
+                detail: "segment length must be positive".into(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.values.len().div_ceil(k));
+        let mut t = self.start;
+        for chunk in self.values.chunks(k) {
+            out.push(TimeSeries::new(t, chunk.to_vec())?);
+            t += chunk.len() as i64;
+        }
+        Ok(out)
+    }
+
+    /// Shifts the whole series in time by `delta` ticks.
+    pub fn shift(&self, delta: i64) -> TimeSeries {
+        TimeSeries {
+            start: self.start + delta,
+            values: self.values.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(start: i64, v: &[f64]) -> TimeSeries {
+        TimeSeries::new(start, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let z = s(3, &[1.0, 2.0, 3.0]);
+        assert_eq!(z.interval(), (3, 5));
+        assert_eq!(z.len(), 3);
+        assert!(!z.is_empty());
+        assert_eq!(z.value_at(4), Some(2.0));
+        assert_eq!(z.value_at(6), None);
+        assert_eq!(z.value_at(2), None);
+        assert_eq!(z.mean(), 2.0);
+        assert_eq!(z.sum(), 6.0);
+        assert_eq!(z.mean_t(), 4.0);
+        assert_eq!(z.min(), 1.0);
+        assert_eq!(z.max(), 3.0);
+    }
+
+    #[test]
+    fn empty_series_is_rejected() {
+        assert_eq!(
+            TimeSeries::new(0, vec![]).unwrap_err(),
+            RegressError::EmptySeries
+        );
+        assert!(TimeSeries::from_fn(5, 4, |_| 0.0).is_err());
+    }
+
+    #[test]
+    fn from_fn_samples_every_tick() {
+        let z = TimeSeries::from_fn(-2, 2, |t| t as f64).unwrap();
+        assert_eq!(z.values(), &[-2.0, -1.0, 0.0, 1.0, 2.0]);
+        assert_eq!(z.sum_tz(), 4.0 + 1.0 + 0.0 + 1.0 + 4.0);
+    }
+
+    #[test]
+    fn pointwise_sum_requires_equal_intervals() {
+        let a = s(0, &[1.0, 2.0]);
+        let b = s(0, &[10.0, 20.0]);
+        let c = a.pointwise_sum(&b).unwrap();
+        assert_eq!(c.values(), &[11.0, 22.0]);
+
+        let shifted = s(1, &[1.0, 2.0]);
+        assert!(matches!(
+            a.pointwise_sum(&shifted),
+            Err(RegressError::IntervalMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sum_many_folds_all_inputs() {
+        let parts = vec![s(0, &[1.0, 1.0]), s(0, &[2.0, 2.0]), s(0, &[3.0, 3.0])];
+        let total = TimeSeries::sum_many(&parts).unwrap();
+        assert_eq!(total.values(), &[6.0, 6.0]);
+        assert!(matches!(
+            TimeSeries::sum_many(&[]),
+            Err(RegressError::NoInputs)
+        ));
+    }
+
+    #[test]
+    fn concat_requires_contiguity() {
+        let a = s(0, &[1.0, 2.0]);
+        let b = s(2, &[3.0]);
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.interval(), (0, 2));
+        assert_eq!(c.values(), &[1.0, 2.0, 3.0]);
+
+        let gap = s(4, &[9.0]);
+        assert!(matches!(
+            a.concat(&gap),
+            Err(RegressError::NotAPartition { .. })
+        ));
+        let overlap = s(1, &[9.0]);
+        assert!(a.concat(&overlap).is_err());
+    }
+
+    #[test]
+    fn concat_many_and_split_round_trip() {
+        let z = TimeSeries::from_fn(0, 9, |t| (t * t) as f64).unwrap();
+        let parts = z.split_into(3).unwrap();
+        assert_eq!(parts.len(), 4); // 3+3+3+1
+        assert_eq!(parts[3].interval(), (9, 9));
+        let back = TimeSeries::concat_many(&parts).unwrap();
+        assert_eq!(back, z);
+        assert!(z.split_into(0).is_err());
+        assert!(matches!(
+            TimeSeries::concat_many(&[]),
+            Err(RegressError::NoInputs)
+        ));
+    }
+
+    #[test]
+    fn window_bounds_are_checked() {
+        let z = s(10, &[1.0, 2.0, 3.0, 4.0]);
+        let w = z.window(11, 12).unwrap();
+        assert_eq!(w.interval(), (11, 12));
+        assert_eq!(w.values(), &[2.0, 3.0]);
+        assert!(z.window(9, 12).is_err());
+        assert!(z.window(11, 14).is_err());
+        assert!(z.window(12, 11).is_err());
+    }
+
+    #[test]
+    fn shift_moves_interval_only() {
+        let z = s(0, &[5.0, 6.0]);
+        let moved = z.shift(10);
+        assert_eq!(moved.interval(), (10, 11));
+        assert_eq!(moved.values(), z.values());
+    }
+}

@@ -1,0 +1,118 @@
+//! Error type for the stream substrate.
+
+use regcube_core::CoreError;
+use regcube_olap::OlapError;
+use regcube_regress::RegressError;
+use regcube_tilt::TiltError;
+use std::fmt;
+
+/// Errors produced by ingestion and the online engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// A record's tick falls outside the open time unit.
+    OutOfWindow {
+        /// The record's tick.
+        tick: i64,
+        /// The open unit's tick interval.
+        window: (i64, i64),
+    },
+    /// A record's coordinates do not match the primitive layer.
+    BadRecord {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// The engine configuration is inconsistent.
+    BadConfig {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// Substrate failure: cube core.
+    Core(CoreError),
+    /// Substrate failure: OLAP structures.
+    Olap(OlapError),
+    /// Substrate failure: regression math.
+    Regress(RegressError),
+    /// Substrate failure: tilt frame.
+    Tilt(TiltError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::OutOfWindow { tick, window } => write!(
+                f,
+                "record tick {tick} outside the open unit [{}, {}]",
+                window.0, window.1
+            ),
+            StreamError::BadRecord { detail } => write!(f, "bad record: {detail}"),
+            StreamError::BadConfig { detail } => write!(f, "bad engine config: {detail}"),
+            StreamError::Core(e) => write!(f, "cube error: {e}"),
+            StreamError::Olap(e) => write!(f, "structure error: {e}"),
+            StreamError::Regress(e) => write!(f, "regression error: {e}"),
+            StreamError::Tilt(e) => write!(f, "tilt frame error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Core(e) => Some(e),
+            StreamError::Olap(e) => Some(e),
+            StreamError::Regress(e) => Some(e),
+            StreamError::Tilt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for StreamError {
+    fn from(e: CoreError) -> Self {
+        StreamError::Core(e)
+    }
+}
+
+impl From<OlapError> for StreamError {
+    fn from(e: OlapError) -> Self {
+        StreamError::Olap(e)
+    }
+}
+
+impl From<RegressError> for StreamError {
+    fn from(e: RegressError) -> Self {
+        StreamError::Regress(e)
+    }
+}
+
+impl From<TiltError> for StreamError {
+    fn from(e: TiltError) -> Self {
+        StreamError::Tilt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn displays_and_sources() {
+        let cases: Vec<StreamError> = vec![
+            StreamError::OutOfWindow {
+                tick: 99,
+                window: (0, 14),
+            },
+            StreamError::BadRecord { detail: "x".into() },
+            StreamError::BadConfig { detail: "y".into() },
+            CoreError::BadInput { detail: "z".into() }.into(),
+            OlapError::ArityMismatch { got: 1, expected: 2 }.into(),
+            RegressError::NoInputs.into(),
+            TiltError::BadSpec { detail: "w".into() }.into(),
+        ];
+        for c in &cases {
+            assert!(!c.to_string().is_empty());
+        }
+        assert!(cases[3].source().is_some());
+        assert!(cases[0].source().is_none());
+    }
+}

@@ -1,0 +1,300 @@
+//! Per-unit accumulation of raw records into m-layer regression tuples.
+//!
+//! Records at the primitive layer are projected to their m-layer ancestor
+//! cell (standard-dimension roll-up via the concept hierarchies) and their
+//! values accumulated per tick. When the open unit closes, each touched
+//! cell's per-tick sums are fitted with OLS and emitted as one
+//! [`MTuple`] — the m-layer aggregation Step 1 of both algorithms expects
+//! ("the m-layer should be the layer aggregated directly from the stream
+//! data").
+
+use crate::error::StreamError;
+use crate::record::RawRecord;
+use crate::Result;
+use regcube_core::MTuple;
+use regcube_olap::cell::{project_key, CellKey};
+use regcube_olap::fxhash::FxHashMap;
+use regcube_olap::{CubeSchema, CuboidSpec};
+use regcube_regress::{Isb, TimeSeries};
+
+/// Accumulates raw records for one m-layer time unit at a time.
+#[derive(Debug, Clone)]
+pub struct Ingestor {
+    schema: CubeSchema,
+    primitive: CuboidSpec,
+    m_layer: CuboidSpec,
+    ticks_per_unit: usize,
+    open_unit: i64,
+    /// Per-m-cell accumulation: value sum per tick offset of the open unit.
+    buffers: FxHashMap<CellKey, Vec<f64>>,
+    records_seen: u64,
+}
+
+impl Ingestor {
+    /// Creates an ingestor.
+    ///
+    /// # Errors
+    /// [`StreamError::BadConfig`] when the primitive layer is not a
+    /// descendant-or-equal of the m-layer, or `ticks_per_unit == 0`.
+    pub fn new(
+        schema: CubeSchema,
+        primitive: CuboidSpec,
+        m_layer: CuboidSpec,
+        ticks_per_unit: usize,
+    ) -> Result<Self> {
+        if ticks_per_unit == 0 {
+            return Err(StreamError::BadConfig {
+                detail: "ticks_per_unit must be positive".into(),
+            });
+        }
+        schema.check_cuboid(&primitive).map_err(StreamError::from)?;
+        schema.check_cuboid(&m_layer).map_err(StreamError::from)?;
+        if !m_layer.is_ancestor_or_equal(&primitive) {
+            return Err(StreamError::BadConfig {
+                detail: format!(
+                    "primitive layer {primitive} is not below the m-layer {m_layer}"
+                ),
+            });
+        }
+        Ok(Ingestor {
+            schema,
+            primitive,
+            m_layer,
+            ticks_per_unit,
+            open_unit: 0,
+            buffers: FxHashMap::default(),
+            records_seen: 0,
+        })
+    }
+
+    /// The currently open unit index.
+    #[inline]
+    pub fn open_unit(&self) -> i64 {
+        self.open_unit
+    }
+
+    /// The open unit's tick interval `[first, last]`.
+    pub fn open_window(&self) -> (i64, i64) {
+        let first = self.open_unit * self.ticks_per_unit as i64;
+        (first, first + self.ticks_per_unit as i64 - 1)
+    }
+
+    /// Records ingested since construction.
+    #[inline]
+    pub fn records_seen(&self) -> u64 {
+        self.records_seen
+    }
+
+    /// Number of distinct m-cells touched in the open unit.
+    #[inline]
+    pub fn open_cells(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Ingests one raw record into the open unit.
+    ///
+    /// # Errors
+    /// * [`StreamError::OutOfWindow`] when the record's tick is outside
+    ///   the open unit (close the unit first).
+    /// * [`StreamError::BadRecord`] for arity/member violations.
+    pub fn ingest(&mut self, record: &RawRecord) -> Result<()> {
+        let window = self.open_window();
+        if record.tick < window.0 || record.tick > window.1 {
+            return Err(StreamError::OutOfWindow {
+                tick: record.tick,
+                window,
+            });
+        }
+        if record.ids.len() != self.schema.num_dims() {
+            return Err(StreamError::BadRecord {
+                detail: format!(
+                    "{} ids for {} dimensions",
+                    record.ids.len(),
+                    self.schema.num_dims()
+                ),
+            });
+        }
+        for (d, &id) in record.ids.iter().enumerate() {
+            let card = self.schema.dims()[d]
+                .hierarchy()
+                .cardinality(self.primitive.level(d));
+            if id >= card {
+                return Err(StreamError::BadRecord {
+                    detail: format!("dimension {d} member {id} out of range ({card})"),
+                });
+            }
+        }
+        let m_ids = project_key(&self.schema, &self.primitive, &record.ids, &self.m_layer);
+        let offset = (record.tick - window.0) as usize;
+        let ticks = self.ticks_per_unit;
+        let buf = self
+            .buffers
+            .entry(CellKey::new(m_ids))
+            .or_insert_with(|| vec![0.0; ticks]);
+        buf[offset] += record.value;
+        self.records_seen += 1;
+        Ok(())
+    }
+
+    /// Closes the open unit: fits one ISB per touched m-cell over the
+    /// unit's ticks, advances to the next unit, and returns the tuples
+    /// (sorted by key for determinism).
+    ///
+    /// # Errors
+    /// Propagates fit errors (cannot occur for a positive unit width).
+    pub fn close_unit(&mut self) -> Result<(i64, Vec<(CellKey, Isb)>)> {
+        let (first, _) = self.open_window();
+        let unit = self.open_unit;
+        let mut out: Vec<(CellKey, Isb)> = Vec::with_capacity(self.buffers.len());
+        for (key, values) in self.buffers.drain() {
+            let series = TimeSeries::new(first, values).map_err(StreamError::from)?;
+            let isb = Isb::fit(&series).map_err(StreamError::from)?;
+            out.push((key, isb));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        self.open_unit += 1;
+        Ok((unit, out))
+    }
+
+    /// Converts closed-unit cells into the [`MTuple`] form the cubing
+    /// algorithms consume.
+    pub fn to_mtuples(cells: &[(CellKey, Isb)]) -> Vec<MTuple> {
+        cells
+            .iter()
+            .map(|(k, isb)| MTuple::new(k.ids().to_vec(), *isb))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2 dims, depth 2, fanout 2; primitive = m-layer = (2, 2); 4 ticks
+    /// per unit.
+    fn ingestor() -> Ingestor {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        Ingestor::new(
+            schema,
+            CuboidSpec::new(vec![2, 2]),
+            CuboidSpec::new(vec![2, 2]),
+            4,
+        )
+        .unwrap()
+    }
+
+    /// Primitive one level below the m-layer on both dims.
+    fn rollup_ingestor() -> Ingestor {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        Ingestor::new(
+            schema,
+            CuboidSpec::new(vec![2, 2]),
+            CuboidSpec::new(vec![1, 1]),
+            4,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        assert!(Ingestor::new(
+            schema.clone(),
+            CuboidSpec::new(vec![2, 2]),
+            CuboidSpec::new(vec![2, 2]),
+            0,
+        )
+        .is_err());
+        // Primitive coarser than m-layer is invalid.
+        assert!(Ingestor::new(
+            schema,
+            CuboidSpec::new(vec![1, 1]),
+            CuboidSpec::new(vec![2, 2]),
+            4,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn per_tick_accumulation_and_fit() {
+        let mut ing = ingestor();
+        // Cell (0,0): values 1, 2, 3, 4 over ticks 0..3 -> slope 1.
+        for t in 0..4 {
+            ing.ingest(&RawRecord::new(vec![0, 0], t, (t + 1) as f64))
+                .unwrap();
+        }
+        // Two records on the same tick accumulate.
+        ing.ingest(&RawRecord::new(vec![3, 3], 1, 2.0)).unwrap();
+        ing.ingest(&RawRecord::new(vec![3, 3], 1, 3.0)).unwrap();
+        assert_eq!(ing.open_cells(), 2);
+        assert_eq!(ing.records_seen(), 6);
+
+        let (unit, cells) = ing.close_unit().unwrap();
+        assert_eq!(unit, 0);
+        assert_eq!(cells.len(), 2);
+        let (k0, isb0) = &cells[0];
+        assert_eq!(k0.ids(), &[0, 0]);
+        assert!((isb0.slope() - 1.0).abs() < 1e-12);
+        assert_eq!(isb0.interval(), (0, 3));
+        // Missing ticks read as zero usage.
+        let (_, isb1) = &cells[1];
+        assert_eq!(isb1.interval(), (0, 3));
+        assert!((isb1.sum_z() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn units_advance_and_windows_shift() {
+        let mut ing = ingestor();
+        ing.ingest(&RawRecord::new(vec![0, 0], 2, 1.0)).unwrap();
+        let _ = ing.close_unit().unwrap();
+        assert_eq!(ing.open_unit(), 1);
+        assert_eq!(ing.open_window(), (4, 7));
+        // Old ticks now rejected; new window accepted.
+        assert!(matches!(
+            ing.ingest(&RawRecord::new(vec![0, 0], 2, 1.0)),
+            Err(StreamError::OutOfWindow { .. })
+        ));
+        ing.ingest(&RawRecord::new(vec![0, 0], 6, 1.0)).unwrap();
+        let (unit, cells) = ing.close_unit().unwrap();
+        assert_eq!(unit, 1);
+        assert_eq!(cells[0].1.interval(), (4, 7));
+    }
+
+    #[test]
+    fn primitive_records_roll_up_to_m_cells() {
+        let mut ing = rollup_ingestor();
+        // L2 members 0 and 1 share L1 parent 0 (fanout 2).
+        for t in 0..4 {
+            ing.ingest(&RawRecord::new(vec![0, 2], t, 1.0)).unwrap();
+            ing.ingest(&RawRecord::new(vec![1, 3], t, 2.0)).unwrap();
+        }
+        let (_, cells) = ing.close_unit().unwrap();
+        // Both primitive streams land in m-cell (0, 1).
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].0.ids(), &[0, 1]);
+        assert!((cells[0].1.sum_z() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_records_are_rejected() {
+        let mut ing = ingestor();
+        assert!(matches!(
+            ing.ingest(&RawRecord::new(vec![0], 0, 1.0)),
+            Err(StreamError::BadRecord { .. })
+        ));
+        assert!(matches!(
+            ing.ingest(&RawRecord::new(vec![0, 9], 0, 1.0)),
+            Err(StreamError::BadRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn mtuple_conversion() {
+        let mut ing = ingestor();
+        ing.ingest(&RawRecord::new(vec![2, 1], 0, 1.0)).unwrap();
+        let (_, cells) = ing.close_unit().unwrap();
+        let tuples = Ingestor::to_mtuples(&cells);
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].ids(), &[2, 1]);
+    }
+}

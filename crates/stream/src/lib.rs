@@ -1,0 +1,38 @@
+//! Stream substrate for `regcube` — the "always-grow" on-line side of the
+//! paper (Section 4.5).
+//!
+//! The paper's pipeline: raw records arrive continuously at the primitive
+//! layer (individual user, street address, minute); they are accumulated
+//! into the corresponding H-tree leaf cells; "since the time granularity
+//! of the m-layer is quarter, the aggregated data will trigger the cube
+//! computation once every 15 minutes"; tilt-frame slots promote to coarser
+//! granularities as they fill.
+//!
+//! * [`record`] — raw stream records below the m-layer;
+//! * [`ingest`] — per-unit accumulation and roll-up of raw records into
+//!   m-layer ISB tuples (standard dimensions via hierarchy projection,
+//!   time via per-unit OLS fits);
+//! * [`online`] — the [`online::OnlineEngine`]: one `close_unit()` per
+//!   m-layer time unit recomputes the regression cube, feeds per-cell
+//!   tilt frames, and raises o-layer alarms (own-slope or slot-delta
+//!   reference, Section 4.3);
+//! * [`source`] — replay and crossbeam-channel event sources for driving
+//!   an engine from another thread.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod ingest;
+pub mod online;
+pub mod record;
+pub mod source;
+
+pub use error::StreamError;
+pub use ingest::Ingestor;
+pub use online::{Alarm, EngineConfig, OnlineEngine, UnitReport};
+pub use record::RawRecord;
+pub use source::{run_engine, ReplaySource, StreamEvent};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StreamError>;

@@ -1,0 +1,593 @@
+//! The online engine: one cube recomputation per m-layer time unit,
+//! per-cell tilt frames, and o-layer alarms (paper Sections 4.3 / 4.5).
+
+use crate::error::StreamError;
+use crate::ingest::Ingestor;
+use crate::record::RawRecord;
+use crate::Result;
+use regcube_core::history::{CubeHistory, ExceptionDiff};
+use regcube_core::result::Algorithm;
+use regcube_core::{CubeResult, ExceptionPolicy, RegressionCube};
+use regcube_olap::cell::CellKey;
+use regcube_olap::fxhash::FxHashMap;
+use regcube_olap::{CubeSchema, CuboidSpec};
+use regcube_regress::Isb;
+use regcube_tilt::{TiltFrame, TiltSpec};
+use std::time::{Duration, Instant};
+
+/// One o-layer alarm raised at a unit close.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alarm {
+    /// The exceptional o-layer cell.
+    pub key: CellKey,
+    /// Its regression over the closed unit.
+    pub measure: Isb,
+    /// The score that fired (own slope or slot delta, per policy).
+    pub score: f64,
+    /// The threshold it passed.
+    pub threshold: f64,
+}
+
+/// The report of one closed m-layer unit.
+#[derive(Debug, Clone)]
+pub struct UnitReport {
+    /// The closed unit index.
+    pub unit: i64,
+    /// Distinct m-cells active in the unit.
+    pub m_cells: usize,
+    /// Alarms raised at the o-layer, hottest first.
+    pub alarms: Vec<Alarm>,
+    /// Exception cells retained between the layers.
+    pub exception_cells: u64,
+    /// Time spent recomputing the cube.
+    pub recompute_time: Duration,
+    /// Exception changes against the previous unit (`None` for the first
+    /// computed unit): fresh alerts, recoveries, persisting conditions.
+    pub diff: Option<ExceptionDiff>,
+}
+
+/// Configuration of an [`OnlineEngine`], built fluently:
+///
+/// ```
+/// use regcube_stream::online::EngineConfig;
+/// use regcube_core::ExceptionPolicy;
+/// use regcube_olap::{CubeSchema, CuboidSpec};
+///
+/// let schema = CubeSchema::synthetic(2, 2, 3).unwrap();
+/// let config = EngineConfig::new(
+///     schema,
+///     CuboidSpec::new(vec![0, 0]),   // o-layer
+///     CuboidSpec::new(vec![2, 2]),   // m-layer
+/// )
+/// .with_policy(ExceptionPolicy::slope_threshold(1.0))
+/// .with_ticks_per_unit(15);
+/// assert!(config.build().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Cube schema (standard dimensions).
+    pub schema: CubeSchema,
+    /// Primitive stream layer the raw records arrive at; defaults to the
+    /// m-layer (pre-aggregated input).
+    pub primitive: CuboidSpec,
+    /// Observation layer.
+    pub o_layer: CuboidSpec,
+    /// Minimal interesting layer.
+    pub m_layer: CuboidSpec,
+    /// Exception policy (threshold + reference mode); defaults to a
+    /// cube-wide threshold of 1.
+    pub policy: ExceptionPolicy,
+    /// Tilt frame shape; defaults to the paper's Figure 4 frame.
+    pub tilt_spec: TiltSpec,
+    /// Raw ticks per m-layer time unit; defaults to 15 (minutes/quarter).
+    pub ticks_per_unit: usize,
+    /// Cubing algorithm; defaults to m/o-cubing.
+    pub algorithm: Algorithm,
+}
+
+impl EngineConfig {
+    /// Starts a configuration with paper-style defaults (see field docs).
+    pub fn new(schema: CubeSchema, o_layer: CuboidSpec, m_layer: CuboidSpec) -> Self {
+        EngineConfig {
+            schema,
+            primitive: m_layer.clone(),
+            o_layer,
+            m_layer,
+            policy: ExceptionPolicy::slope_threshold(1.0),
+            tilt_spec: TiltSpec::paper_figure4(),
+            ticks_per_unit: 15,
+            algorithm: Algorithm::MoCubing,
+        }
+    }
+
+    /// Sets the primitive layer raw records arrive at.
+    #[must_use]
+    pub fn with_primitive(mut self, primitive: CuboidSpec) -> Self {
+        self.primitive = primitive;
+        self
+    }
+
+    /// Sets the exception policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ExceptionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the tilt frame specification.
+    #[must_use]
+    pub fn with_tilt(mut self, spec: TiltSpec) -> Self {
+        self.tilt_spec = spec;
+        self
+    }
+
+    /// Sets the number of raw ticks per m-layer unit.
+    #[must_use]
+    pub fn with_ticks_per_unit(mut self, ticks: usize) -> Self {
+        self.ticks_per_unit = ticks;
+        self
+    }
+
+    /// Sets the cubing algorithm.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    /// Configuration validation from the ingestor and cube substrates.
+    pub fn build(self) -> Result<OnlineEngine> {
+        OnlineEngine::new(self)
+    }
+}
+
+/// The online analysis engine.
+///
+/// Feed raw records with [`ingest`](Self::ingest); call
+/// [`close_unit`](Self::close_unit) at every m-layer time-unit boundary
+/// (e.g. every quarter of an hour). Each close:
+///
+/// 1. rolls the unit's records up to m-layer ISB tuples,
+/// 2. pushes every cell's unit ISB into its tilt frame (absent cells get
+///    a zero-usage fill so frames stay contiguous),
+/// 3. recomputes the regression cube over the unit window, and
+/// 4. raises alarms for exceptional o-layer cells, scoring with the
+///    policy's [`RefMode`](regcube_core::RefMode) against the previous
+///    unit's o-layer.
+#[derive(Debug)]
+pub struct OnlineEngine {
+    ingestor: Ingestor,
+    cube: RegressionCube,
+    tilt_spec: TiltSpec,
+    /// Per-m-cell tilt frames (the warehoused stream history).
+    frames: FxHashMap<CellKey, TiltFrame<Isb>>,
+    /// Per-o-cell tilt frames — "the cuboids at the o-layer should be
+    /// computed dynamically according to the tilt time frame model as
+    /// well" (Example 4): the observation deck at every granularity.
+    o_frames: FxHashMap<CellKey, TiltFrame<Isb>>,
+    prev_o_layer: FxHashMap<CellKey, Isb>,
+    history: CubeHistory,
+    ticks_per_unit: usize,
+    units_closed: u64,
+}
+
+impl OnlineEngine {
+    /// Creates an engine from a configuration (see [`EngineConfig`]).
+    ///
+    /// # Errors
+    /// Configuration validation from the ingestor and cube substrates.
+    pub fn new(config: EngineConfig) -> Result<Self> {
+        let EngineConfig {
+            schema,
+            primitive,
+            o_layer,
+            m_layer,
+            policy,
+            tilt_spec,
+            ticks_per_unit,
+            algorithm,
+        } = config;
+        let ingestor = Ingestor::new(
+            schema.clone(),
+            primitive,
+            m_layer.clone(),
+            ticks_per_unit,
+        )?;
+        let cube = RegressionCube::new(schema, o_layer, m_layer, policy)?;
+        let cube = match algorithm {
+            Algorithm::MoCubing => cube,
+            Algorithm::PopularPath => cube.with_popular_path(None)?,
+        };
+        Ok(OnlineEngine {
+            ingestor,
+            cube,
+            tilt_spec,
+            frames: FxHashMap::default(),
+            o_frames: FxHashMap::default(),
+            prev_o_layer: FxHashMap::default(),
+            history: CubeHistory::new(16),
+            ticks_per_unit,
+            units_closed: 0,
+        })
+    }
+
+    /// Ingests one raw record into the open unit.
+    ///
+    /// # Errors
+    /// See [`Ingestor::ingest`].
+    pub fn ingest(&mut self, record: &RawRecord) -> Result<()> {
+        self.ingestor.ingest(record)
+    }
+
+    /// The currently open unit index.
+    #[inline]
+    pub fn open_unit(&self) -> i64 {
+        self.ingestor.open_unit()
+    }
+
+    /// Units closed so far.
+    #[inline]
+    pub fn units_closed(&self) -> u64 {
+        self.units_closed
+    }
+
+    /// The per-cell tilt frame of an m-layer cell, if the cell has ever
+    /// been active.
+    pub fn tilt_frame(&self, key: &CellKey) -> Option<&TiltFrame<Isb>> {
+        self.frames.get(key)
+    }
+
+    /// The most recent cube result.
+    ///
+    /// # Errors
+    /// [`StreamError::Core`] before the first unit close.
+    pub fn cube(&self) -> Result<&CubeResult> {
+        self.cube.result().map_err(StreamError::from)
+    }
+
+    /// Closes the open unit and performs the per-unit pipeline.
+    ///
+    /// # Errors
+    /// Propagates substrate failures; an empty unit (no records at all)
+    /// yields a report with no alarms and leaves the cube untouched.
+    pub fn close_unit(&mut self) -> Result<UnitReport> {
+        let (unit, window) = (self.ingestor.open_unit(), self.ingestor.open_window());
+        let (_, cells) = self.ingestor.close_unit()?;
+        self.units_closed += 1;
+
+        // Tilt maintenance for the m-layer: active cells push their unit
+        // ISB; known but silent cells push a zero-usage fill.
+        push_unit_into_frames(
+            &mut self.frames,
+            &self.tilt_spec,
+            &cells,
+            unit,
+            window,
+            self.ticks_per_unit,
+        )?;
+
+        if cells.is_empty() {
+            return Ok(UnitReport {
+                unit,
+                m_cells: 0,
+                alarms: Vec::new(),
+                exception_cells: 0,
+                recompute_time: Duration::ZERO,
+                diff: None,
+            });
+        }
+
+        // Cube recomputation over the closed unit's window.
+        let tuples = Ingestor::to_mtuples(&cells);
+        let started = Instant::now();
+        self.cube.recompute(&tuples).map_err(StreamError::from)?;
+        let recompute_time = started.elapsed();
+
+        // O-layer alarms with the policy's reference mode.
+        let result = self.cube.result().map_err(StreamError::from)?;
+        let policy = result.policy().clone();
+        let o_layer = result.layers().o_layer().clone();
+        let threshold = policy.threshold_for(&o_layer);
+        let mut alarms = Vec::new();
+        let mut new_prev = FxHashMap::default();
+        for (key, measure) in result.o_table() {
+            let prev = self.prev_o_layer.get(key);
+            let score = policy.ref_mode().score(measure, prev);
+            if score >= threshold {
+                alarms.push(Alarm {
+                    key: key.clone(),
+                    measure: *measure,
+                    score,
+                    threshold,
+                });
+            }
+            new_prev.insert(key.clone(), *measure);
+        }
+        self.prev_o_layer = new_prev;
+        alarms.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.key.cmp(&b.key))
+        });
+
+        let diff = self.history.record(result);
+
+        // O-layer tilt frames: the observation deck at every granularity.
+        let o_cells: Vec<(CellKey, Isb)> = result
+            .o_table()
+            .iter()
+            .map(|(k, m)| (k.clone(), *m))
+            .collect();
+        let exception_cells = result.total_exception_cells();
+        push_unit_into_frames(
+            &mut self.o_frames,
+            &self.tilt_spec,
+            &o_cells,
+            unit,
+            window,
+            self.ticks_per_unit,
+        )?;
+
+        Ok(UnitReport {
+            unit,
+            m_cells: cells.len(),
+            alarms,
+            exception_cells,
+            recompute_time,
+            diff,
+        })
+    }
+
+    /// Access to the underlying cube facade (drilling, queries).
+    pub fn cube_facade(&self) -> &RegressionCube {
+        &self.cube
+    }
+
+    /// The per-window exception history (diffs, chronic conditions).
+    pub fn history(&self) -> &CubeHistory {
+        &self.history
+    }
+
+    /// The tilt frame of an o-layer cell: its regression history at every
+    /// granularity the spec registers (e.g. "this city's last day at hour
+    /// precision" via [`TiltFrame::merge_level`]).
+    pub fn o_layer_frame(&self, key: &CellKey) -> Option<&TiltFrame<Isb>> {
+        self.o_frames.get(key)
+    }
+}
+
+/// Pushes one closed unit into a family of per-cell tilt frames: active
+/// cells receive their unit ISB (new cells are zero-backfilled so their
+/// timeline starts at the epoch), inactive-but-known cells receive a
+/// zero-usage fill. Keeps every frame contiguous with the global clock.
+fn push_unit_into_frames(
+    frames: &mut FxHashMap<CellKey, TiltFrame<Isb>>,
+    spec: &TiltSpec,
+    active_cells: &[(CellKey, Isb)],
+    unit: i64,
+    window: (i64, i64),
+    ticks_per_unit: usize,
+) -> Result<()> {
+    let zero_fill = Isb::new(window.0, window.1, 0.0, 0.0).map_err(StreamError::from)?;
+    let mut active: regcube_olap::fxhash::FxHashSet<&CellKey> =
+        regcube_olap::fxhash::FxHashSet::default();
+    for (key, isb) in active_cells {
+        active.insert(key);
+        let frame = frames
+            .entry(key.clone())
+            .or_insert_with(|| TiltFrame::new(spec.clone()));
+        if frame.next_unit() == 0 && unit > 0 {
+            // Backfill zero slots so the frame timeline matches the
+            // global unit clock.
+            for u in 0..unit {
+                let s = u * ticks_per_unit as i64;
+                let fill = Isb::new(s, s + ticks_per_unit as i64 - 1, 0.0, 0.0)
+                    .map_err(StreamError::from)?;
+                frame.push(fill).map_err(StreamError::from)?;
+            }
+        }
+        frame.push(*isb).map_err(StreamError::from)?;
+    }
+    for (key, frame) in frames.iter_mut() {
+        if !active.contains(key) {
+            frame.push(zero_fill).map_err(StreamError::from)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regcube_core::RefMode;
+
+    /// 2 dims (depth 2, fanout 2); primitive = m-layer; o-layer = apex;
+    /// 4 ticks per unit; small tilt frame.
+    fn engine(policy: ExceptionPolicy) -> OnlineEngine {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        EngineConfig::new(
+            schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .with_policy(policy)
+        .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
+        .with_ticks_per_unit(4)
+        .build()
+        .unwrap()
+    }
+
+    fn feed_unit(e: &mut OnlineEngine, unit: i64, slope: f64) {
+        let t0 = unit * 4;
+        for t in t0..t0 + 4 {
+            e.ingest(&RawRecord::new(vec![0, 0], t, slope * (t - t0) as f64))
+                .unwrap();
+            e.ingest(&RawRecord::new(vec![3, 2], t, 1.0)).unwrap();
+        }
+    }
+
+    #[test]
+    fn quiet_stream_raises_no_alarms() {
+        let mut e = engine(ExceptionPolicy::slope_threshold(1.0));
+        feed_unit(&mut e, 0, 0.1);
+        let report = e.close_unit().unwrap();
+        assert_eq!(report.unit, 0);
+        assert_eq!(report.m_cells, 2);
+        assert!(report.alarms.is_empty());
+        assert_eq!(e.units_closed(), 1);
+    }
+
+    #[test]
+    fn hot_stream_raises_an_alarm() {
+        let mut e = engine(ExceptionPolicy::slope_threshold(1.0));
+        feed_unit(&mut e, 0, 2.0);
+        let report = e.close_unit().unwrap();
+        assert_eq!(report.alarms.len(), 1);
+        let alarm = &report.alarms[0];
+        assert!(alarm.score >= 1.0);
+        assert_eq!(alarm.threshold, 1.0);
+        assert_eq!(alarm.key.ids(), &[0, 0], "apex cell");
+        assert!(report.diff.is_none(), "first unit has no previous window");
+    }
+
+    #[test]
+    fn unit_diffs_surface_fresh_and_cleared_exceptions() {
+        let mut e = engine(ExceptionPolicy::slope_threshold(1.0));
+        // Unit 0: hot; unit 1: identical; unit 2: calm.
+        feed_unit(&mut e, 0, 2.0);
+        e.close_unit().unwrap();
+        feed_unit(&mut e, 1, 2.0);
+        let steady = e.close_unit().unwrap();
+        let diff = steady.diff.expect("second unit diffs");
+        assert!(diff.is_quiet(), "unchanged exceptions: {diff:?}");
+        assert!(!diff.persisted.is_empty());
+
+        feed_unit(&mut e, 2, 0.01);
+        let calm = e.close_unit().unwrap();
+        let diff = calm.diff.expect("third unit diffs");
+        assert!(!diff.cleared.is_empty(), "the hot chain recovered");
+        assert!(diff.appeared.is_empty());
+        assert_eq!(e.history().len(), 3);
+        assert!(e.history().chronic_exceptions().is_empty());
+    }
+
+    #[test]
+    fn o_layer_frames_track_the_observation_deck() {
+        let mut e = engine(ExceptionPolicy::never());
+        for u in 0..5 {
+            feed_unit(&mut e, u, 0.5);
+            e.close_unit().unwrap();
+        }
+        // The apex o-cell has a frame spanning all 5 units (4 ticks each).
+        let apex = CellKey::new(vec![0, 0]);
+        let frame = e.o_layer_frame(&apex).expect("o-frame exists");
+        assert_eq!(frame.next_unit(), 5);
+        let merged = frame.merge_all().unwrap().unwrap();
+        assert_eq!(merged.interval(), (0, 19));
+        // The per-unit sawtooth has a strong within-unit trend but a flat
+        // cross-unit one; the newest fine slot shows the within-unit ramp.
+        let newest = frame.merge_recent(0, 1).unwrap().unwrap();
+        assert!(newest.slope() > 0.4, "slope {}", newest.slope());
+        assert!(merged.slope().abs() < newest.slope());
+        // Unknown o-cells have no frame.
+        assert!(e.o_layer_frame(&CellKey::new(vec![9, 9])).is_none());
+    }
+
+    #[test]
+    fn slot_delta_mode_fires_on_change_not_level() {
+        let policy = ExceptionPolicy::slope_threshold(1.0).with_ref_mode(RefMode::SlotDelta);
+        let mut e = engine(policy);
+        // Unit 0: steady strong trend. First unit: delta falls back to own
+        // slope -> alarm.
+        feed_unit(&mut e, 0, 2.0);
+        let r0 = e.close_unit().unwrap();
+        assert_eq!(r0.alarms.len(), 1);
+        // Unit 1: the *same* strong trend -> delta ≈ 0 -> no alarm.
+        feed_unit(&mut e, 1, 2.0);
+        let r1 = e.close_unit().unwrap();
+        assert!(r1.alarms.is_empty(), "steady trend must not re-alarm");
+        // Unit 2: trend collapses -> large delta -> alarm.
+        feed_unit(&mut e, 2, -0.5);
+        let r2 = e.close_unit().unwrap();
+        assert_eq!(r2.alarms.len(), 1);
+    }
+
+    #[test]
+    fn tilt_frames_track_cells_across_units() {
+        let mut e = engine(ExceptionPolicy::never());
+        feed_unit(&mut e, 0, 0.5);
+        e.close_unit().unwrap();
+        // Unit 1: only cell (0,0) active; (3,2) gets a zero fill.
+        let t0 = 4;
+        for t in t0..t0 + 4 {
+            e.ingest(&RawRecord::new(vec![0, 0], t, 1.0)).unwrap();
+        }
+        e.close_unit().unwrap();
+
+        let f_active = e.tilt_frame(&CellKey::new(vec![0, 0])).unwrap();
+        assert_eq!(f_active.next_unit(), 2);
+        let f_idle = e.tilt_frame(&CellKey::new(vec![3, 2])).unwrap();
+        assert_eq!(f_idle.next_unit(), 2);
+        let merged = f_idle.merge_all().unwrap().unwrap();
+        assert_eq!(merged.interval(), (0, 7));
+        // Unknown cells have no frame.
+        assert!(e.tilt_frame(&CellKey::new(vec![1, 1])).is_none());
+    }
+
+    #[test]
+    fn late_cells_get_backfilled_frames() {
+        let mut e = engine(ExceptionPolicy::never());
+        feed_unit(&mut e, 0, 0.5);
+        e.close_unit().unwrap();
+        // A brand-new cell appears in unit 1.
+        for t in 4..8 {
+            e.ingest(&RawRecord::new(vec![1, 1], t, 2.0)).unwrap();
+            e.ingest(&RawRecord::new(vec![0, 0], t, 0.1)).unwrap();
+        }
+        e.close_unit().unwrap();
+        let f = e.tilt_frame(&CellKey::new(vec![1, 1])).unwrap();
+        let merged = f.merge_all().unwrap().unwrap();
+        assert_eq!(merged.interval(), (0, 7), "backfilled from the epoch");
+    }
+
+    #[test]
+    fn empty_units_are_benign() {
+        let mut e = engine(ExceptionPolicy::always());
+        let report = e.close_unit().unwrap();
+        assert_eq!(report.m_cells, 0);
+        assert!(report.alarms.is_empty());
+        assert!(e.cube().is_err(), "no cube before the first active unit");
+        // Next unit works normally.
+        feed_unit(&mut e, 1, 0.2);
+        let r1 = e.close_unit().unwrap();
+        assert_eq!(r1.m_cells, 2);
+        assert!(e.cube().is_ok());
+    }
+
+    #[test]
+    fn popular_path_engine_works_too() {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let mut e = EngineConfig::new(
+            schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .with_policy(ExceptionPolicy::slope_threshold(0.5))
+        .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
+        .with_ticks_per_unit(4)
+        .with_algorithm(Algorithm::PopularPath)
+        .build()
+        .unwrap();
+        feed_unit(&mut e, 0, 2.0);
+        let report = e.close_unit().unwrap();
+        assert_eq!(report.alarms.len(), 1);
+        assert_eq!(
+            e.cube().unwrap().algorithm(),
+            Algorithm::PopularPath
+        );
+    }
+}

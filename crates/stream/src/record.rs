@@ -1,0 +1,34 @@
+//! Raw stream records at the primitive layer.
+
+/// One raw measurement: member coordinates at the *primitive* layer (the
+/// lowest granularity collected, e.g. `(individual user, street address)`),
+/// the minute-level tick, and the measured value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawRecord {
+    /// Member ids at the primitive layer's levels, one per dimension.
+    pub ids: Vec<u32>,
+    /// Absolute fine-grained tick (e.g. minute index).
+    pub tick: i64,
+    /// Measured value (e.g. kWh in the minute).
+    pub value: f64,
+}
+
+impl RawRecord {
+    /// Creates a record.
+    pub fn new(ids: Vec<u32>, tick: i64, value: f64) -> Self {
+        RawRecord { ids, tick, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let r = RawRecord::new(vec![3, 1], 42, 0.5);
+        assert_eq!(r.ids, vec![3, 1]);
+        assert_eq!(r.tick, 42);
+        assert_eq!(r.value, 0.5);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for ingestion: hierarchy projection and per-unit OLS
+//! must conserve the stream's mass and match direct fits.
+
+use proptest::prelude::*;
+use regcube_olap::{CubeSchema, CuboidSpec};
+use regcube_regress::{Isb, TimeSeries};
+use regcube_stream::{Ingestor, RawRecord};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sum of ingested record values equals the sum of the fitted
+    /// ISBs' series sums (per unit, across all cells) — nothing is lost
+    /// or double-counted by projection/accumulation.
+    #[test]
+    fn ingestion_conserves_mass(
+        records in prop::collection::vec(
+            (prop::collection::vec(0u32..9, 2), 0i64..8, -10.0..10.0f64),
+            1..120,
+        ),
+    ) {
+        let schema = CubeSchema::synthetic(2, 2, 3).unwrap();
+        let mut ing = Ingestor::new(
+            schema,
+            CuboidSpec::new(vec![2, 2]),
+            CuboidSpec::new(vec![1, 1]),
+            8,
+        ).unwrap();
+        let mut total = 0.0;
+        for (ids, tick, value) in &records {
+            ing.ingest(&RawRecord::new(ids.clone(), *tick, *value)).unwrap();
+            total += value;
+        }
+        let (_, cells) = ing.close_unit().unwrap();
+        let fitted_total: f64 = cells.iter().map(|(_, isb)| isb.sum_z()).sum();
+        prop_assert!((fitted_total - total).abs() < 1e-6 * (1.0 + total.abs()),
+            "fitted {} vs ingested {}", fitted_total, total);
+    }
+
+    /// Ingesting a dense per-tick series for one cell yields exactly the
+    /// direct OLS fit of that series.
+    #[test]
+    fn dense_cell_matches_direct_fit(
+        values in prop::collection::vec(-100.0..100.0f64, 8),
+    ) {
+        let schema = CubeSchema::synthetic(1, 1, 4).unwrap();
+        let mut ing = Ingestor::new(
+            schema,
+            CuboidSpec::new(vec![1]),
+            CuboidSpec::new(vec![1]),
+            8,
+        ).unwrap();
+        for (t, v) in values.iter().enumerate() {
+            ing.ingest(&RawRecord::new(vec![2], t as i64, *v)).unwrap();
+        }
+        let (_, cells) = ing.close_unit().unwrap();
+        prop_assert_eq!(cells.len(), 1);
+        let direct = Isb::fit(&TimeSeries::new(0, values.clone()).unwrap()).unwrap();
+        prop_assert!(cells[0].1.approx_eq(&direct, 1e-9));
+    }
+
+    /// Unit windows tile the timeline: closing `u` units leaves the open
+    /// window starting exactly at `u * ticks`.
+    #[test]
+    fn windows_tile(units in 1usize..6, ticks in 1usize..6) {
+        let schema = CubeSchema::synthetic(1, 1, 2).unwrap();
+        let mut ing = Ingestor::new(
+            schema,
+            CuboidSpec::new(vec![1]),
+            CuboidSpec::new(vec![1]),
+            ticks,
+        ).unwrap();
+        for u in 0..units {
+            let (first, last) = ing.open_window();
+            prop_assert_eq!(first, (u * ticks) as i64);
+            prop_assert_eq!(last, ((u + 1) * ticks) as i64 - 1);
+            ing.ingest(&RawRecord::new(vec![0], first, 1.0)).unwrap();
+            let (closed, cells) = ing.close_unit().unwrap();
+            prop_assert_eq!(closed, u as i64);
+            prop_assert_eq!(cells.len(), 1);
+            prop_assert_eq!(cells[0].1.interval(), (first, last));
+        }
+    }
+}

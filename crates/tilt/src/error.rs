@@ -1,0 +1,77 @@
+//! Error type for the tilt-frame substrate.
+
+use regcube_regress::RegressError;
+use std::fmt;
+
+/// Errors produced by tilt-frame construction and ingestion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TiltError {
+    /// A tilt specification was structurally invalid.
+    BadSpec {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A pushed measure does not continue the frame's timeline.
+    OutOfOrder {
+        /// Description of the discontinuity.
+        detail: String,
+    },
+    /// A query addressed a granularity level the spec does not have.
+    UnknownLevel {
+        /// Offending level index.
+        level: usize,
+        /// Number of levels in the spec.
+        count: usize,
+    },
+    /// Merging measures failed (e.g. non-contiguous ISB intervals).
+    Merge(RegressError),
+}
+
+impl fmt::Display for TiltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TiltError::BadSpec { detail } => write!(f, "bad tilt spec: {detail}"),
+            TiltError::OutOfOrder { detail } => write!(f, "out-of-order push: {detail}"),
+            TiltError::UnknownLevel { level, count } => {
+                write!(f, "tilt level {level} out of range (spec has {count})")
+            }
+            TiltError::Merge(e) => write!(f, "measure merge failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TiltError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TiltError::Merge(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RegressError> for TiltError {
+    fn from(e: RegressError) -> Self {
+        TiltError::Merge(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let cases = vec![
+            TiltError::BadSpec { detail: "x".into() },
+            TiltError::OutOfOrder { detail: "y".into() },
+            TiltError::UnknownLevel { level: 9, count: 4 },
+            TiltError::Merge(RegressError::NoInputs),
+        ];
+        for c in &cases {
+            assert!(!c.to_string().is_empty());
+        }
+        assert!(cases[3].source().is_some());
+        assert!(cases[0].source().is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! Tilt-frame specifications: the granularity ladder.
+
+use crate::error::TiltError;
+use crate::Result;
+
+/// One granularity level of a tilt frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSpec {
+    /// Human-readable unit name ("quarter", "hour", …).
+    pub name: String,
+    /// Capacity in slots. For every level but the coarsest this is also
+    /// the promotion group: when `group` slots complete, they merge into
+    /// one slot of the next level. The coarsest level's `group` is pure
+    /// retention — its oldest slot ages out on overflow.
+    pub group: usize,
+}
+
+/// A tilt time frame specification: levels ordered finest → coarsest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TiltSpec {
+    levels: Vec<LevelSpec>,
+}
+
+impl TiltSpec {
+    /// Builds a spec from `(name, group)` pairs ordered finest → coarsest.
+    ///
+    /// # Errors
+    /// [`TiltError::BadSpec`] when no levels are given or any group is
+    /// smaller than 2 (a group of 1 would promote every slot immediately
+    /// and the level could never be observed).
+    pub fn new(levels: Vec<(&str, usize)>) -> Result<Self> {
+        if levels.is_empty() {
+            return Err(TiltError::BadSpec {
+                detail: "tilt spec needs at least one level".into(),
+            });
+        }
+        if let Some((name, g)) = levels.iter().find(|(_, g)| *g < 2) {
+            return Err(TiltError::BadSpec {
+                detail: format!("level {name} has group {g}; groups must be >= 2"),
+            });
+        }
+        Ok(TiltSpec {
+            levels: levels
+                .into_iter()
+                .map(|(name, group)| LevelSpec {
+                    name: name.to_string(),
+                    group,
+                })
+                .collect(),
+        })
+    }
+
+    /// The paper's Figure 4 frame: 4 quarters, 24 hours, 31 days,
+    /// 12 months.
+    pub fn paper_figure4() -> TiltSpec {
+        TiltSpec::new(vec![
+            ("quarter", 4),
+            ("hour", 24),
+            ("day", 31),
+            ("month", 12),
+        ])
+        .expect("static spec is valid")
+    }
+
+    /// The levels, finest first.
+    #[inline]
+    pub fn levels(&self) -> &[LevelSpec] {
+        &self.levels
+    }
+
+    /// Number of granularity levels.
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Maximum number of retained slots: `Σ group`.
+    /// Figure 4: `4 + 24 + 31 + 12 = 71`.
+    pub fn capacity_slots(&self) -> usize {
+        self.levels.iter().map(|l| l.group).sum()
+    }
+
+    /// How many finest units one unit of `level` spans:
+    /// `∏_{i < level} group_i`.
+    pub fn finest_units_per(&self, level: usize) -> Result<u64> {
+        if level >= self.levels.len() {
+            return Err(TiltError::UnknownLevel {
+                level,
+                count: self.levels.len(),
+            });
+        }
+        Ok(self.levels[..level]
+            .iter()
+            .map(|l| l.group as u64)
+            .product())
+    }
+
+    /// Total finest units the full frame spans when every level is at
+    /// capacity. Figure 4: `4 + 24·4 + 31·96 + 12·2976 = 38,788` quarters
+    /// — more than a flat year because the month level alone retains 12
+    /// months of 31 days.
+    pub fn span_finest_units(&self) -> u64 {
+        let mut span = 0u64;
+        let mut per_unit = 1u64;
+        for l in &self.levels {
+            span += per_unit * l.group as u64;
+            per_unit *= l.group as u64;
+        }
+        span
+    }
+
+    /// The flat-registration slot count the paper compares against: the
+    /// number of finest units in `flat_span` (e.g. a 366-day year of
+    /// quarters = 35,136), divided by the frame's capacity to obtain the
+    /// saving ratio.
+    pub fn compression_ratio(&self, flat_slots: u64) -> f64 {
+        flat_slots as f64 / self.capacity_slots() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_spec_matches_example3() {
+        let spec = TiltSpec::paper_figure4();
+        assert_eq!(spec.num_levels(), 4);
+        assert_eq!(spec.capacity_slots(), 71);
+        // Example 3: a year registered flat at quarter granularity needs
+        // 366 * 24 * 4 = 35,136 units; the tilt frame registers 71 —
+        // "a saving of about 495 times".
+        let flat = 366 * 24 * 4;
+        assert_eq!(flat, 35_136);
+        let ratio = spec.compression_ratio(flat);
+        assert!((ratio - 494.87).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn unit_spans() {
+        let spec = TiltSpec::paper_figure4();
+        assert_eq!(spec.finest_units_per(0).unwrap(), 1); // quarter
+        assert_eq!(spec.finest_units_per(1).unwrap(), 4); // hour
+        assert_eq!(spec.finest_units_per(2).unwrap(), 96); // day
+        assert_eq!(spec.finest_units_per(3).unwrap(), 2976); // "month"
+        assert!(spec.finest_units_per(4).is_err());
+        assert_eq!(spec.span_finest_units(), 4 + 96 + 2976 + 35_712);
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected() {
+        assert!(TiltSpec::new(vec![]).is_err());
+        assert!(TiltSpec::new(vec![("a", 1)]).is_err());
+        assert!(TiltSpec::new(vec![("a", 0)]).is_err());
+        assert!(TiltSpec::new(vec![("a", 2)]).is_ok());
+    }
+
+    #[test]
+    fn level_names_are_kept() {
+        let spec = TiltSpec::paper_figure4();
+        let names: Vec<&str> = spec.levels().iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, vec!["quarter", "hour", "day", "month"]);
+    }
+}

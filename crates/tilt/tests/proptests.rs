@@ -1,0 +1,96 @@
+//! Property tests: tilt-frame promotion must be lossless for ISB measures
+//! and bounded in retention for any measure.
+
+use proptest::prelude::*;
+use regcube_regress::{Isb, TimeSeries};
+use regcube_tilt::mergeable::CountSum;
+use regcube_tilt::{TiltFrame, TiltSpec};
+
+fn spec_strategy() -> impl Strategy<Value = TiltSpec> {
+    // 2-4 levels, groups 2..6.
+    prop::collection::vec(2usize..6, 2..5).prop_map(|groups| {
+        let named: Vec<(String, usize)> = groups
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (format!("l{i}"), g))
+            .collect();
+        TiltSpec::new(named.iter().map(|(n, g)| (n.as_str(), *g)).collect()).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After any number of pushes, merging the whole frame reproduces the
+    /// exact OLS fit of the *retained* span of the underlying series.
+    #[test]
+    fn merge_all_is_exact_over_retained_span(
+        spec in spec_strategy(),
+        values in prop::collection::vec(-50.0..50.0f64, 8..120),
+        ticks_per_unit in 2i64..6,
+    ) {
+        let units = values.len();
+        // Build one long series: unit u covers ticks [u*tpu, (u+1)*tpu).
+        let total_ticks = units as i64 * ticks_per_unit;
+        let series = TimeSeries::from_fn(0, total_ticks - 1, |t| {
+            let u = (t / ticks_per_unit) as usize;
+            values[u] + 0.01 * t as f64
+        }).unwrap();
+
+        let mut frame: TiltFrame<Isb> = TiltFrame::new(spec);
+        for u in 0..units as i64 {
+            let w = series.window(u * ticks_per_unit, (u + 1) * ticks_per_unit - 1).unwrap();
+            frame.push(Isb::fit(&w).unwrap()).unwrap();
+        }
+
+        if let Some(merged) = frame.merge_all().unwrap() {
+            // The retained span may exclude expired old ticks.
+            let direct = Isb::fit(
+                &series.window(merged.start(), merged.end()).unwrap()
+            ).unwrap();
+            prop_assert!(merged.approx_eq(&direct, 1e-6), "{merged} vs {direct}");
+            prop_assert_eq!(merged.end(), total_ticks - 1, "newest data always retained");
+        }
+    }
+
+    /// Retention never exceeds the spec capacity, and the timeline stays
+    /// contiguous oldest -> newest.
+    #[test]
+    fn retention_is_bounded_and_contiguous(
+        spec in spec_strategy(),
+        units in 1u64..500,
+    ) {
+        let mut frame: TiltFrame<CountSum> = TiltFrame::new(spec.clone());
+        for u in 0..units {
+            frame.push(CountSum::unit(u, 1.0)).unwrap();
+            prop_assert!(frame.retained_slots() <= spec.capacity_slots());
+        }
+        let stats = frame.stats();
+        prop_assert_eq!(stats.ingested_units, units);
+        // Conservation: retained units + expired units == ingested units.
+        let retained_units: u64 = frame
+            .timeline()
+            .iter()
+            .map(|(_, slot)| slot.measure.units)
+            .sum();
+        prop_assert_eq!(retained_units + stats.expired_units, units);
+        // Contiguity of the retained timeline.
+        let tl = frame.timeline();
+        for pair in tl.windows(2) {
+            let (_, a) = pair[0];
+            let (_, b) = pair[1];
+            prop_assert_eq!(b.measure.start_unit, a.measure.start_unit + a.measure.units);
+        }
+    }
+
+    /// Pushing in order never fails; pushing a gap always fails.
+    #[test]
+    fn gap_detection(spec in spec_strategy(), skip in 1u64..10) {
+        let mut frame: TiltFrame<CountSum> = TiltFrame::new(spec);
+        frame.push(CountSum::unit(0, 0.0)).unwrap();
+        let bad = CountSum::unit(1 + skip, 0.0);
+        prop_assert!(frame.push(bad).is_err());
+        // The failed push must not corrupt the frame.
+        prop_assert!(frame.push(CountSum::unit(1, 0.0)).is_ok());
+    }
+}

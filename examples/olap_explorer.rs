@@ -1,0 +1,111 @@
+//! An analyst session over a synthetic `D3L2C4T2K` stream cube: compute
+//! once with m/o-cubing, then explore — alarms, top-k hot cells of any
+//! cuboid (materialized or not), on-the-fly point queries, sibling ranks,
+//! and exception drill-down.
+//!
+//! ```text
+//! cargo run --example olap_explorer
+//! ```
+
+use regcube::core::query;
+use regcube::prelude::*;
+
+fn main() {
+    // ---- A generated workload -------------------------------------------
+    let spec: DatasetSpec = "D3L2C4T2K".parse().expect("valid spec");
+    let dataset = Dataset::generate(spec.with_seed(42)).expect("generates");
+    println!(
+        "dataset {}: {} distinct m-layer streams over window {:?}",
+        dataset.spec,
+        dataset.tuples.len(),
+        dataset.window()
+    );
+
+    let layers = CriticalLayers::new(
+        &dataset.schema,
+        dataset.o_layer.clone(),
+        dataset.m_layer.clone(),
+    )
+    .expect("valid layers");
+    let tuples: Vec<MTuple> = dataset
+        .tuples
+        .iter()
+        .map(|t| MTuple::new(t.ids.clone(), t.isb))
+        .collect();
+
+    // Calibrate the threshold to ~2% exceptional m-cells.
+    let scores = regcube::datagen::calibrate::m_layer_scores(&dataset.tuples);
+    let threshold = regcube::datagen::calibrate::threshold_for_rate(&scores, 0.02);
+    let policy = ExceptionPolicy::slope_threshold(threshold);
+    println!("calibrated slope threshold: {threshold:.3} (~2% of m-cells)\n");
+
+    // The cuboid lattice between the layers, Figure 6-style (the default
+    // popular path starred).
+    let path = PopularPath::default_for(layers.lattice()).expect("path");
+    println!("lattice between the layers (popular path starred):");
+    print!("{}", layers.lattice().render(|c| path.contains(c)));
+    println!();
+
+    let cube = mo_cubing::compute(&dataset.schema, &layers, &policy, &tuples)
+        .expect("cubes");
+    let stats = cube.stats();
+    println!(
+        "cube: {} cuboids, {} cells computed, {} retained ({} exceptions) in {:?}",
+        stats.cuboids_computed,
+        stats.cells_computed,
+        stats.cells_retained,
+        stats.exception_cells,
+        stats.elapsed
+    );
+
+    // ---- The o-layer alarm list ------------------------------------------
+    println!("\no-layer alarms (hottest first):");
+    for (key, measure) in cube.exceptional_o_cells().into_iter().take(5) {
+        println!("  {key}: slope {:+.3}", measure.slope());
+    }
+
+    // ---- Top-k of an arbitrary (non-materialized) cuboid ------------------
+    let mid = CuboidSpec::new(vec![1, 2, 1]);
+    println!("\ntop-3 cells of cuboid {mid} (computed on the fly):");
+    for cell in query::top_k_cells(&dataset.schema, &cube, &mid, 3).expect("queries") {
+        println!("  {}: slope {:+.3}", cell.key, cell.measure.slope());
+
+        // Sibling context: is this cell hot among its siblings on dim 1?
+        if let Some((rank, of)) =
+            query::sibling_rank(&dataset.schema, &cube, &mid, &cell.key, 1)
+                .expect("ranks")
+        {
+            println!("      sibling rank on dim B: {rank}/{of}");
+        }
+    }
+
+    // ---- Drill the hottest alarm to its m-layer supporters ----------------
+    if let Some((key, _)) = cube.exceptional_o_cells().first() {
+        println!("\nexception supporters under o-cell {key}:");
+        let hits =
+            regcube::core::drill::drill_descendants(&dataset.schema, &cube, layers.o_layer(), key);
+        for hit in hits.iter().take(6) {
+            println!(
+                "  {} {}: slope {:+.3}",
+                hit.cuboid,
+                hit.key,
+                hit.measure.slope()
+            );
+        }
+        if hits.len() > 6 {
+            println!("  ... and {} more", hits.len() - 6);
+        }
+    }
+
+    // ---- Point query for a cell nothing materialized ----------------------
+    let probe_cuboid = CuboidSpec::new(vec![2, 1, 0]);
+    let probe_key = CellKey::new(vec![3, 1, 0]);
+    match query::cell_measure(&dataset.schema, &cube, &probe_cuboid, &probe_key)
+        .expect("queries")
+    {
+        Some(m) => println!(
+            "\npoint query {probe_cuboid}{probe_key}: {m} (aggregated on demand)"
+        ),
+        None => println!("\npoint query {probe_cuboid}{probe_key}: empty in this window"),
+    }
+}

@@ -1,0 +1,182 @@
+//! Failure injection: adversarial and degenerate inputs must produce
+//! errors (or well-defined results), never panics, across the public API.
+
+use regcube::core::result::Algorithm;
+use regcube::prelude::*;
+use regcube::stream::online::EngineConfig;
+use regcube::stream::StreamError;
+
+#[test]
+fn non_finite_values_flow_through_without_panicking() {
+    // NaN/Inf observations are the stream reality of broken sensors. The
+    // math propagates them (fits become NaN) but nothing panics, and the
+    // exception policy treats NaN scores as non-exceptional (NaN >= t is
+    // false), so broken cells never trigger alarms by accident.
+    let z = TimeSeries::new(0, vec![1.0, f64::NAN, 2.0, f64::INFINITY]).unwrap();
+    let fit = LinearFit::fit(&z);
+    assert!(fit.slope.is_nan() || fit.slope.is_infinite());
+
+    let isb = Isb::fit(&z).unwrap();
+    let schema = CubeSchema::synthetic(1, 1, 2).unwrap();
+    let layers = CriticalLayers::new(
+        &schema,
+        CuboidSpec::new(vec![0]),
+        CuboidSpec::new(vec![1]),
+    )
+    .unwrap();
+    let cube = mo_cubing::compute(
+        &schema,
+        &layers,
+        &ExceptionPolicy::slope_threshold(0.5),
+        &[MTuple::new(vec![0], isb)],
+    )
+    .unwrap();
+    assert_eq!(cube.exceptional_o_cells().len(), 0, "NaN never alarms");
+}
+
+#[test]
+fn extreme_magnitudes_and_ticks_stay_finite_where_they_should() {
+    // Huge-but-finite values: the fit remains finite.
+    let z = TimeSeries::from_fn(1_000_000_000, 1_000_000_063, |t| {
+        1e12 + 1e6 * (t % 7) as f64
+    })
+    .unwrap();
+    let isb = Isb::fit(&z).unwrap();
+    assert!(isb.base().is_finite() && isb.slope().is_finite());
+    // Round-trips survive the magnitude.
+    let back = isb.to_intval().to_isb();
+    let tol = 1e-6 * isb.base().abs().max(1.0);
+    assert!(back.approx_eq(&isb, tol));
+}
+
+#[test]
+fn mismatched_windows_are_rejected_not_merged() {
+    let a = Isb::new(0, 9, 1.0, 0.1).unwrap();
+    let b = Isb::new(0, 19, 1.0, 0.1).unwrap();
+    assert!(aggregate::merge_standard(&[a, b]).is_err());
+
+    let schema = CubeSchema::synthetic(1, 1, 2).unwrap();
+    let layers = CriticalLayers::new(
+        &schema,
+        CuboidSpec::new(vec![0]),
+        CuboidSpec::new(vec![1]),
+    )
+    .unwrap();
+    let tuples = vec![MTuple::new(vec![0], a), MTuple::new(vec![1], b)];
+    assert!(mo_cubing::compute(&schema, &layers, &ExceptionPolicy::never(), &tuples).is_err());
+    assert!(
+        popular_path::compute(&schema, &layers, &ExceptionPolicy::never(), None, &tuples)
+            .is_err()
+    );
+}
+
+#[test]
+fn engine_survives_a_burst_of_bad_records() {
+    let schema = CubeSchema::synthetic(2, 1, 2).unwrap();
+    let mut engine = EngineConfig::new(
+        schema,
+        CuboidSpec::new(vec![0, 0]),
+        CuboidSpec::new(vec![1, 1]),
+    )
+    .with_ticks_per_unit(4)
+    .with_algorithm(Algorithm::MoCubing)
+    .build()
+    .unwrap();
+
+    // Wrong arity, out-of-range member, out-of-window tick — all rejected.
+    assert!(matches!(
+        engine.ingest(&RawRecord::new(vec![0], 0, 1.0)),
+        Err(StreamError::BadRecord { .. })
+    ));
+    assert!(matches!(
+        engine.ingest(&RawRecord::new(vec![0, 9], 0, 1.0)),
+        Err(StreamError::BadRecord { .. })
+    ));
+    assert!(matches!(
+        engine.ingest(&RawRecord::new(vec![0, 0], 99, 1.0)),
+        Err(StreamError::OutOfWindow { .. })
+    ));
+
+    // The engine still works normally afterwards.
+    for t in 0..4 {
+        engine.ingest(&RawRecord::new(vec![0, 0], t, t as f64)).unwrap();
+    }
+    let report = engine.close_unit().unwrap();
+    assert_eq!(report.m_cells, 1);
+}
+
+#[test]
+fn queries_on_foreign_cuboids_error_cleanly() {
+    let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+    let layers = CriticalLayers::new(
+        &schema,
+        CuboidSpec::new(vec![1, 1]),
+        CuboidSpec::new(vec![2, 2]),
+    )
+    .unwrap();
+    let z = TimeSeries::from_fn(0, 9, |t| t as f64).unwrap();
+    let cube = mo_cubing::compute(
+        &schema,
+        &layers,
+        &ExceptionPolicy::never(),
+        &[MTuple::new(vec![0, 0], Isb::fit(&z).unwrap())],
+    )
+    .unwrap();
+
+    // A cuboid outside the lattice (coarser than the o-layer) still
+    // answers point queries (aggregation is defined), while drilling it
+    // returns nothing rather than panicking.
+    let apex = CuboidSpec::new(vec![0, 0]);
+    let key = CellKey::new(vec![0, 0]);
+    let measure = regcube::core::query::cell_measure(&schema, &cube, &apex, &key).unwrap();
+    assert!(measure.is_some());
+    let hits = regcube::core::drill::drill_descendants(&schema, &cube, &apex, &key);
+    assert!(hits.iter().all(|h| layers.lattice().contains(&h.cuboid)));
+
+    // Arity-mismatched keys simply miss (no panic) in retained lookups.
+    assert!(cube.get(layers.m_layer(), &CellKey::new(vec![0])).is_none());
+}
+
+#[test]
+fn tilt_frame_rejects_duplicate_and_ancient_pushes() {
+    let mut frame: TiltFrame<Isb> = TiltFrame::new(TiltSpec::paper_figure4());
+    let q0 = Isb::new(0, 14, 1.0, 0.0).unwrap();
+    frame.push(q0).unwrap();
+    // Pushing the same quarter again is a gap violation.
+    assert!(frame.push(q0).is_err());
+    // Pushing something older than the frame's head fails too.
+    let ancient = Isb::new(-30, -16, 1.0, 0.0).unwrap();
+    assert!(frame.push(ancient).is_err());
+    // The frame is still usable.
+    let q1 = Isb::new(15, 29, 1.0, 0.0).unwrap();
+    frame.push(q1).unwrap();
+    assert_eq!(frame.retained_slots(), 2);
+}
+
+#[test]
+fn zero_and_single_member_schemas_work_end_to_end() {
+    // The smallest legal cube: one dimension, one level, fanout 1 —
+    // exactly one m-cell, lattice of 2 cuboids (m and apex o).
+    let schema = CubeSchema::synthetic(1, 1, 1).unwrap();
+    let layers = CriticalLayers::new(
+        &schema,
+        CuboidSpec::new(vec![0]),
+        CuboidSpec::new(vec![1]),
+    )
+    .unwrap();
+    let z = TimeSeries::from_fn(0, 9, |t| 2.0 * t as f64).unwrap();
+    let tuples = vec![MTuple::new(vec![0], Isb::fit(&z).unwrap())];
+    for result in [
+        mo_cubing::compute(&schema, &layers, &ExceptionPolicy::always(), &tuples).unwrap(),
+        popular_path::compute(&schema, &layers, &ExceptionPolicy::always(), None, &tuples)
+            .unwrap(),
+    ] {
+        assert_eq!(result.m_layer_cells(), 1);
+        assert_eq!(result.o_layer_cells(), 1);
+        let apex = result
+            .o_table()
+            .get(&CellKey::new(vec![0]))
+            .unwrap();
+        assert!((apex.slope() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,177 @@
+//! Direct checks of every concrete number and structural claim printed in
+//! the paper (figure captions, examples, counts).
+
+use regcube::prelude::*;
+use regcube::regress::ols;
+
+/// Example 2 / Figure 1: the 10-point series and its regression.
+#[test]
+fn fig1_example2_fit() {
+    let z = TimeSeries::new(
+        0,
+        vec![0.62, 0.24, 1.03, 0.57, 0.59, 0.57, 0.87, 1.10, 0.71, 0.56],
+    )
+    .unwrap();
+    assert_eq!(z.interval(), (0, 9));
+    let fit = LinearFit::fit(&z);
+    // The regression line passes through the centroid (4.5, 0.686) with a
+    // mild positive trend, as Figure 1(b) draws it.
+    assert!((fit.predict(0) + fit.slope * 4.5 - 0.686).abs() < 1e-12);
+    assert!(fit.slope > 0.0 && fit.slope < 0.05);
+}
+
+/// Figure 2's caption: the two descendants' ISBs sum to the aggregate's
+/// (Theorem 3.2), to the printed precision.
+#[test]
+fn fig2_caption_satisfies_theorem32() {
+    let z1 = Isb::new(0, 19, 0.540995, 0.0318379).unwrap();
+    let z2 = Isb::new(0, 19, 0.294875, 0.0493375).unwrap();
+    let expected = Isb::new(0, 19, 0.83587, 0.0811754).unwrap();
+    let merged = aggregate::merge_standard(&[z1, z2]).unwrap();
+    assert!(merged.approx_eq(&expected, 1e-6), "{merged}");
+}
+
+/// Figure 3's caption: the two time segments merge to the printed
+/// aggregate (Theorem 3.3), using only the 4-number ISBs.
+#[test]
+fn fig3_caption_satisfies_theorem33() {
+    let seg1 = Isb::new(0, 9, 0.582995, 0.0240189).unwrap();
+    let seg2 = Isb::new(10, 19, 0.459046, 0.047474).unwrap();
+    let expected = Isb::new(0, 19, 0.509033, 0.0431806).unwrap();
+    for merged in [
+        aggregate::merge_time(&[seg1, seg2]).unwrap(),
+        aggregate::merge_time_theorem33(&[seg1, seg2]).unwrap(),
+    ] {
+        assert!(merged.approx_eq(&expected, 1e-5), "{merged}");
+    }
+}
+
+/// Lemma 3.2: `Σ (j - j̄)² = (n³ - n) / 12` independent of the offset.
+#[test]
+fn lemma32_sum_of_variance_squares() {
+    for (n, want) in [(2u64, 0.5), (4, 5.0), (10, 82.5), (20, 665.0)] {
+        assert!((ols::svs(n) - want).abs() < 1e-9, "svs({n})");
+    }
+}
+
+/// Example 3 / Figure 4: 71 slots instead of 35,136 — ~495x.
+#[test]
+fn example3_tilt_compression() {
+    let spec = TiltSpec::paper_figure4();
+    assert_eq!(spec.capacity_slots(), 4 + 24 + 31 + 12);
+    let flat = 366u64 * 24 * 4;
+    assert_eq!(flat, 35_136);
+    let ratio = spec.compression_ratio(flat);
+    assert!(ratio > 490.0 && ratio < 500.0, "ratio {ratio}");
+}
+
+/// Example 5 / Figure 6: exactly 2·3·2 = 12 cuboids between m-layer
+/// (A2, B2, C2) and o-layer (A1, *, C1).
+#[test]
+fn fig6_lattice_has_12_cuboids() {
+    let schema = CubeSchema::synthetic(3, 3, 10).unwrap();
+    let lattice = Lattice::new(
+        &schema,
+        CuboidSpec::new(vec![1, 0, 1]),
+        CuboidSpec::new(vec![2, 2, 2]),
+    )
+    .unwrap();
+    assert_eq!(lattice.count(), 12);
+    assert_eq!(lattice.enumerate().len(), 12);
+}
+
+/// Example 5 / Figure 7: with card(A1) < card(B1) < card(C1) < card(C2)
+/// < card(A2) < card(B2), the H-tree root-to-leaf order is
+/// ⟨A1, B1, C1, C2, A2, B2⟩.
+#[test]
+fn fig7_htree_attribute_order() {
+    use regcube::olap::htree::attrs_by_cardinality;
+    use regcube::olap::{Dimension, Hierarchy};
+    // Ragged hierarchies realizing the paper's cardinality ordering:
+    // A: 2 -> 40; B: 3 -> 60; C: 4 -> 20.
+    let dim = |name: &str, c1: u32, c2: u32| {
+        let l1: Vec<u32> = vec![0; c1 as usize];
+        let l2: Vec<u32> = (0..c2).map(|m| m % c1).collect();
+        Dimension::new(name, Hierarchy::from_parents(vec![l1, l2]).unwrap())
+    };
+    let schema = CubeSchema::new(vec![
+        dim("A", 2, 40),
+        dim("B", 3, 60),
+        dim("C", 4, 20),
+    ])
+    .unwrap();
+    let lattice = Lattice::new(
+        &schema,
+        CuboidSpec::new(vec![1, 0, 1]),
+        CuboidSpec::new(vec![2, 2, 2]),
+    )
+    .unwrap();
+    let order = attrs_by_cardinality(&schema, &lattice);
+    let names: Vec<(usize, u8)> = order.iter().map(|a| (a.dim, a.level)).collect();
+    // A1(2) B1(3) C1(4) C2(20) A2(40) B2(60).
+    assert_eq!(
+        names,
+        vec![(0, 1), (1, 1), (2, 1), (2, 2), (0, 2), (1, 2)]
+    );
+}
+
+/// The Example 5 popular path ⟨(A1,C1) → B1 → B2 → A2 → C2⟩.
+#[test]
+fn example5_popular_path() {
+    let schema = CubeSchema::synthetic(3, 3, 10).unwrap();
+    let lattice = Lattice::new(
+        &schema,
+        CuboidSpec::new(vec![1, 0, 1]),
+        CuboidSpec::new(vec![2, 2, 2]),
+    )
+    .unwrap();
+    let path = PopularPath::from_drill_order(&lattice, &[1, 1, 0, 2]).unwrap();
+    let levels: Vec<Vec<u8>> = path
+        .cuboids()
+        .iter()
+        .map(|c| c.levels().to_vec())
+        .collect();
+    assert_eq!(
+        levels,
+        vec![
+            vec![1, 0, 1],
+            vec![1, 1, 1],
+            vec![1, 2, 1],
+            vec![2, 2, 1],
+            vec![2, 2, 2],
+        ]
+    );
+}
+
+/// Theorem 3.1(b): no proper subset of the ISB's four components
+/// determines the regression (the paper's witness pairs).
+#[test]
+fn theorem31_minimality_witnesses() {
+    let fit = |start: i64, v: &[f64]| Isb::fit(&TimeSeries::new(start, v.to_vec()).unwrap()).unwrap();
+    // Drop t_b: z1 over [0,2] vs z2 over [1,2] agree on (t_e, α̂, β̂).
+    let (z1, z2) = (fit(0, &[0.0, 0.0, 0.0]), fit(1, &[0.0, 0.0]));
+    assert_eq!(
+        (z1.end(), z1.base(), z1.slope()),
+        (z2.end(), z2.base(), z2.slope())
+    );
+    assert_ne!(z1.start(), z2.start());
+    // Drop β̂: 0,0 vs 0,1 agree on (t_b, t_e, α̂).
+    let (f1, f2) = (fit(0, &[0.0, 0.0]), fit(0, &[0.0, 1.0]));
+    assert_eq!((f1.interval(), f1.base()), (f2.interval(), f2.base()));
+    assert_ne!(f1.slope(), f2.slope());
+    // Drop α̂: 0,0 vs 1,1 agree on (t_b, t_e, β̂).
+    let (g1, g2) = (fit(0, &[0.0, 0.0]), fit(0, &[1.0, 1.0]));
+    assert_eq!((g1.interval(), g1.slope()), (g2.interval(), g2.slope()));
+    assert_ne!(g1.base(), g2.base());
+}
+
+/// The D3L3C10T100K naming convention of Section 5.
+#[test]
+fn section5_dataset_naming() {
+    let spec: DatasetSpec = "D3L3C10T100K".parse().unwrap();
+    assert_eq!(
+        (spec.dims, spec.levels, spec.fanout, spec.tuples),
+        (3, 3, 10, 100_000)
+    );
+    assert_eq!(spec.to_string(), "D3L3C10T100K");
+}
