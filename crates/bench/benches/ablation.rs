@@ -33,8 +33,7 @@ fn bench_htree_order(c: &mut Criterion) {
             b.iter(|| {
                 let mut tree: HTree<Isb> = HTree::new(order.clone()).unwrap();
                 for t in &w.tuples {
-                    let values =
-                        expand_tuple(&w.schema, w.layers.m_layer(), t.ids(), tree.order());
+                    let values = expand_tuple(&w.schema, w.layers.m_layer(), t.ids(), tree.order());
                     let leaf = tree.insert_path(&values).unwrap();
                     *tree.payload_mut(leaf) = Some(*t.isb());
                 }
@@ -67,12 +66,7 @@ fn bench_aggregation_source(c: &mut Criterion) {
     let m_table: CuboidTable = w
         .tuples
         .iter()
-        .map(|t| {
-            (
-                regcube_olap::cell::CellKey::new(t.ids().to_vec()),
-                *t.isb(),
-            )
-        })
+        .map(|t| (regcube_olap::cell::CellKey::new(t.ids().to_vec()), *t.isb()))
         .collect();
     let target = CuboidSpec::new(vec![1, 1, 1]);
     let mid = CuboidSpec::new(vec![1, 2, 2]); // closest computed descendant
@@ -89,9 +83,7 @@ fn bench_aggregation_source(c: &mut Criterion) {
         });
     });
     g.bench_function("from_closest_descendant", |b| {
-        b.iter(|| {
-            black_box(aggregate_from(&w.schema, &mid, &mid_table, &target, None).unwrap())
-        });
+        b.iter(|| black_box(aggregate_from(&w.schema, &mid, &mid_table, &target, None).unwrap()));
     });
     g.finish();
 }

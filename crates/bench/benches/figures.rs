@@ -23,15 +23,11 @@ fn bench_fig8(c: &mut Criterion) {
     for rate in [1.0f64, 100.0] {
         let policy = ExceptionPolicy::slope_threshold(threshold_for_rate(&w, rate));
         g.bench_with_input(BenchmarkId::new("mo_cubing", rate), &policy, |b, p| {
-            b.iter(|| {
-                black_box(mo_cubing::compute(&w.schema, &w.layers, p, &w.tuples).unwrap())
-            });
+            b.iter(|| black_box(mo_cubing::compute(&w.schema, &w.layers, p, &w.tuples).unwrap()));
         });
         g.bench_with_input(BenchmarkId::new("popular_path", rate), &policy, |b, p| {
             b.iter(|| {
-                black_box(
-                    popular_path::compute(&w.schema, &w.layers, p, None, &w.tuples).unwrap(),
-                )
+                black_box(popular_path::compute(&w.schema, &w.layers, p, None, &w.tuples).unwrap())
             });
         });
     }
@@ -48,16 +44,13 @@ fn bench_fig9(c: &mut Criterion) {
         let policy = ExceptionPolicy::slope_threshold(threshold_for_rate(&w, 1.0));
         g.bench_with_input(BenchmarkId::new("mo_cubing", size), &w, |b, w| {
             b.iter(|| {
-                black_box(
-                    mo_cubing::compute(&w.schema, &w.layers, &policy, &w.tuples).unwrap(),
-                )
+                black_box(mo_cubing::compute(&w.schema, &w.layers, &policy, &w.tuples).unwrap())
             });
         });
         g.bench_with_input(BenchmarkId::new("popular_path", size), &w, |b, w| {
             b.iter(|| {
                 black_box(
-                    popular_path::compute(&w.schema, &w.layers, &policy, None, &w.tuples)
-                        .unwrap(),
+                    popular_path::compute(&w.schema, &w.layers, &policy, None, &w.tuples).unwrap(),
                 )
             });
         });
@@ -74,16 +67,13 @@ fn bench_fig10(c: &mut Criterion) {
         let policy = ExceptionPolicy::slope_threshold(threshold_for_rate(&w, 1.0));
         g.bench_with_input(BenchmarkId::new("mo_cubing", levels), &w, |b, w| {
             b.iter(|| {
-                black_box(
-                    mo_cubing::compute(&w.schema, &w.layers, &policy, &w.tuples).unwrap(),
-                )
+                black_box(mo_cubing::compute(&w.schema, &w.layers, &policy, &w.tuples).unwrap())
             });
         });
         g.bench_with_input(BenchmarkId::new("popular_path", levels), &w, |b, w| {
             b.iter(|| {
                 black_box(
-                    popular_path::compute(&w.schema, &w.layers, &policy, None, &w.tuples)
-                        .unwrap(),
+                    popular_path::compute(&w.schema, &w.layers, &policy, None, &w.tuples).unwrap(),
                 )
             });
         });

@@ -11,7 +11,8 @@ use regcube_bench::experiments::{dims, fig10, fig8, fig9, incremental, tilt};
 use regcube_bench::report::{tables_to_json, Table};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: figures [all|fig8|fig9|fig10|dims|tilt|incremental]... [--quick] [--json FILE]
+const USAGE: &str =
+    "usage: figures [all|fig8|fig9|fig10|dims|tilt|incremental]... [--quick] [--json FILE]
 
   fig8         time & memory vs exception %        (D3L3C10T100K)
   fig9         time & memory vs m-layer size       (D3L3C10, 1% exceptions)

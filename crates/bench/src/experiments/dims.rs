@@ -31,7 +31,11 @@ pub struct Point {
 
 /// Runs the sweep at L3, 1% exceptions.
 pub fn run(quick: bool) -> Vec<Point> {
-    let (fanout, tuples) = if quick { (3u32, 1_000usize) } else { (6, 10_000) };
+    let (fanout, tuples) = if quick {
+        (3u32, 1_000usize)
+    } else {
+        (6, 10_000)
+    };
     DIMS.iter()
         .map(|&dims| {
             let spec = DatasetSpec::new(dims, 3, fanout, tuples).unwrap();

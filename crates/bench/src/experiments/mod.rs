@@ -8,7 +8,8 @@ pub mod incremental;
 pub mod tilt;
 
 use crate::memtrack;
-use regcube_core::{mo_cubing, popular_path, CriticalLayers, CubeResult, ExceptionPolicy, MTuple};
+use regcube_core::engine::{CubingEngine, MoCubingEngine, PopularPathEngine};
+use regcube_core::{mo_cubing, CriticalLayers, CubeResult, ExceptionPolicy, MTuple};
 use regcube_datagen::{calibrate, Dataset};
 use regcube_olap::CubeSchema;
 
@@ -62,28 +63,42 @@ pub struct RunMeasurement {
     pub cells_computed: u64,
 }
 
-/// Runs Algorithm 1 under the allocator meter.
-pub fn run_mo(workload: &Workload, policy: &ExceptionPolicy) -> RunMeasurement {
-    let (result, alloc_peak) = memtrack::measure_peak(|| {
-        mo_cubing::compute(&workload.schema, &workload.layers, policy, &workload.tuples)
-            .expect("valid workload")
+/// Ingests a workload as one unit into any [`CubingEngine`] under the
+/// allocator meter — every figure goes through this trait-level seam, so
+/// a new cubing backend is benchmarked by handing it in here.
+pub fn run_engine<E: CubingEngine>(engine: &mut E, workload: &Workload) -> RunMeasurement {
+    let (_, alloc_peak) = memtrack::measure_peak(|| {
+        engine
+            .ingest_unit(&workload.tuples)
+            .expect("valid workload");
+        // The engine retains working tables for incremental follow-ups;
+        // batch figures measure exactly this one-unit ingestion.
     });
-    to_measurement(&result, alloc_peak)
+    to_measurement(engine.result(), alloc_peak)
 }
 
-/// Runs Algorithm 2 under the allocator meter.
+/// Runs Algorithm 1 (an [`MoCubingEngine`]) under the allocator meter.
+pub fn run_mo(workload: &Workload, policy: &ExceptionPolicy) -> RunMeasurement {
+    let mut engine = MoCubingEngine::transient(
+        workload.schema.clone(),
+        workload.layers.clone(),
+        policy.clone(),
+    )
+    .expect("valid workload");
+    run_engine(&mut engine, workload)
+}
+
+/// Runs Algorithm 2 (a [`PopularPathEngine`], default path) under the
+/// allocator meter.
 pub fn run_pp(workload: &Workload, policy: &ExceptionPolicy) -> RunMeasurement {
-    let (result, alloc_peak) = memtrack::measure_peak(|| {
-        popular_path::compute(
-            &workload.schema,
-            &workload.layers,
-            policy,
-            None,
-            &workload.tuples,
-        )
-        .expect("valid workload")
-    });
-    to_measurement(&result, alloc_peak)
+    let mut engine = PopularPathEngine::new(
+        workload.schema.clone(),
+        workload.layers.clone(),
+        policy.clone(),
+        None,
+    )
+    .expect("valid workload");
+    run_engine(&mut engine, workload)
 }
 
 fn to_measurement(result: &CubeResult, alloc_peak: usize) -> RunMeasurement {
@@ -164,7 +179,10 @@ mod tests {
         assert!(scores.len() > w.tuples.len());
         let t1 = threshold_for_rate(&w, 1.0);
         let t50 = threshold_for_rate(&w, 50.0);
-        assert!(t1 >= t50, "1% threshold {t1} must exceed 50% threshold {t50}");
+        assert!(
+            t1 >= t50,
+            "1% threshold {t1} must exceed 50% threshold {t50}"
+        );
         let achieved = calibrate::rate_at_threshold(&scores, t50);
         assert!((achieved - 0.5).abs() < 0.05, "achieved {achieved}");
     }

@@ -30,8 +30,8 @@ pub struct TiltReport {
 fn quarter_isb(u: i64) -> Isb {
     // 15 minute ticks per quarter.
     let start = u * 15;
-    let series = TimeSeries::from_fn(start, start + 14, |t| 0.5 + 0.001 * t as f64)
-        .expect("non-empty");
+    let series =
+        TimeSeries::from_fn(start, start + 14, |t| 0.5 + 0.001 * t as f64).expect("non-empty");
     Isb::fit(&series).expect("valid window")
 }
 

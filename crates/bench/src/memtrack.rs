@@ -3,6 +3,10 @@
 //! delegates every operation to the system allocator and only adds atomic
 //! counters.
 
+// The one sanctioned exception to the workspace-wide `unsafe_code` deny:
+// `GlobalAlloc` is an unsafe trait by definition.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 

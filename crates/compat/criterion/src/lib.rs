@@ -1,0 +1,266 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a minimal benchmarking harness exposing the subset of criterion's API
+//! regcube's benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / `bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — a short warm-up, a fixed
+//! measurement budget, mean/min reporting on stdout — enough to compare
+//! code paths locally; there is no HTML report or regression store.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of a benchmark, printed alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+/// Runs closures under the timer.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    mean_ns: f64,
+    /// Minimum nanoseconds per iteration of the last `iter` call.
+    min_ns: f64,
+    /// Total iterations measured.
+    iters: u64,
+    /// Measurement budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            mean_ns: 0.0,
+            min_ns: 0.0,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: one untimed call (fills caches, triggers lazy init).
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters: u64 = 0;
+        while total < self.budget && iters < 1_000_000 {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            iters += 1;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        self.min_ns = min.as_nanos() as f64;
+        self.iters = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (scales this harness's time budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Upstream uses n samples; here n only scales the budget.
+        self.budget = Duration::from_millis(5).saturating_mul(n.clamp(1, 100) as u32);
+        self
+    }
+
+    /// Declares the throughput printed with each benchmark.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.budget);
+        routine(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Benchmarks `routine` with no external input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.budget);
+        routine(&mut b);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, b: &Bencher) {
+        let _ = &self.criterion;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / (b.mean_ns * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / (b.mean_ns * 1e-9))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<32} mean {:>12} min {:>12}  ({} iters){rate}",
+            self.name,
+            label,
+            fmt_ns(b.mean_ns),
+            fmt_ns(b.min_ns),
+            b.iters,
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            budget: Duration::from_millis(50),
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        self.benchmark_group(name.clone())
+            .bench_function(BenchmarkId::from_parameter(&name), routine);
+        self
+    }
+}
+
+/// Declares a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        g.bench_function("noop", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_and_measures() {
+        benches();
+        let mut b = Bencher::new(Duration::from_millis(1));
+        b.iter(|| black_box(2 + 2));
+        assert!(b.iters > 0);
+        assert!(b.mean_ns >= 0.0);
+    }
+}

@@ -117,9 +117,11 @@ impl RegressionCube {
     /// [`CoreError::NotMaterialized`] before the first
     /// [`recompute`](Self::recompute).
     pub fn result(&self) -> Result<&CubeResult> {
-        self.result.as_ref().ok_or_else(|| CoreError::NotMaterialized {
-            detail: "cube has not been computed yet".into(),
-        })
+        self.result
+            .as_ref()
+            .ok_or_else(|| CoreError::NotMaterialized {
+                detail: "cube has not been computed yet".into(),
+            })
     }
 
     /// Looks up a retained cell measure.
@@ -151,11 +153,7 @@ impl RegressionCube {
     ///
     /// # Errors
     /// [`CoreError::NotMaterialized`] before the first computation.
-    pub fn drill_descendants(
-        &self,
-        cuboid: &CuboidSpec,
-        key: &CellKey,
-    ) -> Result<Vec<DrillHit>> {
+    pub fn drill_descendants(&self, cuboid: &CuboidSpec, key: &CellKey) -> Result<Vec<DrillHit>> {
         Ok(drill_descendants(&self.schema, self.result()?, cuboid, key))
     }
 }
@@ -210,8 +208,7 @@ mod tests {
         // The hot branch is dimension-0 member 0 at L1.
         assert!(hits
             .iter()
-            .any(|h| h.cuboid == CuboidSpec::new(vec![1, 0])
-                && h.key == CellKey::new(vec![0, 0])));
+            .any(|h| h.cuboid == CuboidSpec::new(vec![1, 0]) && h.key == CellKey::new(vec![0, 0])));
     }
 
     #[test]

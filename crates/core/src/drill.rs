@@ -172,8 +172,7 @@ mod tests {
         // The m-layer hot cell itself is among the descendants.
         assert!(all
             .iter()
-            .any(|h| h.cuboid == CuboidSpec::new(vec![2, 2])
-                && h.key == CellKey::new(vec![0, 0])));
+            .any(|h| h.cuboid == CuboidSpec::new(vec![2, 2]) && h.key == CellKey::new(vec![0, 0])));
         // Hits are sorted by descending exception score.
         for pair in all.windows(2) {
             assert!(

@@ -71,11 +71,17 @@ mod tests {
 
     #[test]
     fn conversions_and_sources() {
-        let o: CoreError = OlapError::ArityMismatch { got: 1, expected: 2 }.into();
+        let o: CoreError = OlapError::ArityMismatch {
+            got: 1,
+            expected: 2,
+        }
+        .into();
         let r: CoreError = RegressError::NoInputs.into();
         assert!(o.source().is_some());
         assert!(r.source().is_some());
-        assert!(CoreError::BadInput { detail: "x".into() }.source().is_none());
+        assert!(CoreError::BadInput { detail: "x".into() }
+            .source()
+            .is_none());
         for e in [
             o,
             r,

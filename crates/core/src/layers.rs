@@ -107,9 +107,7 @@ mod tests {
         for (d, l) in [(1usize, 2u8), (2, 3), (4, 2), (3, 1)] {
             let schema = CubeSchema::synthetic(d, l, 3).unwrap();
             let layers = CriticalLayers::default_for(&schema).unwrap();
-            assert!(layers
-                .o_layer()
-                .is_ancestor_or_equal(layers.m_layer()));
+            assert!(layers.o_layer().is_ancestor_or_equal(layers.m_layer()));
             schema.check_cuboid(layers.m_layer()).unwrap();
         }
     }

@@ -68,6 +68,7 @@
 
 pub mod cube;
 pub mod drill;
+pub mod engine;
 pub mod error;
 pub mod exception;
 pub mod history;
@@ -83,6 +84,7 @@ pub mod stats;
 pub mod table;
 
 pub use cube::RegressionCube;
+pub use engine::{CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
 pub use error::CoreError;
 pub use exception::{ExceptionPolicy, RefMode};
 pub use layers::CriticalLayers;
@@ -96,6 +98,7 @@ pub type Result<T> = std::result::Result<T, CoreError>;
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::cube::RegressionCube;
+    pub use crate::engine::{CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
     pub use crate::exception::{ExceptionPolicy, RefMode};
     pub use crate::layers::CriticalLayers;
     pub use crate::measure::MTuple;

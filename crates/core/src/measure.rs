@@ -94,9 +94,7 @@ pub fn validate_tuples(
             });
         }
         for (d, &id) in t.ids().iter().enumerate() {
-            let card = schema.dims()[d]
-                .hierarchy()
-                .cardinality(m_layer.level(d));
+            let card = schema.dims()[d].hierarchy().cardinality(m_layer.level(d));
             if id >= card {
                 return Err(CoreError::BadInput {
                     detail: format!(

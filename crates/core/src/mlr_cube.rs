@@ -44,11 +44,7 @@ impl MlrCube {
     ///
     /// # Errors
     /// [`CoreError::BadInput`] for empty input or mismatched `k`.
-    pub fn new(
-        schema: CubeSchema,
-        m_layer: CuboidSpec,
-        m_table: MlrTable,
-    ) -> Result<Self> {
+    pub fn new(schema: CubeSchema, m_layer: CuboidSpec, m_table: MlrTable) -> Result<Self> {
         schema.check_cuboid(&m_layer)?;
         let Some(first) = m_table.values().next() else {
             return Err(CoreError::BadInput {
@@ -91,17 +87,16 @@ impl MlrCube {
     pub fn roll_up(&self, target: &CuboidSpec) -> Result<MlrTable> {
         if !target.is_ancestor_or_equal(&self.m_layer) {
             return Err(CoreError::Olap(regcube_olap::OlapError::BadCuboid {
-                detail: format!("{target} is not an ancestor of the m-layer {}", self.m_layer),
+                detail: format!(
+                    "{target} is not an ancestor of the m-layer {}",
+                    self.m_layer
+                ),
             }));
         }
         let mut out = MlrTable::default();
         for (key, measure) in &self.m_table {
-            let projected = CellKey::new(project_key(
-                &self.schema,
-                &self.m_layer,
-                key.ids(),
-                target,
-            ));
+            let projected =
+                CellKey::new(project_key(&self.schema, &self.m_layer, key.ids(), target));
             match out.entry(projected) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     e.get_mut().merge_same_design(measure)?;

@@ -6,30 +6,32 @@
 //! stream into an H-tree (attribute order by ascending cardinality) whose
 //! leaves carry the m-layer regressions, merged under Theorems 3.2/3.3.
 //!
-//! Step 2 computes the lattice bottom-up in depth *tiers*. Every cuboid's
+//! Step 2 computes the lattice bottom-up in depth order. Every cuboid's
 //! full table is aggregated from its **closest computed descendant** — a
-//! one-step-finer cuboid from the previous tier, still cached — which is
-//! the work-sharing that H-cubing's shared header tables achieve (the
-//! paper's own H-cubing departs from its reference 18 too (footnote 6); the
-//! computed and retained cell sets here are identical to Algorithm 1's).
-//! Full tables are transient: a tier's tables are dropped (exceptions
-//! first extracted) as soon as the next tier no longer needs them, so
-//! retained memory is exactly critical layers + exception cells.
+//! one-step-finer cuboid — which is the work-sharing that H-cubing's
+//! shared header tables achieve (the paper's own H-cubing departs from
+//! its reference 18 too (footnote 6); the computed and retained cell
+//! sets here are identical to Algorithm 1's).
+//!
+//! Since the engine refactor both steps live in
+//! [`MoCubingEngine`](crate::engine::MoCubingEngine), which additionally
+//! keeps the full tables alive so same-window batches can merge
+//! incrementally; [`compute`] is the batch wrapper that ingests one unit
+//! and drops the working state, retaining exactly critical layers +
+//! exception cells.
 
+use crate::engine::{CubingEngine, MoCubingEngine};
 use crate::error::CoreError;
 use crate::exception::ExceptionPolicy;
 use crate::layers::CriticalLayers;
-use crate::measure::{merge_sibling, validate_tuples, MTuple};
-use crate::result::{Algorithm, CubeResult};
-use crate::stats::{MemoryAccountant, RunStats};
-use crate::table::{aggregate_from, table_bytes, CuboidTable};
+use crate::measure::{merge_sibling, MTuple};
+use crate::result::CubeResult;
+use crate::table::CuboidTable;
 use crate::Result;
 use regcube_olap::cell::CellKey;
-use regcube_olap::fxhash::FxHashMap;
 use regcube_olap::htree::{attrs_by_cardinality, expand_tuple, path_values_to_key, HTree};
-use regcube_olap::{CubeSchema, CuboidSpec};
+use regcube_olap::CubeSchema;
 use regcube_regress::Isb;
-use std::time::Instant;
 
 /// Builds the m-layer table by scanning `tuples` once through an H-tree in
 /// cardinality attribute order (Algorithm 1, Step 1). Returns the table
@@ -59,11 +61,10 @@ pub(crate) fn build_m_layer(
     tree.for_each_leaf(|leaf| leaves.push(leaf));
     for leaf in leaves {
         let values = tree.path_values(leaf);
-        let key = path_values_to_key(&order, &values, &m_layer).ok_or_else(|| {
-            CoreError::BadInput {
+        let key =
+            path_values_to_key(&order, &values, &m_layer).ok_or_else(|| CoreError::BadInput {
                 detail: "H-tree order misses an m-layer attribute".into(),
-            }
-        })?;
+            })?;
         let isb = *tree.payload(leaf).expect("leaf payload set at insert");
         m_table.insert(CellKey::new(key), isb);
     }
@@ -71,6 +72,10 @@ pub(crate) fn build_m_layer(
 }
 
 /// Runs Algorithm 1 and returns the materialized cube.
+///
+/// This is a thin batch wrapper over [`MoCubingEngine`]: it builds an
+/// engine for the given layers, ingests `tuples` as one unit and returns
+/// the engine's result.
 ///
 /// # Errors
 /// * [`CoreError::BadInput`] for structurally invalid tuples.
@@ -81,116 +86,17 @@ pub fn compute(
     policy: &ExceptionPolicy,
     tuples: &[MTuple],
 ) -> Result<CubeResult> {
-    let lattice = layers.lattice();
-    validate_tuples(schema, lattice.m_layer(), tuples)?;
-    let start = Instant::now();
-    let mut stats = RunStats::default();
-    let mut mem = MemoryAccountant::new();
-    let dims = schema.num_dims();
-
-    // ---- Step 1: scan the stream once into the H-tree / m-layer --------
-    let (m_table, tree_bytes) = build_m_layer(schema, layers, tuples)?;
-    mem.add(tree_bytes); // the tree is live while the m-layer is extracted
-    mem.add(table_bytes(&m_table, dims));
-    mem.remove(tree_bytes); // dropped after extraction
-    stats.rows_folded += tuples.len() as u64;
-    stats.cells_computed += m_table.len() as u64;
-    stats.cuboids_computed += 1;
-
-    // ---- Step 2: bottom-up tiers from the m-layer to the o-layer -------
-    // Group cuboids by total depth, descending; each tier aggregates from
-    // the cached full tables of the tier below (or the m-layer itself).
-    let order = lattice.bottom_up_order();
-    let mut tiers: Vec<(u32, Vec<CuboidSpec>)> = Vec::new();
-    for cuboid in order {
-        if cuboid == *lattice.m_layer() {
-            continue;
-        }
-        let depth = cuboid.total_depth();
-        match tiers.last_mut() {
-            Some((d, group)) if *d == depth => group.push(cuboid),
-            _ => tiers.push((depth, vec![cuboid])),
-        }
-    }
-
-    let mut exceptions: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
-    let mut o_table = CuboidTable::default();
-    // Cache of full tables from the previous tier (plus the m-layer).
-    let mut cache: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
-
-    for (_, tier) in tiers {
-        let mut next_cache: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
-        for cuboid in tier {
-            // Closest computed descendant: prefer a cached one-step-finer
-            // table; fall back to the m-layer.
-            let (src_cuboid, src_table) = lattice
-                .closest_computed_descendant(&cuboid, cache.keys())
-                .map(|c| (c.clone(), &cache[c]))
-                .unwrap_or_else(|| (lattice.m_layer().clone(), &m_table));
-
-            let (full, rows) =
-                aggregate_from(schema, &src_cuboid, src_table, &cuboid, None)?;
-            stats.rows_folded += rows;
-            stats.cells_computed += full.len() as u64;
-            stats.cuboids_computed += 1;
-            mem.add(table_bytes(&full, dims));
-
-            if cuboid == *lattice.o_layer() {
-                o_table = full;
-                continue;
-            }
-            // Retain only the exception cells; cache the full table for
-            // the next tier.
-            let mut exc = CuboidTable::default();
-            for (key, isb) in &full {
-                if policy.is_exception(&cuboid, isb) {
-                    exc.insert(key.clone(), *isb);
-                }
-            }
-            if !exc.is_empty() {
-                mem.add(table_bytes(&exc, dims));
-                exceptions.insert(cuboid.clone(), exc);
-            }
-            next_cache.insert(cuboid, full);
-        }
-        // The old tier's full tables are no longer reachable as sources.
-        for (_, dropped) in cache.drain() {
-            mem.remove(table_bytes(&dropped, dims));
-        }
-        cache = next_cache;
-    }
-    for (_, dropped) in cache.drain() {
-        mem.remove(table_bytes(&dropped, dims));
-    }
-
-    stats.exception_cells = exceptions.values().map(|t| t.len() as u64).sum();
-    stats.cells_retained =
-        m_table.len() as u64 + o_table.len() as u64 + stats.exception_cells;
-    stats.retained_bytes = table_bytes(&m_table, dims)
-        + table_bytes(&o_table, dims)
-        + exceptions
-            .values()
-            .map(|t| table_bytes(t, dims))
-            .sum::<usize>();
-    mem.add(table_bytes(&o_table, dims));
-    stats.peak_bytes = mem.peak();
-    stats.elapsed = start.elapsed();
-
-    Ok(CubeResult::new(
-        layers.clone(),
-        policy.clone(),
-        Algorithm::MoCubing,
-        m_table,
-        o_table,
-        exceptions,
-        FxHashMap::default(),
-        stats,
-    ))
+    let mut engine = MoCubingEngine::transient(schema.clone(), layers.clone(), policy.clone())?;
+    engine.ingest_unit(tuples)?;
+    Ok(engine.into_result())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::result::Algorithm;
+    use crate::table::{aggregate_from, table_bytes};
+    use regcube_olap::CuboidSpec;
     use regcube_regress::TimeSeries;
 
     fn isb(slope: f64, base: f64) -> Isb {
@@ -215,10 +121,7 @@ mod tests {
         let mut tuples = Vec::new();
         for a in 0..4u32 {
             for b in 0..4u32 {
-                tuples.push(MTuple::new(
-                    vec![a, b],
-                    isb((a + b) as f64 / 10.0, 1.0),
-                ));
+                tuples.push(MTuple::new(vec![a, b], isb((a + b) as f64 / 10.0, 1.0)));
             }
         }
         tuples
@@ -234,10 +137,7 @@ mod tests {
         ];
         let cube = compute(&schema, &layers, &ExceptionPolicy::never(), &tuples).unwrap();
         assert_eq!(cube.m_layer_cells(), 2);
-        let merged = cube
-            .m_table()
-            .get(&CellKey::new(vec![0, 0]))
-            .unwrap();
+        let merged = cube.m_table().get(&CellKey::new(vec![0, 0])).unwrap();
         assert!((merged.slope() - 0.3).abs() < 1e-10, "0.1 + 0.2 merged");
     }
 
@@ -257,13 +157,7 @@ mod tests {
     #[test]
     fn all_cuboids_are_computed_and_counted() {
         let (schema, layers) = small_setup();
-        let cube = compute(
-            &schema,
-            &layers,
-            &ExceptionPolicy::never(),
-            &dense_tuples(),
-        )
-        .unwrap();
+        let cube = compute(&schema, &layers, &ExceptionPolicy::never(), &dense_tuples()).unwrap();
         // Lattice: 3 x 3 = 9 cuboids.
         assert_eq!(cube.stats().cuboids_computed, 9);
         // Cells: m (16) + (L2,L1) 8 + (L1,L2) 8 + (L2,*) 4 + (*,L2) 4 +
@@ -307,8 +201,7 @@ mod tests {
                 continue;
             }
             let (full, _) =
-                aggregate_from(&schema, layers.m_layer(), cube.m_table(), &cuboid, None)
-                    .unwrap();
+                aggregate_from(&schema, layers.m_layer(), cube.m_table(), &cuboid, None).unwrap();
             let expected: std::collections::BTreeSet<_> = full
                 .iter()
                 .filter(|(_, m)| m.slope().abs() >= threshold)

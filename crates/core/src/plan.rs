@@ -112,9 +112,7 @@ pub fn recommend(layers: &CriticalLayers, inputs: &PlanInputs) -> Recommendation
                 algorithm,
                 mo,
                 popular_path: pp,
-                rationale: format!(
-                    "only {name} fits the retained-cell budget of {budget}"
-                ),
+                rationale: format!("only {name} fits the retained-cell budget of {budget}"),
             };
         }
     }
@@ -285,10 +283,8 @@ mod tests {
                 },
             );
             // Model ordering vs measured ordering on computed cells.
-            let model_says_pp_cheaper = rec.popular_path.computed_cells
-                <= rec.mo.computed_cells;
-            let measured_pp_cheaper =
-                a2.stats().cells_computed <= a1.stats().cells_computed;
+            let model_says_pp_cheaper = rec.popular_path.computed_cells <= rec.mo.computed_cells;
+            let measured_pp_cheaper = a2.stats().cells_computed <= a1.stats().cells_computed;
             assert_eq!(
                 model_says_pp_cheaper, measured_pp_cheaper,
                 "rate {rate}: model and measurement disagree"

@@ -9,23 +9,28 @@
 //! Algorithm 1: only those reachable from the o-layer through a chain of
 //! exceptional ancestors.
 
+use crate::engine::{CubingEngine, PopularPathEngine};
 use crate::error::CoreError;
 use crate::exception::ExceptionPolicy;
 use crate::layers::CriticalLayers;
-use crate::measure::{merge_sibling, validate_tuples, MTuple};
-use crate::result::{Algorithm, CubeResult};
-use crate::stats::{MemoryAccountant, RunStats};
-use crate::table::{aggregate_from, table_bytes, CuboidTable};
+use crate::measure::MTuple;
+use crate::result::CubeResult;
+use crate::table::CuboidTable;
 use crate::Result;
-use regcube_olap::cell::{project_key, CellKey};
-use regcube_olap::fxhash::{FxHashMap, FxHashSet};
-use regcube_olap::htree::{attrs_for_path, expand_tuple, HTree, NodeId};
+use regcube_olap::cell::CellKey;
+use regcube_olap::fxhash::FxHashMap;
+use regcube_olap::htree::{HTree, NodeId};
 use regcube_olap::{CubeSchema, CuboidSpec, PopularPath};
 use regcube_regress::Isb;
-use std::time::Instant;
 
 /// Runs Algorithm 2 with the given path (or the default dimension-order
 /// path when `path` is `None`).
+///
+/// This is a thin batch wrapper over [`PopularPathEngine`]: it builds an
+/// engine for the given layers and path, ingests `tuples` as one unit
+/// and returns the engine's result (the m- and o-layer tables live in
+/// the retained path tables too — the memory the paper attributes to
+/// popular-path cubing).
 ///
 /// # Errors
 /// * [`CoreError::BadInput`] for structurally invalid tuples.
@@ -37,189 +42,21 @@ pub fn compute(
     path: Option<&PopularPath>,
     tuples: &[MTuple],
 ) -> Result<CubeResult> {
-    let lattice = layers.lattice();
-    validate_tuples(schema, lattice.m_layer(), tuples)?;
-    let default_path;
-    let path = match path {
-        Some(p) => p,
-        None => {
-            default_path = PopularPath::default_for(lattice)?;
-            &default_path
-        }
-    };
-    let start = Instant::now();
-    let mut stats = RunStats::default();
-    let mut mem = MemoryAccountant::new();
-    let dims = schema.num_dims();
-
-    // ---- Steps 1 & 2: path-ordered H-tree, roll-up into non-leaf nodes --
-    let attrs = attrs_for_path(lattice, path);
-    let mut tree: HTree<Isb> = HTree::new(attrs)?;
-    for t in tuples {
-        let values = expand_tuple(schema, lattice.m_layer(), t.ids(), tree.order());
-        let leaf = tree.insert_path(&values)?;
-        match tree.payload_mut(leaf) {
-            Some(acc) => merge_sibling(acc, t.isb())?,
-            slot @ None => *slot = Some(*t.isb()),
-        }
-    }
-    stats.rows_folded += tuples.len() as u64;
-    tree.aggregate_bottom_up(|m| *m, |acc, next| {
-        merge_sibling(acc, next).expect("one validated window");
-    });
-    mem.add(tree.approx_bytes());
-
-    // Path cuboid i corresponds to tree depth `o_attrs + i`.
-    let o_attrs = (0..dims)
-        .filter(|&d| lattice.o_layer().level(d) > 0)
-        .count();
-    let mut path_tables: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
-    let depth_of: FxHashMap<usize, &CuboidSpec> = path
-        .cuboids()
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (o_attrs + i, c))
-        .collect();
-    for cuboid in path.cuboids() {
-        path_tables.insert(cuboid.clone(), CuboidTable::default());
-    }
-    extract_path_tables(schema, &tree, lattice.m_layer(), &depth_of, &mut path_tables)?;
-    for table in path_tables.values() {
-        stats.cells_computed += table.len() as u64;
-        mem.add(table_bytes(table, dims));
-    }
-    stats.cuboids_computed += path.cuboids().len() as u32;
-    // The tree has served its purpose (the paper keeps aggregates in its
-    // nodes; we keep the equivalent extracted tables).
-    let tree_bytes = tree.approx_bytes();
-    drop(tree);
-    mem.remove(tree_bytes);
-
-    let m_table = path_tables
-        .get(lattice.m_layer())
-        .expect("path ends at the m-layer")
-        .clone();
-    mem.add(table_bytes(&m_table, dims));
-    let o_table = path_tables
-        .get(lattice.o_layer())
-        .expect("path starts at the o-layer")
-        .clone();
-    mem.add(table_bytes(&o_table, dims));
-
-    // ---- Step 3: exception-guided drilling over off-path cuboids -------
-    // Process coarse -> fine so every cuboid's lattice parents (one step
-    // coarser) are done first; a cell qualifies when at least one parent
-    // projection is an exception cell ("drill on the exception cells at
-    // the current cuboid down to noncomputed cuboids").
-    let mut top_down = lattice.bottom_up_order();
-    top_down.reverse();
-    let path_cuboids: Vec<CuboidSpec> = path.cuboids().to_vec();
-    let mut exception_keys: FxHashMap<CuboidSpec, FxHashSet<CellKey>> = FxHashMap::default();
-    let mut exceptions: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
-
-    for cuboid in top_down {
-        let is_m = cuboid == *lattice.m_layer();
-        let is_o = cuboid == *lattice.o_layer();
-        if let Some(full) = path_tables.get(&cuboid) {
-            // On-path (and the critical layers): already fully computed;
-            // record its exception cells.
-            let mut keys = FxHashSet::default();
-            let mut exc = CuboidTable::default();
-            for (key, isb) in full {
-                if policy.is_exception(&cuboid, isb) {
-                    keys.insert(key.clone());
-                    if !is_m && !is_o {
-                        exc.insert(key.clone(), *isb);
-                    }
-                }
-            }
-            exception_keys.insert(cuboid.clone(), keys);
-            if !exc.is_empty() {
-                mem.add(table_bytes(&exc, dims));
-                exceptions.insert(cuboid, exc);
-            }
-            continue;
-        }
-
-        // Off-path: compute only children of exception parents.
-        let parents = lattice.parents(&cuboid);
-        let has_candidates = parents
-            .iter()
-            .any(|p| exception_keys.get(p).is_some_and(|s| !s.is_empty()));
-        if !has_candidates {
-            exception_keys.insert(cuboid.clone(), FxHashSet::default());
-            continue;
-        }
-        let source = lattice
-            .closest_computed_descendant(&cuboid, path_cuboids.iter())
-            .ok_or_else(|| CoreError::NotMaterialized {
-                detail: format!("no path cuboid below {cuboid}"),
-            })?;
-        let source_table = &path_tables[source];
-
-        let qualifies = |ids: &[u32]| {
-            parents.iter().any(|p| {
-                exception_keys.get(p).is_some_and(|set| {
-                    let projected = project_key(schema, &cuboid, ids, p);
-                    set.contains(&CellKey::new(projected))
-                })
-            })
-        };
-        let (computed, rows) =
-            aggregate_from(schema, source, source_table, &cuboid, Some(&qualifies))?;
-        stats.rows_folded += rows;
-        stats.cells_computed += computed.len() as u64;
-        stats.cuboids_computed += 1;
-
-        let mut keys = FxHashSet::default();
-        let mut exc = CuboidTable::default();
-        for (key, isb) in &computed {
-            if policy.is_exception(&cuboid, isb) {
-                keys.insert(key.clone());
-                exc.insert(key.clone(), *isb);
-            }
-        }
-        exception_keys.insert(cuboid.clone(), keys);
-        if !exc.is_empty() {
-            mem.add(table_bytes(&exc, dims));
-            exceptions.insert(cuboid.clone(), exc);
-        }
-    }
-
-    stats.exception_cells = exceptions.values().map(|t| t.len() as u64).sum();
-    stats.cells_retained = path_tables.values().map(|t| t.len() as u64).sum::<u64>()
-        + stats.exception_cells;
-    stats.retained_bytes = path_tables
-        .values()
-        .map(|t| table_bytes(t, dims))
-        .sum::<usize>()
-        + exceptions
-            .values()
-            .map(|t| table_bytes(t, dims))
-            .sum::<usize>();
-    stats.peak_bytes = mem.peak();
-    stats.elapsed = start.elapsed();
-
-    // The m- and o-layer tables live in `path_tables` too; expose them as
-    // the critical layers and keep the path tables for queries (this is
-    // the memory the paper attributes to popular-path cubing).
-    Ok(CubeResult::new(
+    let mut engine = PopularPathEngine::new(
+        schema.clone(),
         layers.clone(),
         policy.clone(),
-        Algorithm::PopularPath,
-        m_table,
-        o_table,
-        exceptions,
-        path_tables,
-        stats,
-    ))
+        path.cloned(),
+    )?;
+    engine.ingest_unit(tuples)?;
+    Ok(engine.into_result())
 }
 
 /// Extracts the cells materialized at the path depths of the rolled-up
 /// H-tree into per-cuboid tables. A DFS tracks the value stack; at every
 /// depth that corresponds to a path cuboid the node's aggregated payload
 /// becomes one cell.
-fn extract_path_tables(
+pub(crate) fn extract_path_tables(
     schema: &CubeSchema,
     tree: &HTree<Isb>,
     m_layer: &CuboidSpec,
@@ -283,6 +120,9 @@ fn extract_path_tables(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::result::Algorithm;
+    use crate::table::aggregate_from;
+    use regcube_olap::cell::project_key;
     use regcube_regress::TimeSeries;
 
     fn isb(slope: f64, base: f64) -> Isb {
@@ -305,10 +145,7 @@ mod tests {
         let mut tuples = Vec::new();
         for a in 0..4u32 {
             for b in 0..4u32 {
-                tuples.push(MTuple::new(
-                    vec![a, b],
-                    isb((a + b) as f64 / 10.0, 1.0),
-                ));
+                tuples.push(MTuple::new(vec![a, b], isb((a + b) as f64 / 10.0, 1.0)));
             }
         }
         tuples
@@ -328,14 +165,8 @@ mod tests {
         // Default path: (0,0) -> (1,0) -> (2,0) -> (2,1) -> (2,2).
         assert_eq!(cube.path_tables().len(), 5);
         for (cuboid, table) in cube.path_tables() {
-            let (expected, _) = aggregate_from(
-                &schema,
-                layers.m_layer(),
-                cube.m_table(),
-                cuboid,
-                None,
-            )
-            .unwrap();
+            let (expected, _) =
+                aggregate_from(&schema, layers.m_layer(), cube.m_table(), cuboid, None).unwrap();
             assert_eq!(table.len(), expected.len(), "cuboid {cuboid}");
             for (k, m) in table {
                 assert!(
@@ -378,8 +209,7 @@ mod tests {
             let parents = layers.lattice().parents(cuboid);
             let mut found = false;
             for p in &parents {
-                let projected =
-                    CellKey::new(project_key(&schema, cuboid, key.ids(), p));
+                let projected = CellKey::new(project_key(&schema, cuboid, key.ids(), p));
                 let parent_measure = cube.get(p, &projected);
                 if let Some(m) = parent_measure {
                     if policy.is_exception(p, m) {
@@ -420,8 +250,12 @@ mod tests {
             &dense_tuples(),
         )
         .unwrap();
-        assert!(cube.path_tables().contains_key(&CuboidSpec::new(vec![0, 2])));
-        assert!(!cube.path_tables().contains_key(&CuboidSpec::new(vec![2, 0])));
+        assert!(cube
+            .path_tables()
+            .contains_key(&CuboidSpec::new(vec![0, 2])));
+        assert!(!cube
+            .path_tables()
+            .contains_key(&CuboidSpec::new(vec![2, 0])));
     }
 
     #[test]

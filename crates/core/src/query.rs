@@ -275,35 +275,27 @@ mod tests {
         let (schema, cube) = setup();
         let cuboid = CuboidSpec::new(vec![1, 1]);
         // Along dimension 0, cell (1,1) vs sibling (0,1): (1,1) is hotter.
-        let (rank, out_of) = sibling_rank(
-            &schema,
-            &cube,
-            &cuboid,
-            &CellKey::new(vec![1, 1]),
-            0,
-        )
-        .unwrap()
-        .unwrap();
+        let (rank, out_of) = sibling_rank(&schema, &cube, &cuboid, &CellKey::new(vec![1, 1]), 0)
+            .unwrap()
+            .unwrap();
         assert_eq!((rank, out_of), (1, 2));
-        let (rank0, _) = sibling_rank(
-            &schema,
-            &cube,
-            &cuboid,
-            &CellKey::new(vec![0, 1]),
-            0,
-        )
-        .unwrap()
-        .unwrap();
+        let (rank0, _) = sibling_rank(&schema, &cube, &cuboid, &CellKey::new(vec![0, 1]), 0)
+            .unwrap()
+            .unwrap();
         assert_eq!(rank0, 2);
 
         // A * dimension has no sibling group.
         let apex = CuboidSpec::new(vec![0, 0]);
-        assert!(sibling_rank(&schema, &cube, &apex, &CellKey::new(vec![0, 0]), 0)
-            .unwrap()
-            .is_none());
+        assert!(
+            sibling_rank(&schema, &cube, &apex, &CellKey::new(vec![0, 0]), 0)
+                .unwrap()
+                .is_none()
+        );
         // Out-of-range dimension.
-        assert!(sibling_rank(&schema, &cube, &cuboid, &CellKey::new(vec![1, 1]), 9)
-            .unwrap()
-            .is_none());
+        assert!(
+            sibling_rank(&schema, &cube, &cuboid, &CellKey::new(vec![1, 1]), 9)
+                .unwrap()
+                .is_none()
+        );
     }
 }

@@ -41,8 +41,8 @@ fn random_dataset(
         let base: f64 = rng.random_range(0.0..5.0);
         let noise_seed: u64 = rng.random();
         let series = TimeSeries::from_fn(0, 19, |t| {
-            let jitter = ((t as u64 * 2654435761).wrapping_add(noise_seed) % 1000) as f64
-                / 10_000.0;
+            let jitter =
+                ((t as u64 * 2654435761).wrapping_add(noise_seed) % 1000) as f64 / 10_000.0;
             base + slope * t as f64 + jitter
         })
         .unwrap();
@@ -71,7 +71,10 @@ fn critical_layers_agree_between_algorithms() {
         assert_eq!(m1.len(), m2.len());
         for (k, (b1, s1)) in &m1 {
             let (b2, s2) = m2[k];
-            assert!((b1 - b2).abs() < 1e-9 && (s1 - s2).abs() < 1e-9, "m-cell {k}");
+            assert!(
+                (b1 - b2).abs() < 1e-9 && (s1 - s2).abs() < 1e-9,
+                "m-cell {k}"
+            );
         }
 
         let o1 = sorted_cells(a1.o_table());
@@ -79,7 +82,10 @@ fn critical_layers_agree_between_algorithms() {
         assert_eq!(o1.len(), o2.len());
         for (k, (b1, s1)) in &o1 {
             let (b2, s2) = o2[k];
-            assert!((b1 - b2).abs() < 1e-7 && (s1 - s2).abs() < 1e-7, "o-cell {k}");
+            assert!(
+                (b1 - b2).abs() < 1e-7 && (s1 - s2).abs() < 1e-7,
+                "o-cell {k}"
+            );
         }
     }
 }
@@ -99,10 +105,11 @@ fn popular_path_exceptions_are_a_subset_of_mo_exceptions() {
             let isb1 = a1
                 .exceptions_in(cuboid)
                 .and_then(|t| t.get(key))
-                .unwrap_or_else(|| {
-                    panic!("A2 exception {cuboid}{key} missing from A1")
-                });
-            assert!(isb1.approx_eq(isb2, 1e-7), "{cuboid}{key}: {isb1} vs {isb2}");
+                .unwrap_or_else(|| panic!("A2 exception {cuboid}{key} missing from A1"));
+            assert!(
+                isb1.approx_eq(isb2, 1e-7),
+                "{cuboid}{key}: {isb1} vs {isb2}"
+            );
         }
     }
 }
@@ -131,7 +138,10 @@ fn mo_exceptions_missing_from_popular_path_lack_exception_ancestors() {
         // (o-layer parents count as exceptional when the policy fires).
         for parent in lattice.parents(cuboid) {
             let projected = CellKey::new(regcube_olap::cell::project_key(
-                &schema, cuboid, key.ids(), &parent,
+                &schema,
+                cuboid,
+                key.ids(),
+                &parent,
             ));
             let parent_is_exceptional = if parent == *lattice.o_layer() {
                 a2.o_table()
@@ -167,9 +177,7 @@ fn always_policy_makes_the_algorithms_equivalent() {
         }
         let t1 = a1.exceptions_in(&cuboid);
         let c1 = t1.map_or(0, |t| t.len());
-        let c2 = a2
-            .exceptions_in(&cuboid)
-            .map_or(0, |t| t.len());
+        let c2 = a2.exceptions_in(&cuboid).map_or(0, |t| t.len());
         assert_eq!(c1, c2, "cuboid {cuboid}");
         if let (Some(t1), Some(t2)) = (t1, a2.exceptions_in(&cuboid)) {
             for (k, m1) in t1 {
@@ -217,13 +225,9 @@ fn facade_round_trip_on_random_data() {
         .map(|(k, m)| (k.clone(), *m))
         .collect();
     for (key, _) in &alarms {
-        let hits = cube
-            .drill_descendants(layers.o_layer(), key)
-            .unwrap();
+        let hits = cube.drill_descendants(layers.o_layer(), key).unwrap();
         for hit in hits {
-            assert!(cube
-                .policy()
-                .is_exception(&hit.cuboid, &hit.measure));
+            assert!(cube.policy().is_exception(&hit.cuboid, &hit.measure));
         }
     }
 }

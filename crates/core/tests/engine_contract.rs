@@ -1,0 +1,226 @@
+//! Trait-level contract tests for [`CubingEngine`] implementations.
+//!
+//! Every engine must satisfy two laws, checked here generically (so a
+//! future backend is pinned by adding one line to `all_engines`):
+//!
+//! 1. **Incremental/batch equivalence** — splitting one unit's tuple
+//!    stream into same-window batches and ingesting them sequentially
+//!    yields the same cube (critical layers, exception stores, path
+//!    tables) as the one-shot batch `compute` entry point.
+//! 2. **Footnote 7 superset** — after identical ingestion, Algorithm 1
+//!    retains a superset of Algorithm 2's exception cells, with
+//!    identical measures where both retain a cell, and both agree
+//!    exactly on the critical layers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use regcube_core::engine::{CubingEngine, MoCubingEngine, PopularPathEngine};
+use regcube_core::table::CuboidTable;
+use regcube_core::{mo_cubing, popular_path, CriticalLayers, CubeResult, ExceptionPolicy, MTuple};
+use regcube_olap::{CubeSchema, CuboidSpec};
+use regcube_regress::{Isb, TimeSeries};
+
+fn random_dataset(seed: u64, n: usize) -> (CubeSchema, CriticalLayers, Vec<MTuple>) {
+    let (dims, depth, fanout) = (2usize, 2u8, 3u32);
+    let schema = CubeSchema::synthetic(dims, depth, fanout).unwrap();
+    let layers = CriticalLayers::new(
+        &schema,
+        CuboidSpec::new(vec![0; dims]),
+        CuboidSpec::new(vec![depth; dims]),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let card = fanout.pow(u32::from(depth));
+    let tuples = (0..n)
+        .map(|_| {
+            let ids: Vec<u32> = (0..dims).map(|_| rng.random_range(0..card)).collect();
+            let slope = rng.random_range(-1.2..1.2);
+            let base = rng.random_range(0.0..4.0);
+            let z = TimeSeries::from_fn(0, 15, |t| base + slope * t as f64).unwrap();
+            MTuple::new(ids, Isb::fit(&z).unwrap())
+        })
+        .collect();
+    (schema, layers, tuples)
+}
+
+fn tables_approx_eq(label: &str, a: &CuboidTable, b: &CuboidTable) {
+    assert_eq!(a.len(), b.len(), "{label}: cell counts differ");
+    for (key, m) in a {
+        let other = b
+            .get(key)
+            .unwrap_or_else(|| panic!("{label}: cell {key} missing"));
+        assert!(m.approx_eq(other, 1e-8), "{label} {key}: {m} vs {other}");
+    }
+}
+
+fn results_approx_eq(label: &str, a: &CubeResult, b: &CubeResult) {
+    tables_approx_eq(&format!("{label}/m"), a.m_table(), b.m_table());
+    tables_approx_eq(&format!("{label}/o"), a.o_table(), b.o_table());
+    assert_eq!(
+        a.total_exception_cells(),
+        b.total_exception_cells(),
+        "{label}: exception counts differ"
+    );
+    for (cuboid, key, m) in a.iter_exceptions() {
+        let other = b
+            .exceptions_in(cuboid)
+            .and_then(|t| t.get(key))
+            .unwrap_or_else(|| panic!("{label}: exception {cuboid}{key} missing"));
+        assert!(m.approx_eq(other, 1e-8), "{label} {cuboid}{key}");
+    }
+    assert_eq!(a.path_tables().len(), b.path_tables().len());
+    for (cuboid, table) in a.path_tables() {
+        tables_approx_eq(
+            &format!("{label}/path {cuboid}"),
+            table,
+            &b.path_tables()[cuboid],
+        );
+    }
+}
+
+/// The generic half of law 1: ingest `tuples` in `chunk`-sized
+/// same-window batches and compare against a reference result.
+fn assert_incremental_matches_batch<E: CubingEngine>(
+    label: &str,
+    mut engine: E,
+    tuples: &[MTuple],
+    chunk: usize,
+    reference: &CubeResult,
+) {
+    let mut units_opened = 0;
+    for batch in tuples.chunks(chunk) {
+        let delta = engine.ingest_unit(batch).unwrap();
+        if delta.opened_unit {
+            units_opened += 1;
+        }
+    }
+    assert_eq!(
+        units_opened, 1,
+        "{label}: same-window batches must stay in one unit"
+    );
+    results_approx_eq(label, engine.result(), reference);
+    assert_eq!(engine.result().algorithm(), reference.algorithm());
+}
+
+#[test]
+fn mo_engine_incremental_ingestion_matches_batch_compute() {
+    for (seed, chunk) in [(1u64, 1usize), (2, 7), (3, 50)] {
+        let (schema, layers, tuples) = random_dataset(seed, 120);
+        let policy = ExceptionPolicy::slope_threshold(0.3);
+        let reference = mo_cubing::compute(&schema, &layers, &policy, &tuples).unwrap();
+        let engine = MoCubingEngine::new(schema.clone(), layers.clone(), policy.clone()).unwrap();
+        assert_incremental_matches_batch(
+            &format!("mo seed {seed} chunk {chunk}"),
+            engine,
+            &tuples,
+            chunk,
+            &reference,
+        );
+        // Transient mode (the batch wrapper's memory model) obeys the
+        // same law: same-window batches fold + recompute exactly.
+        let transient = MoCubingEngine::transient(schema, layers, policy).unwrap();
+        assert_incremental_matches_batch(
+            &format!("mo-transient seed {seed} chunk {chunk}"),
+            transient,
+            &tuples,
+            chunk,
+            &reference,
+        );
+    }
+}
+
+#[test]
+fn popular_path_engine_incremental_ingestion_matches_batch_compute() {
+    for (seed, chunk) in [(4u64, 1usize), (5, 9), (6, 40)] {
+        let (schema, layers, tuples) = random_dataset(seed, 120);
+        let policy = ExceptionPolicy::slope_threshold(0.3);
+        let reference = popular_path::compute(&schema, &layers, &policy, None, &tuples).unwrap();
+        let engine = PopularPathEngine::new(schema, layers, policy, None).unwrap();
+        assert_incremental_matches_batch(
+            &format!("pp seed {seed} chunk {chunk}"),
+            engine,
+            &tuples,
+            chunk,
+            &reference,
+        );
+    }
+}
+
+/// Law 2, enforced through the trait with type-erased engines so any
+/// pair of implementations can be cross-checked the same way.
+#[test]
+fn algorithm_one_exceptions_are_a_superset_of_algorithm_two() {
+    for seed in [10u64, 11, 12] {
+        let (schema, layers, tuples) = random_dataset(seed, 200);
+        let policy = ExceptionPolicy::slope_threshold(0.25);
+        let mut engines: Vec<Box<dyn CubingEngine>> = vec![
+            Box::new(MoCubingEngine::new(schema.clone(), layers.clone(), policy.clone()).unwrap()),
+            Box::new(PopularPathEngine::new(schema, layers, policy, None).unwrap()),
+        ];
+        for engine in &mut engines {
+            // Mixed batch sizes: the invariant holds regardless of how
+            // the unit's tuples arrived.
+            let split = tuples.len() / 2;
+            engine.ingest_unit(&tuples[..split]).unwrap();
+            engine.ingest_unit(&tuples[split..]).unwrap();
+        }
+        let (a1, a2) = (engines[0].result(), engines[1].result());
+
+        // Identical critical layers.
+        tables_approx_eq(&format!("seed {seed}/m"), a1.m_table(), a2.m_table());
+        tables_approx_eq(&format!("seed {seed}/o"), a1.o_table(), a2.o_table());
+
+        // Superset with matching measures.
+        assert!(a2.total_exception_cells() <= a1.total_exception_cells());
+        for (cuboid, key, isb2) in a2.iter_exceptions() {
+            let isb1 = a1
+                .exceptions_in(cuboid)
+                .and_then(|t| t.get(key))
+                .unwrap_or_else(|| {
+                    panic!("seed {seed}: A2 exception {cuboid}{key} missing from A1")
+                });
+            assert!(isb1.approx_eq(isb2, 1e-8), "seed {seed}: {cuboid}{key}");
+        }
+    }
+}
+
+#[test]
+fn unit_rollover_is_part_of_the_contract() {
+    // Feeding a later window must open a new unit and leave a cube for
+    // that window only — for every engine behind the same trait calls.
+    let (schema, layers, tuples) = random_dataset(20, 60);
+    let policy = ExceptionPolicy::slope_threshold(0.3);
+    let engines: Vec<Box<dyn CubingEngine>> = vec![
+        Box::new(MoCubingEngine::new(schema.clone(), layers.clone(), policy.clone()).unwrap()),
+        Box::new(PopularPathEngine::new(schema, layers, policy, None).unwrap()),
+    ];
+    for mut engine in engines {
+        let d0 = engine.ingest_unit(&tuples).unwrap();
+        assert!(d0.opened_unit);
+        assert_eq!(d0.unit, 0);
+
+        let next_window: Vec<MTuple> = (0..5u32)
+            .map(|i| MTuple::new(vec![i, i], Isb::new(16, 31, 1.0, 0.5).unwrap()))
+            .collect();
+        let d1 = engine.ingest_unit(&next_window).unwrap();
+        assert!(d1.opened_unit);
+        assert_eq!(d1.unit, 1);
+        assert_eq!(d1.window, (16, 31));
+        assert_eq!(engine.result().m_layer_cells(), 5);
+        // Deltas stay consistent across the rollover: every alarm the
+        // first unit raised is either still exceptional in the new
+        // window or reported as cleared.
+        for cell in &d0.appeared {
+            let still = engine
+                .result()
+                .exceptions_in(&cell.0)
+                .is_some_and(|t| t.contains_key(&cell.1));
+            assert!(
+                still || d1.cleared.contains(cell),
+                "lapsed exception {}{} neither retained nor cleared",
+                cell.0,
+                cell.1
+            );
+        }
+    }
+}

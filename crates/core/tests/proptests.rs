@@ -58,9 +58,7 @@ fn build(rc: &RandomCube) -> (CubeSchema, CriticalLayers, Vec<MTuple>, Exception
     let tuples: Vec<MTuple> = rc
         .tuples
         .iter()
-        .map(|(ids, base, slope)| {
-            MTuple::new(ids.clone(), Isb::new(0, 9, *base, *slope).unwrap())
-        })
+        .map(|(ids, base, slope)| MTuple::new(ids.clone(), Isb::new(0, 9, *base, *slope).unwrap()))
         .collect();
     let policy = ExceptionPolicy::slope_threshold(rc.threshold);
     (schema, layers, tuples, policy)

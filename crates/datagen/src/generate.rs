@@ -56,20 +56,18 @@ impl Dataset {
         })?;
         let m_layer = CuboidSpec::new(vec![spec.m_level(); spec.dims]);
         let o_layer = CuboidSpec::new(vec![spec.o_level(); spec.dims]);
-        let card = spec
-            .fanout
-            .checked_pow(u32::from(spec.levels))
-            .ok_or(DatagenError::BadParameters {
-                detail: "m-layer cardinality overflow".into(),
-            })?;
+        let card =
+            spec.fanout
+                .checked_pow(u32::from(spec.levels))
+                .ok_or(DatagenError::BadParameters {
+                    detail: "m-layer cardinality overflow".into(),
+                })?;
 
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let mut tuples = Vec::with_capacity(spec.tuples);
         let mut seen = regcube_olap::fxhash::FxHashMap::default();
         for _ in 0..spec.tuples {
-            let ids: Vec<u32> = (0..spec.dims)
-                .map(|_| rng.random_range(0..card))
-                .collect();
+            let ids: Vec<u32> = (0..spec.dims).map(|_| rng.random_range(0..card)).collect();
             let model = mixture.draw(&mut rng);
             let series = model.sample(&mut rng, 0, spec.series_len);
             let isb = Isb::fit(&series).map_err(|e| DatagenError::Substrate {
@@ -82,9 +80,11 @@ impl Dataset {
                 std::collections::hash_map::Entry::Occupied(e) => {
                     let idx: usize = *e.get();
                     let t: &mut GenTuple = &mut tuples[idx];
-                    t.isb = regcube_regress::aggregate::merge_standard(&[t.isb, isb])
-                        .map_err(|e| DatagenError::Substrate {
-                            detail: e.to_string(),
+                    t.isb =
+                        regcube_regress::aggregate::merge_standard(&[t.isb, isb]).map_err(|e| {
+                            DatagenError::Substrate {
+                                detail: e.to_string(),
+                            }
                         })?;
                 }
                 std::collections::hash_map::Entry::Vacant(v) => {

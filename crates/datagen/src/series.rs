@@ -86,8 +86,7 @@ impl SeriesModel {
             } => (0..len)
                 .map(|i| {
                     let t = (start + i as i64) as f64;
-                    base + amp * (std::f64::consts::TAU * t / period).sin()
-                        + sym_noise(rng, *noise)
+                    base + amp * (std::f64::consts::TAU * t / period).sin() + sym_noise(rng, *noise)
                 })
                 .collect(),
             SeriesModel::LevelShift {
@@ -153,7 +152,11 @@ impl TrendMixture {
     /// Draws one stream's model.
     pub fn draw(&self, rng: &mut StdRng) -> SeriesModel {
         let hot = rng.random_bool(self.hot_fraction.clamp(0.0, 1.0));
-        let max = if hot { self.hot_slope } else { self.quiet_slope };
+        let max = if hot {
+            self.hot_slope
+        } else {
+            self.quiet_slope
+        };
         let slope = rng.random_range(-max..max);
         SeriesModel::LinearTrend {
             base: rng.random_range(0.0..self.base_range.max(f64::MIN_POSITIVE)),

@@ -131,7 +131,10 @@ impl FromStr for DatasetSpec {
         while i < bytes.len() {
             let c = bytes[i] as char;
             if field_idx >= 4 || c != order[field_idx] {
-                return Err(bad(&format!("expected '{}'", order.get(field_idx).unwrap_or(&'?'))));
+                return Err(bad(&format!(
+                    "expected '{}'",
+                    order.get(field_idx).unwrap_or(&'?')
+                )));
             }
             i += 1;
             let start = i;
@@ -147,7 +150,11 @@ impl FromStr for DatasetSpec {
             // Optional K/M multiplier (only meaningful on T, accepted
             // anywhere the paper's notation would use it).
             if i < bytes.len() && (bytes[i] as char == 'K' || bytes[i] as char == 'M') {
-                value *= if bytes[i] as char == 'K' { 1_000 } else { 1_000_000 };
+                value *= if bytes[i] as char == 'K' {
+                    1_000
+                } else {
+                    1_000_000
+                };
                 i += 1;
             }
             fields[field_idx] = Some(value);
@@ -186,7 +193,15 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed_names() {
-        for bad in ["", "D3", "L3C10T5", "D3L3C10", "D3L3C10T", "DXL3C10T5", "D3L3C10T5X"] {
+        for bad in [
+            "",
+            "D3",
+            "L3C10T5",
+            "D3L3C10",
+            "D3L3C10T",
+            "DXL3C10T5",
+            "D3L3C10T5X",
+        ] {
             assert!(bad.parse::<DatasetSpec>().is_err(), "{bad}");
         }
         assert!("D0L3C10T5".parse::<DatasetSpec>().is_err());

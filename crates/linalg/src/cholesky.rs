@@ -118,12 +118,7 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = B Bᵀ + I for B with full rank is SPD; this one is hand-picked.
-        Matrix::from_rows(&[
-            &[4.0, 2.0, 0.6],
-            &[2.0, 5.0, 1.0],
-            &[0.6, 1.0, 3.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]]).unwrap()
     }
 
     #[test]

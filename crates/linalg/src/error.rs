@@ -51,7 +51,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is singular (zero pivot at index {pivot})")
             }
             LinalgError::NotPositiveDefinite { index } => {
-                write!(f, "matrix is not positive definite (diagonal index {index})")
+                write!(
+                    f,
+                    "matrix is not positive definite (diagonal index {index})"
+                )
             }
             LinalgError::Underdetermined { rows, cols } => write!(
                 f,

@@ -77,13 +77,7 @@ mod tests {
 
     #[test]
     fn simple_line_fit() {
-        let x = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
         let y = [1.0, 3.0, 5.0, 7.0];
         let beta = solve_least_squares(&x, &y).unwrap();
         assert!(approx_eq(&beta, &[1.0, 2.0], 1e-10));

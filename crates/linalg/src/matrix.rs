@@ -123,7 +123,11 @@ impl Matrix {
     /// Panics if `r >= self.rows()`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -133,7 +137,11 @@ impl Matrix {
     /// Panics if `r >= self.rows()`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -142,7 +150,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "col {c} out of bounds for {} cols", self.cols);
+        assert!(
+            c < self.cols,
+            "col {c} out of bounds for {} cols",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -433,7 +445,10 @@ mod tests {
     fn multiplication_shape_mismatch() {
         let a = m(&[&[1.0, 2.0]]);
         let err = a.mul(&a).unwrap_err();
-        assert!(matches!(err, LinalgError::DimensionMismatch { op: "mul", .. }));
+        assert!(matches!(
+            err,
+            LinalgError::DimensionMismatch { op: "mul", .. }
+        ));
     }
 
     #[test]

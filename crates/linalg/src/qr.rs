@@ -163,13 +163,7 @@ mod tests {
 
     #[test]
     fn exact_system_is_recovered() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
         let x_true = vec![0.5, -1.25];
         let b = a.mul_vec(&x_true).unwrap();
         let x = Qr::factor(&a).unwrap().solve(&b).unwrap();
@@ -204,13 +198,7 @@ mod tests {
 
     #[test]
     fn residual_is_orthogonal_to_columns() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-            &[1.0, 5.0],
-            &[1.0, 7.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 3.0], &[1.0, 5.0], &[1.0, 7.0]]).unwrap();
         let b = [1.0, -1.0, 2.0, 0.0];
         let x = Qr::factor(&a).unwrap().solve(&b).unwrap();
         let fitted = a.mul_vec(&x).unwrap();
@@ -223,12 +211,7 @@ mod tests {
 
     #[test]
     fn r_is_upper_triangular_with_correct_gram() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 4.0],
-            &[2.0, 5.0],
-            &[3.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 4.0], &[2.0, 5.0], &[3.0, 6.0]]).unwrap();
         let qr = Qr::factor(&a).unwrap();
         let r = qr.r();
         assert_eq!(r[(1, 0)], 0.0);

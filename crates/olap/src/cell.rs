@@ -104,11 +104,7 @@ impl Cell {
 
     /// Number of non-`*` dimensions — the `k` of a "k-d cell".
     pub fn k(&self) -> usize {
-        self.cuboid
-            .levels()
-            .iter()
-            .filter(|&&l| l != 0)
-            .count()
+        self.cuboid.levels().iter().filter(|&&l| l != 0).count()
     }
 
     /// Projects this cell to an ancestor `target` cuboid by replacing each
@@ -236,9 +232,7 @@ mod tests {
     fn projection_generalizes_members() {
         let s = schema();
         let fine = Cell::new(&s, CuboidSpec::new(vec![3, 3, 3]), vec![26, 13, 5]).unwrap();
-        let coarse = fine
-            .project(&s, &CuboidSpec::new(vec![1, 0, 2]))
-            .unwrap();
+        let coarse = fine.project(&s, &CuboidSpec::new(vec![1, 0, 2])).unwrap();
         // 26 at L3 -> 8 at L2 -> 2 at L1 (fanout 3); 5 at L3 -> 1 at L2.
         assert_eq!(coarse.key().ids(), &[2, 0, 1]);
 

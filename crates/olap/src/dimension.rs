@@ -104,7 +104,11 @@ mod tests {
         let d = Dimension::with_level_names(
             "location",
             Hierarchy::balanced(3, 4).unwrap(),
-            vec!["city".into(), "street-block".into(), "street-address".into()],
+            vec![
+                "city".into(),
+                "street-block".into(),
+                "street-address".into(),
+            ],
         )
         .unwrap();
         assert_eq!(d.level_name(1), "city");

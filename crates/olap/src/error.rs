@@ -106,12 +106,8 @@ mod tests {
                 member: 50,
                 cardinality: 10,
             },
-            OlapError::BadHierarchy {
-                detail: "x".into(),
-            },
-            OlapError::BadCuboid {
-                detail: "y".into(),
-            },
+            OlapError::BadHierarchy { detail: "x".into() },
+            OlapError::BadCuboid { detail: "y".into() },
             OlapError::BadPath { detail: "z".into() },
             OlapError::ArityMismatch {
                 got: 1,

@@ -63,7 +63,11 @@ impl Hierarchy {
                     detail: format!("level {} has no members", i + 1),
                 });
             }
-            let parent_card = if i == 0 { 1 } else { parents[i - 1].len() as u32 };
+            let parent_card = if i == 0 {
+                1
+            } else {
+                parents[i - 1].len() as u32
+            };
             if let Some(&bad) = level.iter().find(|&&p| p >= parent_card) {
                 return Err(OlapError::BadHierarchy {
                     detail: format!(

@@ -352,9 +352,11 @@ pub fn expand_tuple(
     order
         .iter()
         .map(|a| {
-            schema.dims()[a.dim]
-                .hierarchy()
-                .ancestor_unchecked(m_layer.level(a.dim), ids[a.dim], a.level)
+            schema.dims()[a.dim].hierarchy().ancestor_unchecked(
+                m_layer.level(a.dim),
+                ids[a.dim],
+                a.level,
+            )
         })
         .collect()
 }
@@ -385,9 +387,7 @@ pub fn path_values_to_key(
         if level == 0 {
             continue;
         }
-        let idx = order
-            .iter()
-            .position(|a| a.dim == d && a.level == level)?;
+        let idx = order.iter().position(|a| a.dim == d && a.level == level)?;
         *slot = values[idx];
     }
     Some(key)

@@ -32,9 +32,7 @@ impl Lattice {
         schema.check_cuboid(&m_layer)?;
         if !o_layer.is_ancestor_or_equal(&m_layer) {
             return Err(OlapError::BadCuboid {
-                detail: format!(
-                    "o-layer {o_layer} is not an ancestor of m-layer {m_layer}"
-                ),
+                detail: format!("o-layer {o_layer} is not an ancestor of m-layer {m_layer}"),
             });
         }
         Ok(Lattice { o_layer, m_layer })
@@ -296,7 +294,10 @@ mod tests {
         // One diagram line per depth tier 2..=6.
         assert_eq!(diagram.lines().count(), 5);
         // Every cuboid appears; the highlighted one is starred.
-        assert_eq!(diagram.matches("(L").count() + diagram.matches("(*, ").count(), 12);
+        assert_eq!(
+            diagram.matches("(L").count() + diagram.matches("(*, ").count(),
+            12
+        );
         assert!(diagram.contains("*(L1, L1, L1)*"));
         assert!(diagram.starts_with("depth  2: (L1, *, L1)"));
         assert!(diagram.trim_end().ends_with("(L2, L2, L2)"));

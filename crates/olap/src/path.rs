@@ -33,7 +33,10 @@ impl PopularPath {
         };
         if first != lattice.o_layer() {
             return Err(OlapError::BadPath {
-                detail: format!("path starts at {first}, not the o-layer {}", lattice.o_layer()),
+                detail: format!(
+                    "path starts at {first}, not the o-layer {}",
+                    lattice.o_layer()
+                ),
             });
         }
         let last = cuboids.last().expect("non-empty");
@@ -178,8 +181,7 @@ mod tests {
         assert_eq!(path.cuboids().first().unwrap(), lattice.o_layer());
         assert_eq!(path.cuboids().last().unwrap(), lattice.m_layer());
         // Total steps = total depth difference.
-        let expected_steps =
-            lattice.m_layer().total_depth() - lattice.o_layer().total_depth();
+        let expected_steps = lattice.m_layer().total_depth() - lattice.o_layer().total_depth();
         assert_eq!(path.len() as u32, expected_steps + 1);
     }
 
@@ -191,7 +193,10 @@ mod tests {
         // Wrong start.
         assert!(PopularPath::new(
             &lattice,
-            vec![CuboidSpec::new(vec![1, 1, 1]), CuboidSpec::new(vec![2, 2, 2])],
+            vec![
+                CuboidSpec::new(vec![1, 1, 1]),
+                CuboidSpec::new(vec![2, 2, 2])
+            ],
         )
         .is_err());
         // Wrong end.

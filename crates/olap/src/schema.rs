@@ -78,10 +78,7 @@ impl CubeSchema {
 
     /// Looks a dimension up by name.
     pub fn dim_by_name(&self, name: &str) -> Option<(usize, &Dimension)> {
-        self.dims
-            .iter()
-            .enumerate()
-            .find(|(_, d)| d.name() == name)
+        self.dims.iter().enumerate().find(|(_, d)| d.name() == name)
     }
 
     /// The cuboid at every dimension's finest level.

@@ -288,15 +288,16 @@ mod tests {
         assert!(merged.approx_eq(&expected, 1e-5), "{merged} vs {expected}");
 
         let verbatim = merge_time_theorem33(&[seg1, seg2]).unwrap();
-        assert!(verbatim.approx_eq(&expected, 1e-5), "{verbatim} vs {expected}");
+        assert!(
+            verbatim.approx_eq(&expected, 1e-5),
+            "{verbatim} vs {expected}"
+        );
     }
 
     #[test]
     fn thm33_paper_formula_agrees_with_sufficient_statistics() {
-        let z = TimeSeries::from_fn(5, 44, |t| {
-            0.3 * t as f64 + ((t * 7919) % 13) as f64 * 0.11
-        })
-        .unwrap();
+        let z = TimeSeries::from_fn(5, 44, |t| 0.3 * t as f64 + ((t * 7919) % 13) as f64 * 0.11)
+            .unwrap();
         for k in [2usize, 3, 7, 10] {
             let parts = z.split_into(k).unwrap();
             let isbs: Vec<Isb> = parts.iter().map(fit).collect();

@@ -66,7 +66,10 @@ impl fmt::Display for RegressError {
                 write!(f, "not enough data: have {have}, need {need}")
             }
             RegressError::DomainViolation { transform, value } => {
-                write!(f, "domain violation in {transform} transform at value {value}")
+                write!(
+                    f,
+                    "domain violation in {transform} transform at value {value}"
+                )
             }
             RegressError::InvalidParameter { name, detail } => {
                 write!(f, "invalid parameter {name}: {detail}")

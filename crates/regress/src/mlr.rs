@@ -69,11 +69,7 @@ impl MlrMeasure {
         if design.rows() != z.len() {
             return Err(RegressError::InvalidParameter {
                 name: "z",
-                detail: format!(
-                    "{} responses for {} design rows",
-                    z.len(),
-                    design.rows()
-                ),
+                detail: format!("{} responses for {} design rows", z.len(), design.rows()),
             });
         }
         let mut m = MlrMeasure::empty(design.cols())?;
@@ -261,15 +257,19 @@ mod tests {
 
     #[test]
     fn disjoint_merge_equals_pooled_fit() {
-        let z = TimeSeries::from_fn(0, 19, |t| 2.0 + 0.3 * t as f64 + ((t % 3) as f64) * 0.1)
-            .unwrap();
+        let z =
+            TimeSeries::from_fn(0, 19, |t| 2.0 + 0.3 * t as f64 + ((t % 3) as f64) * 0.1).unwrap();
         let (a, b) = (z.window(0, 9).unwrap(), z.window(10, 19).unwrap());
         let mut ma = MlrMeasure::from_time_series(&a).unwrap();
         let mb = MlrMeasure::from_time_series(&b).unwrap();
         ma.merge_disjoint(&mb).unwrap();
 
         let pooled = MlrMeasure::from_time_series(&z).unwrap();
-        assert!(approx_eq(&ma.solve().unwrap(), &pooled.solve().unwrap(), 1e-9));
+        assert!(approx_eq(
+            &ma.solve().unwrap(),
+            &pooled.solve().unwrap(),
+            1e-9
+        ));
         assert_eq!(ma.n(), 20);
         let (r1, r2) = (ma.rss().unwrap().unwrap(), pooled.rss().unwrap().unwrap());
         assert!((r1 - r2).abs() < 1e-8);
@@ -332,8 +332,7 @@ mod tests {
     #[test]
     fn from_observations_and_polynomial_design() {
         // Quadratic data is fitted exactly by a degree-2 design.
-        let z = TimeSeries::from_fn(0, 9, |t| 1.0 - 2.0 * t as f64 + 0.5 * (t * t) as f64)
-            .unwrap();
+        let z = TimeSeries::from_fn(0, 9, |t| 1.0 - 2.0 * t as f64 + 0.5 * (t * t) as f64).unwrap();
         let x = time_polynomial_design(&z, 2).unwrap();
         let m = MlrMeasure::from_observations(&x, z.values()).unwrap();
         let beta = m.solve().unwrap();

@@ -139,8 +139,7 @@ mod tests {
     fn svs_matches_direct_summation() {
         for n in 1u64..=50 {
             for offset in [-7i64, 0, 3] {
-                let t_bar =
-                    ((offset + offset + n as i64 - 1) as f64) / 2.0;
+                let t_bar = ((offset + offset + n as i64 - 1) as f64) / 2.0;
                 let direct: f64 = (0..n as i64)
                     .map(|j| {
                         let t = (offset + j) as f64;
@@ -168,7 +167,10 @@ mod tests {
 
     #[test]
     fn fit_passes_through_the_centroid() {
-        let z = series(0, &[0.62, 0.24, 1.03, 0.57, 0.59, 0.57, 0.87, 1.10, 0.71, 0.56]);
+        let z = series(
+            0,
+            &[0.62, 0.24, 1.03, 0.57, 0.59, 0.57, 0.87, 1.10, 0.71, 0.56],
+        );
         let f = LinearFit::fit(&z);
         let at_centroid = f.predict(0) + f.slope * z.mean_t(); // α̂ + β̂ t̄
         assert!((at_centroid - z.mean()).abs() < 1e-12);
@@ -177,7 +179,10 @@ mod tests {
     #[test]
     fn example2_figure1_series_has_mild_positive_trend() {
         // The Example 2 / Figure 1 series from the paper.
-        let z = series(0, &[0.62, 0.24, 1.03, 0.57, 0.59, 0.57, 0.87, 1.10, 0.71, 0.56]);
+        let z = series(
+            0,
+            &[0.62, 0.24, 1.03, 0.57, 0.59, 0.57, 0.87, 1.10, 0.71, 0.56],
+        );
         let f = LinearFit::fit(&z);
         // Hand-computed: z̄ = 0.686, Σ(t-4.5)z = 1.99, SVS = 82.5.
         assert!((f.slope - 1.99 / 82.5).abs() < 1e-9);
@@ -207,7 +212,13 @@ mod tests {
         let z = series(0, &[2.0, 1.0, 4.0, 3.0, 6.0, 5.0]);
         let f = LinearFit::fit(&z);
         let best = f.rss(&z);
-        for (db, ds) in [(0.1, 0.0), (-0.1, 0.0), (0.0, 0.05), (0.0, -0.05), (0.1, -0.05)] {
+        for (db, ds) in [
+            (0.1, 0.0),
+            (-0.1, 0.0),
+            (0.0, 0.05),
+            (0.0, -0.05),
+            (0.1, -0.05),
+        ] {
             let candidate = LinearFit {
                 base: f.base + db,
                 slope: f.slope + ds,

@@ -155,10 +155,8 @@ mod tests {
 
     #[test]
     fn polynomial_fit_is_exact_on_polynomial_data() {
-        let z = TimeSeries::from_fn(0, 11, |t| {
-            2.0 + 1.5 * t as f64 - 0.25 * (t * t) as f64
-        })
-        .unwrap();
+        let z =
+            TimeSeries::from_fn(0, 11, |t| 2.0 + 1.5 * t as f64 - 0.25 * (t * t) as f64).unwrap();
         let fit = fit_polynomial(&z, 2).unwrap();
         assert_eq!(fit.degree(), 2);
         for t in [0, 5, 11] {
@@ -190,7 +188,10 @@ mod tests {
         let at_zero = TimeSeries::new(0, vec![1.0, 2.0]).unwrap();
         assert!(matches!(
             fit_log(&at_zero),
-            Err(RegressError::DomainViolation { transform: "log", .. })
+            Err(RegressError::DomainViolation {
+                transform: "log",
+                ..
+            })
         ));
         let single = TimeSeries::new(1, vec![1.0]).unwrap();
         assert!(matches!(
@@ -213,7 +214,10 @@ mod tests {
         let nonpositive = TimeSeries::new(0, vec![1.0, -0.5, 2.0]).unwrap();
         assert!(matches!(
             fit_exponential(&nonpositive),
-            Err(RegressError::DomainViolation { transform: "exp", .. })
+            Err(RegressError::DomainViolation {
+                transform: "exp",
+                ..
+            })
         ));
         let single = TimeSeries::new(0, vec![1.0]).unwrap();
         assert!(matches!(

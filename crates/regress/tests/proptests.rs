@@ -21,15 +21,13 @@ fn time_series(min_len: usize, max_len: usize) -> impl Strategy<Value = TimeSeri
 /// Strategy: `k` series sharing one interval.
 fn sibling_series(k: usize) -> impl Strategy<Value = Vec<TimeSeries>> {
     (2usize..30, -500i64..500).prop_flat_map(move |(len, start)| {
-        prop::collection::vec(
-            prop::collection::vec(-50.0..50.0f64, len),
-            k..=k,
+        prop::collection::vec(prop::collection::vec(-50.0..50.0f64, len), k..=k).prop_map(
+            move |rows| {
+                rows.into_iter()
+                    .map(|v| TimeSeries::new(start, v).unwrap())
+                    .collect()
+            },
         )
-        .prop_map(move |rows| {
-            rows.into_iter()
-                .map(|v| TimeSeries::new(start, v).unwrap())
-                .collect()
-        })
     })
 }
 

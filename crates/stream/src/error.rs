@@ -105,7 +105,11 @@ mod tests {
             StreamError::BadRecord { detail: "x".into() },
             StreamError::BadConfig { detail: "y".into() },
             CoreError::BadInput { detail: "z".into() }.into(),
-            OlapError::ArityMismatch { got: 1, expected: 2 }.into(),
+            OlapError::ArityMismatch {
+                got: 1,
+                expected: 2,
+            }
+            .into(),
             RegressError::NoInputs.into(),
             TiltError::BadSpec { detail: "w".into() }.into(),
         ];

@@ -51,9 +51,7 @@ impl Ingestor {
         schema.check_cuboid(&m_layer).map_err(StreamError::from)?;
         if !m_layer.is_ancestor_or_equal(&primitive) {
             return Err(StreamError::BadConfig {
-                detail: format!(
-                    "primitive layer {primitive} is not below the m-layer {m_layer}"
-                ),
+                detail: format!("primitive layer {primitive} is not below the m-layer {m_layer}"),
             });
         }
         Ok(Ingestor {

@@ -13,11 +13,13 @@
 //!   m-layer ISB tuples (standard dimensions via hierarchy projection,
 //!   time via per-unit OLS fits);
 //! * [`online`] — the [`online::OnlineEngine`]: one `close_unit()` per
-//!   m-layer time unit recomputes the regression cube, feeds per-cell
+//!   m-layer time unit feeds the unit's tuples to a pluggable
+//!   [`CubingEngine`](regcube_core::engine::CubingEngine) (generic
+//!   parameter `E`; Algorithm 1 or 2 out of the box), maintains per-cell
 //!   tilt frames, and raises o-layer alarms (own-slope or slot-delta
 //!   reference, Section 4.3);
-//! * [`source`] — replay and crossbeam-channel event sources for driving
-//!   an engine from another thread.
+//! * [`source`] — replay and mpsc-channel event sources for driving an
+//!   engine from another thread.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,7 +32,7 @@ pub mod source;
 
 pub use error::StreamError;
 pub use ingest::Ingestor;
-pub use online::{Alarm, EngineConfig, OnlineEngine, UnitReport};
+pub use online::{Alarm, BoxedEngine, EngineConfig, OnlineEngine, UnitReport};
 pub use record::RawRecord;
 pub use source::{run_engine, ReplaySource, StreamEvent};
 

@@ -5,15 +5,21 @@ use crate::error::StreamError;
 use crate::ingest::Ingestor;
 use crate::record::RawRecord;
 use crate::Result;
+use regcube_core::drill::{drill_children, drill_descendants, DrillHit};
+use regcube_core::engine::{CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
 use regcube_core::history::{CubeHistory, ExceptionDiff};
 use regcube_core::result::Algorithm;
-use regcube_core::{CubeResult, ExceptionPolicy, RegressionCube};
+use regcube_core::{CoreError, CriticalLayers, CubeResult, ExceptionPolicy};
 use regcube_olap::cell::CellKey;
 use regcube_olap::fxhash::FxHashMap;
 use regcube_olap::{CubeSchema, CuboidSpec};
 use regcube_regress::Isb;
 use regcube_tilt::{TiltFrame, TiltSpec};
 use std::time::{Duration, Instant};
+
+/// The type-erased cubing engine [`EngineConfig::build`] selects at
+/// runtime from [`EngineConfig::algorithm`].
+pub type BoxedEngine = Box<dyn CubingEngine + Send>;
 
 /// One o-layer alarm raised at a unit close.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +50,9 @@ pub struct UnitReport {
     /// Exception changes against the previous unit (`None` for the first
     /// computed unit): fresh alerts, recoveries, persisting conditions.
     pub diff: Option<ExceptionDiff>,
+    /// What the cubing engine reported for the unit's batch (`None` for
+    /// an empty unit, which never reaches the engine).
+    pub cube_delta: Option<UnitDelta>,
 }
 
 /// Configuration of an [`OnlineEngine`], built fluently:
@@ -135,16 +144,81 @@ impl EngineConfig {
         self
     }
 
-    /// Builds the engine.
+    /// Builds the engine, selecting the cubing backend at runtime from
+    /// [`algorithm`](Self::algorithm) (type-erased behind
+    /// [`BoxedEngine`]).
     ///
     /// # Errors
     /// Configuration validation from the ingestor and cube substrates.
-    pub fn build(self) -> Result<OnlineEngine> {
-        OnlineEngine::new(self)
+    pub fn build(self) -> Result<OnlineEngine<BoxedEngine>> {
+        let algorithm = self.algorithm;
+        self.build_with(|schema, layers, policy| match algorithm {
+            Algorithm::MoCubing => MoCubingEngine::transient(schema, layers, policy)
+                .map(|e| Box::new(e) as BoxedEngine),
+            Algorithm::PopularPath => PopularPathEngine::new(schema, layers, policy, None)
+                .map(|e| Box::new(e) as BoxedEngine),
+        })
+    }
+
+    /// Builds a statically-typed engine running Algorithm 1.
+    ///
+    /// # Errors
+    /// Configuration validation from the ingestor and cube substrates.
+    pub fn build_mo(self) -> Result<OnlineEngine<MoCubingEngine>> {
+        self.build_with(MoCubingEngine::transient)
+    }
+
+    /// Builds a statically-typed engine running Algorithm 2 with the
+    /// default popular path.
+    ///
+    /// # Errors
+    /// Configuration validation from the ingestor and cube substrates.
+    pub fn build_popular_path(self) -> Result<OnlineEngine<PopularPathEngine>> {
+        self.build_with(|schema, layers, policy| {
+            PopularPathEngine::new(schema, layers, policy, None)
+        })
+    }
+
+    /// Builds an engine around any [`CubingEngine`] the caller
+    /// constructs — the seam for custom (sharded, instrumented, …)
+    /// cubing backends.
+    ///
+    /// # Errors
+    /// Configuration validation from the ingestor and cube substrates.
+    pub fn build_with<E: CubingEngine>(
+        self,
+        make: impl FnOnce(CubeSchema, CriticalLayers, ExceptionPolicy) -> regcube_core::Result<E>,
+    ) -> Result<OnlineEngine<E>> {
+        let EngineConfig {
+            schema,
+            primitive,
+            o_layer,
+            m_layer,
+            policy,
+            tilt_spec,
+            ticks_per_unit,
+            algorithm: _,
+        } = self;
+        let ingestor = Ingestor::new(schema.clone(), primitive, m_layer.clone(), ticks_per_unit)?;
+        let layers = CriticalLayers::new(&schema, o_layer, m_layer).map_err(StreamError::from)?;
+        let cubing = make(schema.clone(), layers, policy).map_err(StreamError::from)?;
+        Ok(OnlineEngine {
+            ingestor,
+            schema,
+            cubing,
+            computed: false,
+            tilt_spec,
+            frames: FxHashMap::default(),
+            o_frames: FxHashMap::default(),
+            prev_o_layer: FxHashMap::default(),
+            history: CubeHistory::new(16),
+            ticks_per_unit,
+            units_closed: 0,
+        })
     }
 }
 
-/// The online analysis engine.
+/// The online analysis engine, generic over the cubing strategy `E`.
 ///
 /// Feed raw records with [`ingest`](Self::ingest); call
 /// [`close_unit`](Self::close_unit) at every m-layer time-unit boundary
@@ -153,14 +227,22 @@ impl EngineConfig {
 /// 1. rolls the unit's records up to m-layer ISB tuples,
 /// 2. pushes every cell's unit ISB into its tilt frame (absent cells get
 ///    a zero-usage fill so frames stay contiguous),
-/// 3. recomputes the regression cube over the unit window, and
+/// 3. feeds the unit's tuples to the [`CubingEngine`] (which opens a new
+///    cube unit for the new window), and
 /// 4. raises alarms for exceptional o-layer cells, scoring with the
 ///    policy's [`RefMode`](regcube_core::RefMode) against the previous
 ///    unit's o-layer.
+///
+/// `E` defaults to the runtime-selected [`BoxedEngine`] that
+/// [`EngineConfig::build`] produces; [`EngineConfig::build_with`] plugs
+/// in any other [`CubingEngine`] implementation statically.
 #[derive(Debug)]
-pub struct OnlineEngine {
+pub struct OnlineEngine<E: CubingEngine = BoxedEngine> {
     ingestor: Ingestor,
-    cube: RegressionCube,
+    schema: CubeSchema,
+    cubing: E,
+    /// Whether at least one non-empty unit reached the cubing engine.
+    computed: bool,
     tilt_spec: TiltSpec,
     /// Per-m-cell tilt frames (the warehoused stream history).
     frames: FxHashMap<CellKey, TiltFrame<Isb>>,
@@ -175,45 +257,16 @@ pub struct OnlineEngine {
 }
 
 impl OnlineEngine {
-    /// Creates an engine from a configuration (see [`EngineConfig`]).
+    /// Creates a runtime-configured engine (see [`EngineConfig::build`]).
     ///
     /// # Errors
     /// Configuration validation from the ingestor and cube substrates.
     pub fn new(config: EngineConfig) -> Result<Self> {
-        let EngineConfig {
-            schema,
-            primitive,
-            o_layer,
-            m_layer,
-            policy,
-            tilt_spec,
-            ticks_per_unit,
-            algorithm,
-        } = config;
-        let ingestor = Ingestor::new(
-            schema.clone(),
-            primitive,
-            m_layer.clone(),
-            ticks_per_unit,
-        )?;
-        let cube = RegressionCube::new(schema, o_layer, m_layer, policy)?;
-        let cube = match algorithm {
-            Algorithm::MoCubing => cube,
-            Algorithm::PopularPath => cube.with_popular_path(None)?,
-        };
-        Ok(OnlineEngine {
-            ingestor,
-            cube,
-            tilt_spec,
-            frames: FxHashMap::default(),
-            o_frames: FxHashMap::default(),
-            prev_o_layer: FxHashMap::default(),
-            history: CubeHistory::new(16),
-            ticks_per_unit,
-            units_closed: 0,
-        })
+        config.build()
     }
+}
 
+impl<E: CubingEngine> OnlineEngine<E> {
     /// Ingests one raw record into the open unit.
     ///
     /// # Errors
@@ -243,9 +296,20 @@ impl OnlineEngine {
     /// The most recent cube result.
     ///
     /// # Errors
-    /// [`StreamError::Core`] before the first unit close.
+    /// [`StreamError::Core`] before the first non-empty unit close.
     pub fn cube(&self) -> Result<&CubeResult> {
-        self.cube.result().map_err(StreamError::from)
+        if !self.computed {
+            return Err(StreamError::from(CoreError::NotMaterialized {
+                detail: "no unit with data has been closed yet".into(),
+            }));
+        }
+        Ok(self.cubing.result())
+    }
+
+    /// The cubing strategy driving the cube (e.g. to read its
+    /// [`stats`](CubingEngine::stats)).
+    pub fn cubing(&self) -> &E {
+        &self.cubing
     }
 
     /// Closes the open unit and performs the per-unit pipeline.
@@ -277,17 +341,23 @@ impl OnlineEngine {
                 exception_cells: 0,
                 recompute_time: Duration::ZERO,
                 diff: None,
+                cube_delta: None,
             });
         }
 
-        // Cube recomputation over the closed unit's window.
+        // The unit's tuples open a new cube unit in the engine (their
+        // window differs from the previous unit's).
         let tuples = Ingestor::to_mtuples(&cells);
         let started = Instant::now();
-        self.cube.recompute(&tuples).map_err(StreamError::from)?;
+        let delta = self
+            .cubing
+            .ingest_unit(&tuples)
+            .map_err(StreamError::from)?;
+        self.computed = true;
         let recompute_time = started.elapsed();
 
         // O-layer alarms with the policy's reference mode.
-        let result = self.cube.result().map_err(StreamError::from)?;
+        let result = self.cubing.result();
         let policy = result.policy().clone();
         let o_layer = result.layers().o_layer().clone();
         let threshold = policy.threshold_for(&o_layer);
@@ -339,12 +409,26 @@ impl OnlineEngine {
             exception_cells,
             recompute_time,
             diff,
+            cube_delta: Some(delta),
         })
     }
 
-    /// Access to the underlying cube facade (drilling, queries).
-    pub fn cube_facade(&self) -> &RegressionCube {
-        &self.cube
+    /// Drills one step down from a retained cell of the current cube
+    /// (see [`regcube_core::drill`]).
+    ///
+    /// # Errors
+    /// [`StreamError::Core`] before the first non-empty unit close.
+    pub fn drill_children(&self, cuboid: &CuboidSpec, key: &CellKey) -> Result<Vec<DrillHit>> {
+        Ok(drill_children(&self.schema, self.cube()?, cuboid, key))
+    }
+
+    /// Finds all retained exceptional descendants of a cell of the
+    /// current cube.
+    ///
+    /// # Errors
+    /// [`StreamError::Core`] before the first non-empty unit close.
+    pub fn drill_descendants(&self, cuboid: &CuboidSpec, key: &CellKey) -> Result<Vec<DrillHit>> {
+        Ok(drill_descendants(&self.schema, self.cube()?, cuboid, key))
     }
 
     /// The per-window exception history (diffs, chronic conditions).
@@ -585,9 +669,6 @@ mod tests {
         feed_unit(&mut e, 0, 2.0);
         let report = e.close_unit().unwrap();
         assert_eq!(report.alarms.len(), 1);
-        assert_eq!(
-            e.cube().unwrap().algorithm(),
-            Algorithm::PopularPath
-        );
+        assert_eq!(e.cube().unwrap().algorithm(), Algorithm::PopularPath);
     }
 }

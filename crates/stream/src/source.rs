@@ -1,13 +1,21 @@
 //! Event sources: replaying record collections and driving an engine
-//! from a crossbeam channel (the "infinite flow" side of stream data).
+//! from an mpsc channel (the "infinite flow" side of stream data).
 
 use crate::error::StreamError;
 use crate::online::{OnlineEngine, UnitReport};
 use crate::record::RawRecord;
 use crate::Result;
-use crossbeam::channel::{Receiver, Sender};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use regcube_core::engine::CubingEngine;
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks a shared engine, recovering from a poisoned mutex (a panicking
+/// observer must not take the pipeline down with it).
+fn lock<E: CubingEngine>(engine: &Arc<Mutex<OnlineEngine<E>>>) -> MutexGuard<'_, OnlineEngine<E>> {
+    engine
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// One event of the stream protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,12 +79,26 @@ impl ReplaySource {
         out
     }
 
-    /// Sends all events into a channel (blocking), e.g. from a producer
+    /// Sends all events into an unbounded channel, e.g. from a producer
     /// thread.
     ///
     /// # Errors
     /// [`StreamError::BadConfig`] when the receiving side disconnected.
     pub fn send_all(&self, tx: &Sender<StreamEvent>) -> Result<()> {
+        for event in self.events() {
+            tx.send(event).map_err(|_| StreamError::BadConfig {
+                detail: "event channel disconnected".into(),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Sends all events into a bounded channel (blocking on
+    /// backpressure), e.g. from a producer thread.
+    ///
+    /// # Errors
+    /// [`StreamError::BadConfig`] when the receiving side disconnected.
+    pub fn send_all_sync(&self, tx: &SyncSender<StreamEvent>) -> Result<()> {
         for event in self.events() {
             tx.send(event).map_err(|_| StreamError::BadConfig {
                 detail: "event channel disconnected".into(),
@@ -94,18 +116,18 @@ impl ReplaySource {
 /// # Errors
 /// Propagates the first engine error; the engine is left in its state at
 /// the point of failure.
-pub fn run_engine(
-    engine: &Arc<Mutex<OnlineEngine>>,
+pub fn run_engine<E: CubingEngine>(
+    engine: &Arc<Mutex<OnlineEngine<E>>>,
     rx: &Receiver<StreamEvent>,
 ) -> Result<Vec<UnitReport>> {
     let mut reports = Vec::new();
     for event in rx.iter() {
         match event {
             StreamEvent::Record(r) => {
-                engine.lock().ingest(&r)?;
+                lock(engine).ingest(&r)?;
             }
             StreamEvent::CloseUnit => {
-                reports.push(engine.lock().close_unit()?);
+                reports.push(lock(engine).close_unit()?);
             }
             StreamEvent::Shutdown => break,
         }
@@ -116,11 +138,11 @@ pub fn run_engine(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel;
     use regcube_core::result::Algorithm;
     use regcube_core::ExceptionPolicy;
     use regcube_olap::{CubeSchema, CuboidSpec};
     use regcube_tilt::TiltSpec;
+    use std::sync::mpsc;
 
     fn engine() -> OnlineEngine {
         let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
@@ -188,7 +210,7 @@ mod tests {
     #[test]
     fn channel_pipeline_end_to_end() {
         let engine = Arc::new(Mutex::new(engine()));
-        let (tx, rx) = channel::unbounded();
+        let (tx, rx) = mpsc::channel();
         let src = ReplaySource::new(records(3, 2.0), 4).unwrap();
 
         let producer = {
@@ -204,7 +226,7 @@ mod tests {
             assert_eq!(r.alarms.len(), 1, "hot apex each unit");
         }
         // The shared engine remains queryable after the run.
-        let e = engine.lock();
+        let e = lock(&engine);
         assert_eq!(e.units_closed(), 3);
         assert!(e.cube().is_ok());
     }
@@ -212,7 +234,7 @@ mod tests {
     #[test]
     fn empty_stream_produces_no_reports() {
         let engine = Arc::new(Mutex::new(engine()));
-        let (tx, rx) = channel::unbounded();
+        let (tx, rx) = mpsc::channel();
         ReplaySource::new(vec![], 4).unwrap().send_all(&tx).unwrap();
         let reports = run_engine(&engine, &rx).unwrap();
         assert!(reports.is_empty());

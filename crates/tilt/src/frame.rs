@@ -125,13 +125,12 @@ impl<M: TimeMergeable> TiltFrame<M> {
         }
         debug_assert_eq!(self.levels[level].len(), group);
         // Merge the whole group into one unit of the next level.
-        let run: Vec<M> = self.levels[level].iter().map(|s| s.measure.clone()).collect();
+        let run: Vec<M> = self.levels[level]
+            .iter()
+            .map(|s| s.measure.clone())
+            .collect();
         let merged = M::merge_run(&run)?;
-        let coarse_unit = self.levels[level]
-            .front()
-            .expect("non-empty")
-            .unit
-            / group as u64;
+        let coarse_unit = self.levels[level].front().expect("non-empty").unit / group as u64;
         self.levels[level].clear();
         self.levels[level + 1].push_back(TiltSlot {
             unit: coarse_unit,
@@ -275,7 +274,11 @@ mod tests {
         for u in 0..36 {
             f.push(CountSum::unit(u, 1.0)).unwrap();
         }
-        assert_eq!(f.slots(2).unwrap().len(), 2, "third coarse slot evicted the first");
+        assert_eq!(
+            f.slots(2).unwrap().len(),
+            2,
+            "third coarse slot evicted the first"
+        );
         let stats = f.stats();
         assert_eq!(stats.ingested_units, 36);
         assert_eq!(stats.expired_units, 12);

@@ -1,5 +1,5 @@
-//! Network-traffic monitoring with **popular-path cubing** and a
-//! crossbeam-channel pipeline: a producer thread replays flow records,
+//! Network-traffic monitoring with **popular-path cubing** and an
+//! mpsc-channel pipeline: a producer thread replays flow records,
 //! the engine closes one m-layer unit per simulated minute-of-16-ticks,
 //! and the consumer inspects alarms and path cuboids.
 //!
@@ -10,13 +10,12 @@
 //! cargo run --example network_monitor
 //! ```
 
-use crossbeam::channel;
-use parking_lot::Mutex;
 use regcube::core::result::Algorithm;
 use regcube::olap::Dimension;
 use regcube::prelude::*;
 use regcube::stream::{run_engine, StreamEvent};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 fn main() {
     // pop: * > region(3) > router(9); proto: * > class(2) > protocol(6).
@@ -68,8 +67,8 @@ fn main() {
     }
 
     let source = ReplaySource::new(records, ticks_per_unit).unwrap();
-    let (tx, rx) = channel::bounded::<StreamEvent>(1024);
-    let producer = std::thread::spawn(move || source.send_all(&tx));
+    let (tx, rx) = mpsc::sync_channel::<StreamEvent>(1024);
+    let producer = std::thread::spawn(move || source.send_all_sync(&tx));
 
     let reports = run_engine(&engine, &rx).unwrap();
     producer.join().unwrap().unwrap();
@@ -90,9 +89,12 @@ fn main() {
         }
     }
 
-    let engine = engine.lock();
-    let cube = engine.cube_facade().result().unwrap();
-    println!("\nPopular path retained in full ({} cuboids):", cube.path_tables().len());
+    let engine = engine.lock().unwrap();
+    let cube = engine.cube().unwrap();
+    println!(
+        "\nPopular path retained in full ({} cuboids):",
+        cube.path_tables().len()
+    );
     let mut path: Vec<_> = cube.path_tables().iter().collect();
     path.sort_by_key(|(c, _)| c.total_depth());
     for (cuboid, table) in path {
@@ -106,10 +108,12 @@ fn main() {
     // Drill the hot region down to the attacking router/protocol.
     if let Some((key, _)) = cube.exceptional_o_cells().first() {
         println!("\nexception supporters under region cell {key}:");
-        for hit in engine.cube_facade().drill_descendants(&o_layer, key).unwrap() {
+        for hit in engine.drill_descendants(&o_layer, key).unwrap() {
             println!(
                 "  {} {} slope {:.1}",
-                hit.cuboid, hit.key, hit.measure.slope()
+                hit.cuboid,
+                hit.key,
+                hit.measure.slope()
             );
         }
     }

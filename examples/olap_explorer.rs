@@ -46,8 +46,7 @@ fn main() {
     print!("{}", layers.lattice().render(|c| path.contains(c)));
     println!();
 
-    let cube = mo_cubing::compute(&dataset.schema, &layers, &policy, &tuples)
-        .expect("cubes");
+    let cube = mo_cubing::compute(&dataset.schema, &layers, &policy, &tuples).expect("cubes");
     let stats = cube.stats();
     println!(
         "cube: {} cuboids, {} cells computed, {} retained ({} exceptions) in {:?}",
@@ -72,8 +71,7 @@ fn main() {
 
         // Sibling context: is this cell hot among its siblings on dim 1?
         if let Some((rank, of)) =
-            query::sibling_rank(&dataset.schema, &cube, &mid, &cell.key, 1)
-                .expect("ranks")
+            query::sibling_rank(&dataset.schema, &cube, &mid, &cell.key, 1).expect("ranks")
         {
             println!("      sibling rank on dim B: {rank}/{of}");
         }
@@ -100,12 +98,8 @@ fn main() {
     // ---- Point query for a cell nothing materialized ----------------------
     let probe_cuboid = CuboidSpec::new(vec![2, 1, 0]);
     let probe_key = CellKey::new(vec![3, 1, 0]);
-    match query::cell_measure(&dataset.schema, &cube, &probe_cuboid, &probe_key)
-        .expect("queries")
-    {
-        Some(m) => println!(
-            "\npoint query {probe_cuboid}{probe_key}: {m} (aggregated on demand)"
-        ),
+    match query::cell_measure(&dataset.schema, &cube, &probe_cuboid, &probe_key).expect("queries") {
+        Some(m) => println!("\npoint query {probe_cuboid}{probe_key}: {m} (aggregated on demand)"),
         None => println!("\npoint query {probe_cuboid}{probe_key}: empty in this window"),
     }
 }

@@ -28,7 +28,11 @@ fn main() {
     let location = Dimension::with_level_names(
         "location",
         Hierarchy::balanced(3, 2).unwrap(),
-        vec!["city".into(), "street-block".into(), "street-address".into()],
+        vec![
+            "city".into(),
+            "street-block".into(),
+            "street-address".into(),
+        ],
     )
     .unwrap();
     let schema = CubeSchema::new(vec![user, location]).unwrap();
@@ -67,7 +71,11 @@ fn main() {
                         0.01 * (minute % 5) as f64
                     };
                     engine
-                        .ingest(&RawRecord::new(vec![user_id, addr], minute, base_load + trend))
+                        .ingest(&RawRecord::new(
+                            vec![user_id, addr],
+                            minute,
+                            base_load + trend,
+                        ))
                         .unwrap();
                 }
             }
@@ -92,13 +100,15 @@ fn main() {
 
     // ---- Exception-guided drilling ---------------------------------------
     println!("\nDrilling the hottest city down to its exception supporters:");
-    let cube = engine.cube_facade();
-    if let Some((key, measure)) = cube.alarms().unwrap().first() {
+    let cube = engine.cube().unwrap();
+    if let Some((key, measure)) = cube.exceptional_o_cells().first() {
         println!("  o-layer {}: slope {:.2}", key, measure.slope());
-        for hit in cube.drill_descendants(&o_layer, key).unwrap() {
+        for hit in engine.drill_descendants(&o_layer, key).unwrap() {
             println!(
                 "    {} {} slope {:.2}",
-                hit.cuboid, hit.key, hit.measure.slope()
+                hit.cuboid,
+                hit.key,
+                hit.measure.slope()
             );
         }
     }

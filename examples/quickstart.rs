@@ -75,7 +75,10 @@ fn main() {
         result.total_exception_cells(),
     );
     for (key, measure) in cube.alarms().unwrap() {
-        println!("  ALARM at o-layer cell {key}: slope {:.3}", measure.slope());
+        println!(
+            "  ALARM at o-layer cell {key}: slope {:.3}",
+            measure.slope()
+        );
         for hit in cube
             .drill_descendants(result.layers().o_layer(), key)
             .unwrap()

@@ -14,11 +14,11 @@
 //! cargo run --example sensor_field
 //! ```
 
+use regcube::prelude::*;
 use regcube::regress::diagnostics::fit_with_diagnostics;
 use regcube::regress::fold::{fold_series, FoldOp};
 use regcube::regress::mlr::MlrMeasure;
 use regcube::regress::transform::{fit_exponential, fit_log, fit_polynomial};
-use regcube::prelude::*;
 
 fn main() {
     // ---- 1. Spatio-temporal MLR ------------------------------------------
@@ -44,8 +44,14 @@ fn main() {
             }
         }
     }
-    println!("West cluster alone: β = {:?}", round4(&west.solve().unwrap()));
-    println!("East cluster alone: β = {:?}", round4(&east.solve().unwrap()));
+    println!(
+        "West cluster alone: β = {:?}",
+        round4(&west.solve().unwrap())
+    );
+    println!(
+        "East cluster alone: β = {:?}",
+        round4(&east.solve().unwrap())
+    );
     west.merge_disjoint(&east).unwrap();
     let beta = west.solve().unwrap();
     println!(
@@ -69,10 +75,8 @@ fn main() {
         exp_fit.amplitude, exp_fit.rate
     );
 
-    let drift = TimeSeries::from_fn(0, 40, |t| {
-        0.5 + 0.2 * t as f64 - 0.004 * (t * t) as f64
-    })
-    .unwrap();
+    let drift =
+        TimeSeries::from_fn(0, 40, |t| 0.5 + 0.2 * t as f64 - 0.004 * (t * t) as f64).unwrap();
     let poly = fit_polynomial(&drift, 2).unwrap();
     println!(
         "Calibration drift quadratic: coeffs = {:?}   (truth [0.5, 0.2, -0.004])\n",
@@ -83,8 +87,7 @@ fn main() {
     // 4 weeks of hourly readings folded to days with different aggregates.
     let hourly = TimeSeries::from_fn(0, 24 * 28 - 1, |t| {
         let day = t / 24;
-        20.0 + day as f64 * 0.25
-            + 5.0 * (std::f64::consts::TAU * (t % 24) as f64 / 24.0).sin()
+        20.0 + day as f64 * 0.25 + 5.0 * (std::f64::consts::TAU * (t % 24) as f64 / 24.0).sin()
     })
     .unwrap();
     for op in [FoldOp::Avg, FoldOp::Max, FoldOp::Last] {

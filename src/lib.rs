@@ -63,15 +63,10 @@ pub mod sim {
     /// the records replay as `window / ticks_per_unit` full units.
     pub fn dataset_records(dataset: &Dataset) -> Vec<RawRecord> {
         let (wb, we) = dataset.window();
-        let mut records =
-            Vec::with_capacity(dataset.tuples.len() * (we - wb + 1) as usize);
+        let mut records = Vec::with_capacity(dataset.tuples.len() * (we - wb + 1) as usize);
         for t in wb..=we {
             for tuple in &dataset.tuples {
-                records.push(RawRecord::new(
-                    tuple.ids.clone(),
-                    t,
-                    tuple.isb.predict(t),
-                ));
+                records.push(RawRecord::new(tuple.ids.clone(), t, tuple.isb.predict(t)));
             }
         }
         records
@@ -99,9 +94,7 @@ pub mod prelude {
     pub use regcube_olap::{
         cell::CellKey, CubeSchema, CuboidSpec, Dimension, Hierarchy, Lattice, PopularPath,
     };
-    pub use regcube_regress::{
-        aggregate, fold::FoldOp, IntVal, Isb, LinearFit, TimeSeries,
-    };
+    pub use regcube_regress::{aggregate, fold::FoldOp, IntVal, Isb, LinearFit, TimeSeries};
     pub use regcube_stream::{Alarm, EngineConfig, OnlineEngine, RawRecord, ReplaySource};
     pub use regcube_tilt::{TiltFrame, TiltSpec};
 }

@@ -1,12 +1,11 @@
 //! Cross-crate end-to-end tests: generator → both cubing algorithms →
 //! drilling; raw records → online engine → alarms → tilt history.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
 use regcube::core::result::Algorithm;
 use regcube::prelude::*;
 use regcube::stream::{run_engine, StreamEvent};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 fn workload(seed: u64) -> (CubeSchema, CriticalLayers, Vec<MTuple>) {
     let spec = DatasetSpec::new(3, 2, 4, 1_500).unwrap().with_seed(seed);
@@ -110,7 +109,7 @@ fn online_pipeline_replays_generated_streams() {
         .unwrap(),
     ));
 
-    let (tx, rx) = channel::unbounded::<StreamEvent>();
+    let (tx, rx) = mpsc::channel::<StreamEvent>();
     let producer = std::thread::spawn(move || source.send_all(&tx));
     let reports = run_engine(&engine, &rx).unwrap();
     producer.join().unwrap().unwrap();
@@ -119,7 +118,7 @@ fn online_pipeline_replays_generated_streams() {
     for r in &reports {
         assert_eq!(r.m_cells, dataset.tuples.len());
     }
-    let engine = engine.lock();
+    let engine = engine.lock().unwrap();
     assert_eq!(engine.units_closed(), 3);
     // Tilt frames cover all three units contiguously for every stream.
     let sample = CellKey::new(dataset.tuples[0].ids.clone());
@@ -151,9 +150,8 @@ fn per_cuboid_policy_scopes_apply_end_to_end() {
 fn tilt_and_cube_compose_over_long_streams() {
     // Feed 40 units into a small frame and verify the merged regression
     // matches a direct fit over the retained span.
-    let mut frame: TiltFrame<Isb> = TiltFrame::new(
-        TiltSpec::new(vec![("u", 4), ("v", 3), ("w", 2)]).unwrap(),
-    );
+    let mut frame: TiltFrame<Isb> =
+        TiltFrame::new(TiltSpec::new(vec![("u", 4), ("v", 3), ("w", 2)]).unwrap());
     let full = TimeSeries::from_fn(0, 40 * 5 - 1, |t| 2.0 + 0.03 * t as f64).unwrap();
     for u in 0..40 {
         let w = full.window(u * 5, u * 5 + 4).unwrap();

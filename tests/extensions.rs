@@ -59,22 +59,13 @@ fn query_module_composes_with_generated_cubes() {
         .iter()
         .map(|t| MTuple::new(t.ids.clone(), t.isb))
         .collect();
-    let cube = mo_cubing::compute(
-        &dataset.schema,
-        &layers,
-        &ExceptionPolicy::never(),
-        &tuples,
-    )
-    .unwrap();
+    let cube =
+        mo_cubing::compute(&dataset.schema, &layers, &ExceptionPolicy::never(), &tuples).unwrap();
 
     // Top-k of the o-layer equals sorting the retained o-table.
     let top = query::top_k_cells(&dataset.schema, &cube, layers.o_layer(), 3).unwrap();
     assert!(!top.is_empty());
-    let mut best_retained: Vec<f64> = cube
-        .o_table()
-        .values()
-        .map(|m| m.slope().abs())
-        .collect();
+    let mut best_retained: Vec<f64> = cube.o_table().values().map(|m| m.slope().abs()).collect();
     best_retained.sort_by(|a, b| b.partial_cmp(a).unwrap());
     assert!((top[0].score - best_retained[0]).abs() < 1e-9);
 

@@ -18,12 +18,8 @@ fn non_finite_values_flow_through_without_panicking() {
 
     let isb = Isb::fit(&z).unwrap();
     let schema = CubeSchema::synthetic(1, 1, 2).unwrap();
-    let layers = CriticalLayers::new(
-        &schema,
-        CuboidSpec::new(vec![0]),
-        CuboidSpec::new(vec![1]),
-    )
-    .unwrap();
+    let layers =
+        CriticalLayers::new(&schema, CuboidSpec::new(vec![0]), CuboidSpec::new(vec![1])).unwrap();
     let cube = mo_cubing::compute(
         &schema,
         &layers,
@@ -56,17 +52,12 @@ fn mismatched_windows_are_rejected_not_merged() {
     assert!(aggregate::merge_standard(&[a, b]).is_err());
 
     let schema = CubeSchema::synthetic(1, 1, 2).unwrap();
-    let layers = CriticalLayers::new(
-        &schema,
-        CuboidSpec::new(vec![0]),
-        CuboidSpec::new(vec![1]),
-    )
-    .unwrap();
+    let layers =
+        CriticalLayers::new(&schema, CuboidSpec::new(vec![0]), CuboidSpec::new(vec![1])).unwrap();
     let tuples = vec![MTuple::new(vec![0], a), MTuple::new(vec![1], b)];
     assert!(mo_cubing::compute(&schema, &layers, &ExceptionPolicy::never(), &tuples).is_err());
     assert!(
-        popular_path::compute(&schema, &layers, &ExceptionPolicy::never(), None, &tuples)
-            .is_err()
+        popular_path::compute(&schema, &layers, &ExceptionPolicy::never(), None, &tuples).is_err()
     );
 }
 
@@ -99,7 +90,9 @@ fn engine_survives_a_burst_of_bad_records() {
 
     // The engine still works normally afterwards.
     for t in 0..4 {
-        engine.ingest(&RawRecord::new(vec![0, 0], t, t as f64)).unwrap();
+        engine
+            .ingest(&RawRecord::new(vec![0, 0], t, t as f64))
+            .unwrap();
     }
     let report = engine.close_unit().unwrap();
     assert_eq!(report.m_cells, 1);
@@ -158,25 +151,17 @@ fn zero_and_single_member_schemas_work_end_to_end() {
     // The smallest legal cube: one dimension, one level, fanout 1 —
     // exactly one m-cell, lattice of 2 cuboids (m and apex o).
     let schema = CubeSchema::synthetic(1, 1, 1).unwrap();
-    let layers = CriticalLayers::new(
-        &schema,
-        CuboidSpec::new(vec![0]),
-        CuboidSpec::new(vec![1]),
-    )
-    .unwrap();
+    let layers =
+        CriticalLayers::new(&schema, CuboidSpec::new(vec![0]), CuboidSpec::new(vec![1])).unwrap();
     let z = TimeSeries::from_fn(0, 9, |t| 2.0 * t as f64).unwrap();
     let tuples = vec![MTuple::new(vec![0], Isb::fit(&z).unwrap())];
     for result in [
         mo_cubing::compute(&schema, &layers, &ExceptionPolicy::always(), &tuples).unwrap(),
-        popular_path::compute(&schema, &layers, &ExceptionPolicy::always(), None, &tuples)
-            .unwrap(),
+        popular_path::compute(&schema, &layers, &ExceptionPolicy::always(), None, &tuples).unwrap(),
     ] {
         assert_eq!(result.m_layer_cells(), 1);
         assert_eq!(result.o_layer_cells(), 1);
-        let apex = result
-            .o_table()
-            .get(&CellKey::new(vec![0]))
-            .unwrap();
+        let apex = result.o_table().get(&CellKey::new(vec![0])).unwrap();
         assert!((apex.slope() - 2.0).abs() < 1e-9);
     }
 }

@@ -94,12 +94,7 @@ fn fig7_htree_attribute_order() {
         let l2: Vec<u32> = (0..c2).map(|m| m % c1).collect();
         Dimension::new(name, Hierarchy::from_parents(vec![l1, l2]).unwrap())
     };
-    let schema = CubeSchema::new(vec![
-        dim("A", 2, 40),
-        dim("B", 3, 60),
-        dim("C", 4, 20),
-    ])
-    .unwrap();
+    let schema = CubeSchema::new(vec![dim("A", 2, 40), dim("B", 3, 60), dim("C", 4, 20)]).unwrap();
     let lattice = Lattice::new(
         &schema,
         CuboidSpec::new(vec![1, 0, 1]),
@@ -109,10 +104,7 @@ fn fig7_htree_attribute_order() {
     let order = attrs_by_cardinality(&schema, &lattice);
     let names: Vec<(usize, u8)> = order.iter().map(|a| (a.dim, a.level)).collect();
     // A1(2) B1(3) C1(4) C2(20) A2(40) B2(60).
-    assert_eq!(
-        names,
-        vec![(0, 1), (1, 1), (2, 1), (2, 2), (0, 2), (1, 2)]
-    );
+    assert_eq!(names, vec![(0, 1), (1, 1), (2, 1), (2, 2), (0, 2), (1, 2)]);
 }
 
 /// The Example 5 popular path ⟨(A1,C1) → B1 → B2 → A2 → C2⟩.
@@ -126,11 +118,7 @@ fn example5_popular_path() {
     )
     .unwrap();
     let path = PopularPath::from_drill_order(&lattice, &[1, 1, 0, 2]).unwrap();
-    let levels: Vec<Vec<u8>> = path
-        .cuboids()
-        .iter()
-        .map(|c| c.levels().to_vec())
-        .collect();
+    let levels: Vec<Vec<u8>> = path.cuboids().iter().map(|c| c.levels().to_vec()).collect();
     assert_eq!(
         levels,
         vec![
@@ -147,7 +135,8 @@ fn example5_popular_path() {
 /// determines the regression (the paper's witness pairs).
 #[test]
 fn theorem31_minimality_witnesses() {
-    let fit = |start: i64, v: &[f64]| Isb::fit(&TimeSeries::new(start, v.to_vec()).unwrap()).unwrap();
+    let fit =
+        |start: i64, v: &[f64]| Isb::fit(&TimeSeries::new(start, v.to_vec()).unwrap()).unwrap();
     // Drop t_b: z1 over [0,2] vs z2 over [1,2] agree on (t_e, α̂, β̂).
     let (z1, z2) = (fit(0, &[0.0, 0.0, 0.0]), fit(1, &[0.0, 0.0]));
     assert_eq!(
