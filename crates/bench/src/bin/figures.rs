@@ -7,12 +7,12 @@
 //! cargo run -p regcube-bench --release --bin figures -- all --json out.json
 //! ```
 
-use regcube_bench::experiments::{dims, fig10, fig8, fig9, incremental, tilt};
+use regcube_bench::experiments::{dims, fig10, fig8, fig9, incremental, scaling, tilt};
 use regcube_bench::report::{tables_to_json, Table};
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: figures [all|fig8|fig9|fig10|dims|tilt|incremental]... [--quick] [--json FILE]
+    "usage: figures [all|fig8|fig9|fig10|dims|tilt|incremental|scaling]... [--quick] [--json FILE]
 
   fig8         time & memory vs exception %        (D3L3C10T100K)
   fig9         time & memory vs m-layer size       (D3L3C10, 1% exceptions)
@@ -20,6 +20,7 @@ const USAGE: &str =
   dims         time & memory vs number of dims     (L3, 1% exceptions)
   tilt         Figure 4 / Example 3 tilt-frame compression
   incremental  online per-unit vs monolithic recomputation
+  scaling      sharded cubing throughput at 1/2/4/8 shards
   all          everything above
   --quick      shrunken datasets for smoke runs
   --json FILE  additionally write all tables as a JSON document";
@@ -48,7 +49,15 @@ fn main() -> ExitCode {
         }
     }
     if wanted.is_empty() || wanted.contains(&"all") {
-        wanted = vec!["fig8", "fig9", "fig10", "dims", "tilt", "incremental"];
+        wanted = vec![
+            "fig8",
+            "fig9",
+            "fig10",
+            "dims",
+            "tilt",
+            "incremental",
+            "scaling",
+        ];
     }
 
     let mut all_tables: Vec<Table> = Vec::new();
@@ -87,6 +96,11 @@ fn main() -> ExitCode {
                 eprintln!("[figures] running incremental ...");
                 let report = incremental::run(quick);
                 all_tables.extend(incremental::print(&report));
+            }
+            "scaling" => {
+                eprintln!("[figures] running scaling ...");
+                let points = scaling::run(quick);
+                all_tables.extend(scaling::print(&points));
             }
             other => {
                 eprintln!("unknown experiment: {other}\n{USAGE}");

@@ -43,6 +43,7 @@ use crate::error::CoreError;
 use crate::exception::ExceptionPolicy;
 use crate::layers::CriticalLayers;
 use crate::measure::{merge_sibling, validate_tuples, MTuple};
+use crate::pool::WorkerPool;
 use crate::result::{Algorithm, CubeResult};
 use crate::stats::{MemoryAccountant, RunStats};
 use crate::table::{aggregate_from, table_bytes, CuboidTable};
@@ -52,6 +53,7 @@ use regcube_olap::fxhash::{FxHashMap, FxHashSet};
 use regcube_olap::htree::{attrs_for_path, expand_tuple, HTree};
 use regcube_olap::{CubeSchema, CuboidSpec, PopularPath};
 use regcube_regress::Isb;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What one [`CubingEngine::ingest_unit`] call changed.
@@ -71,16 +73,20 @@ pub struct UnitDelta {
     pub cells_touched: u64,
     /// Between-layer cells that became exceptions with this batch
     /// (relative to the engine's state before it, across rollovers).
+    /// Sorted by `(cuboid, cell)` — the ordering is deterministic
+    /// regardless of hash-map iteration or shard merge order, so
+    /// sharded and single-engine runs are directly comparable.
     pub appeared: Vec<(CuboidSpec, CellKey)>,
     /// Between-layer cells that stopped being exceptions with this
     /// batch; on a unit rollover this includes the closed window's
     /// exceptions that do not recur in the new window, so consumers can
     /// maintain a live alarm set purely from appeared/cleared deltas.
+    /// Sorted by `(cuboid, cell)` like [`appeared`](Self::appeared).
     pub cleared: Vec<(CuboidSpec, CellKey)>,
 }
 
 impl UnitDelta {
-    fn for_batch(window: (i64, i64), opened_unit: bool, tuples: usize) -> Self {
+    pub(crate) fn for_batch(window: (i64, i64), opened_unit: bool, tuples: usize) -> Self {
         UnitDelta {
             unit: 0,
             window,
@@ -90,6 +96,15 @@ impl UnitDelta {
             appeared: Vec::new(),
             cleared: Vec::new(),
         }
+    }
+
+    /// Sorts `appeared`/`cleared` by `(cuboid, cell)` so the delta is
+    /// byte-for-byte reproducible regardless of hash-map iteration or
+    /// shard merge order. Every engine calls this before returning a
+    /// delta; consumers can rely on the ordering.
+    pub(crate) fn sort_cells(&mut self) {
+        self.appeared.sort_unstable();
+        self.cleared.sort_unstable();
     }
 }
 
@@ -118,6 +133,18 @@ pub trait CubingEngine {
 
     /// Work and memory statistics accumulated over the open unit.
     fn stats(&self) -> &RunStats;
+
+    /// The full tables of every strictly-between cuboid of the open
+    /// unit, when the engine retains them all (`None` otherwise — the
+    /// default). An engine that answers `Some` lets a
+    /// [`crate::shard::ShardedEngine`] merge complete per-shard cubes
+    /// directly and run its inner engines with a no-op exception
+    /// policy, instead of forcing retain-everything screening through
+    /// the exception stores. `Some` of an empty map is a valid answer
+    /// for a fresh engine and still signals the capability.
+    fn full_between_tables(&self) -> Option<&FxHashMap<CuboidSpec, CuboidTable>> {
+        None
+    }
 }
 
 impl<E: CubingEngine + ?Sized> CubingEngine for Box<E> {
@@ -133,10 +160,13 @@ impl<E: CubingEngine + ?Sized> CubingEngine for Box<E> {
     fn stats(&self) -> &RunStats {
         (**self).stats()
     }
+    fn full_between_tables(&self) -> Option<&FxHashMap<CuboidSpec, CuboidTable>> {
+        (**self).full_between_tables()
+    }
 }
 
 /// An empty result for a fresh engine (no unit ingested yet).
-fn empty_result(
+pub(crate) fn empty_result(
     layers: &CriticalLayers,
     policy: &ExceptionPolicy,
     algorithm: Algorithm,
@@ -154,7 +184,7 @@ fn empty_result(
 }
 
 /// The window of a validated, non-empty batch.
-fn batch_window(tuples: &[MTuple]) -> (i64, i64) {
+pub(crate) fn batch_window(tuples: &[MTuple]) -> (i64, i64) {
     tuples[0].isb().interval()
 }
 
@@ -192,6 +222,14 @@ fn fold_tuples_into(
 // Algorithm 1 — m/o-cubing
 // ---------------------------------------------------------------------------
 
+/// One cuboid of a depth tier with its chosen aggregation source —
+/// resolved before the tier fans out so pool tasks are self-contained.
+struct TierPlan {
+    cuboid: CuboidSpec,
+    source: CuboidSpec,
+    table: Arc<CuboidTable>,
+}
+
 /// Algorithm 1 as an incremental engine.
 ///
 /// In the default (incremental) mode every cuboid between the layers is
@@ -208,11 +246,14 @@ fn fold_tuples_into(
 /// m-layer and recompute.
 #[derive(Debug, Clone)]
 pub struct MoCubingEngine {
-    schema: CubeSchema,
+    schema: Arc<CubeSchema>,
     layers: CriticalLayers,
     policy: ExceptionPolicy,
     /// Drop between-layer tables after each unit (batch memory model)?
     transient: bool,
+    /// When attached, cuboids of one depth tier (independent of each
+    /// other) are aggregated on the pool instead of sequentially.
+    pool: Option<Arc<WorkerPool>>,
     window: Option<(i64, i64)>,
     units_opened: u64,
     /// Full tables of the strictly-between cuboids (empty in transient
@@ -237,10 +278,11 @@ impl MoCubingEngine {
     ) -> Result<Self> {
         let result = empty_result(&layers, &policy, Algorithm::MoCubing);
         Ok(MoCubingEngine {
-            schema,
+            schema: Arc::new(schema),
             layers,
             policy,
             transient: false,
+            pool: None,
             window: None,
             units_opened: 0,
             tables: FxHashMap::default(),
@@ -267,6 +309,21 @@ impl MoCubingEngine {
         let mut engine = Self::new(schema, layers, policy)?;
         engine.transient = true;
         Ok(engine)
+    }
+
+    /// Attaches a worker pool for the tier roll-up: cuboids at the same
+    /// lattice depth are independent (each aggregates from an already
+    /// computed finer tier), so [`open_unit`](Self::ingest_unit)
+    /// computes every tier's tables in parallel on the pool. Results are
+    /// merged in deterministic lattice order, so the cube is identical
+    /// to a sequential run.
+    ///
+    /// Do **not** attach the pool a [`crate::shard::ShardedEngine`] runs
+    /// on to its inner engines — see the nesting rule in [`crate::pool`].
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// The critical layers the engine cubes for.
@@ -296,8 +353,11 @@ impl MoCubingEngine {
         self.stats.cells_computed += m_table.len() as u64;
         self.stats.cuboids_computed += 1;
 
-        // Step 2: the rest of the lattice.
+        // Step 2: the rest of the lattice (shared with pool workers, so
+        // the m-table travels behind an Arc and is unwrapped after).
+        let m_table = Arc::new(m_table);
         let (o_table, exceptions) = self.compute_uppers(&m_table)?;
+        let m_table = Arc::try_unwrap(m_table).unwrap_or_else(|shared| (*shared).clone());
         self.result = CubeResult::new(
             self.layers.clone(),
             self.policy.clone(),
@@ -313,13 +373,16 @@ impl MoCubingEngine {
 
     /// Computes every cuboid above the m-layer bottom-up in depth
     /// *tiers*, each aggregated from its closest computed descendant (a
-    /// one-step-finer table from the previous tier). Returns the o-layer
-    /// table and the exception stores; between-layer full tables go to
-    /// `self.tables` (incremental mode) or are dropped as soon as the
-    /// next tier no longer needs them (transient mode).
+    /// one-step-finer table from the previous tier). Cuboids within one
+    /// tier are independent, so a tier is fanned out on the attached
+    /// [`WorkerPool`] (when present) and merged back in lattice order —
+    /// the parallel hot path of the single-engine roll-up. Returns the
+    /// o-layer table and the exception stores; between-layer full
+    /// tables go to `self.tables` (incremental mode) or are dropped as
+    /// soon as the next tier no longer needs them (transient mode).
     fn compute_uppers(
         &mut self,
-        m_table: &CuboidTable,
+        m_table: &Arc<CuboidTable>,
     ) -> Result<(CuboidTable, FxHashMap<CuboidSpec, CuboidTable>)> {
         let dims = self.schema.num_dims();
         let m_spec = self.layers.lattice().m_layer().clone();
@@ -341,18 +404,30 @@ impl MoCubingEngine {
         let mut o_table = CuboidTable::default();
         let mut exceptions: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
         // Full tables of the previous tier (the aggregation sources).
-        let mut cache: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
+        let mut cache: FxHashMap<CuboidSpec, Arc<CuboidTable>> = FxHashMap::default();
         for (_, tier) in tiers {
-            let mut next_cache: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
-            for cuboid in tier {
-                let (src_cuboid, src_table) = self
-                    .layers
-                    .lattice()
-                    .closest_computed_descendant(&cuboid, cache.keys())
-                    .map(|c| (c.clone(), &cache[c]))
-                    .unwrap_or((m_spec.clone(), m_table));
-                let (full, rows) =
-                    aggregate_from(&self.schema, &src_cuboid, src_table, &cuboid, None)?;
+            // Pick each cuboid's aggregation source first (the choice
+            // needs the whole previous tier), then aggregate the tier.
+            let plans: Vec<TierPlan> = tier
+                .into_iter()
+                .map(|cuboid| {
+                    let (source, table) = self
+                        .layers
+                        .lattice()
+                        .closest_computed_descendant(&cuboid, cache.keys())
+                        .map(|c| (c.clone(), Arc::clone(&cache[c])))
+                        .unwrap_or_else(|| (m_spec.clone(), Arc::clone(m_table)));
+                    TierPlan {
+                        cuboid,
+                        source,
+                        table,
+                    }
+                })
+                .collect();
+
+            let mut next_cache: FxHashMap<CuboidSpec, Arc<CuboidTable>> = FxHashMap::default();
+            for item in self.compute_tier(plans) {
+                let (cuboid, full, rows) = item?;
                 self.stats.rows_folded += rows;
                 self.stats.cells_computed += full.len() as u64;
                 self.stats.cuboids_computed += 1;
@@ -372,27 +447,59 @@ impl MoCubingEngine {
                     self.mem.add(table_bytes(&exc, dims));
                     exceptions.insert(cuboid.clone(), exc);
                 }
-                next_cache.insert(cuboid, full);
+                next_cache.insert(cuboid, Arc::new(full));
             }
             // The old tier is no longer reachable as a source: drop it
             // (transient) or move it to the retained incremental state.
-            for (cuboid, table) in cache.drain() {
-                if self.transient {
-                    self.mem.remove(table_bytes(&table, dims));
-                } else {
-                    self.tables.insert(cuboid, table);
-                }
-            }
+            self.retire_tier(&mut cache, dims);
             cache = next_cache;
         }
+        self.retire_tier(&mut cache, dims);
+        Ok((o_table, exceptions))
+    }
+
+    /// Aggregates one depth tier. With a pool attached and more than one
+    /// cuboid in the tier, the aggregations fan out to the workers; the
+    /// results come back **in plan order** either way, so stats and
+    /// exception screening stay deterministic.
+    fn compute_tier(&self, plans: Vec<TierPlan>) -> Vec<Result<(CuboidSpec, CuboidTable, u64)>> {
+        match &self.pool {
+            Some(pool) if plans.len() > 1 => {
+                let tasks: Vec<_> = plans
+                    .into_iter()
+                    .map(|plan| {
+                        let schema = Arc::clone(&self.schema);
+                        move || {
+                            aggregate_from(&schema, &plan.source, &plan.table, &plan.cuboid, None)
+                                .map(|(full, rows)| (plan.cuboid, full, rows))
+                        }
+                    })
+                    .collect();
+                pool.run(tasks)
+            }
+            _ => plans
+                .into_iter()
+                .map(|plan| {
+                    aggregate_from(&self.schema, &plan.source, &plan.table, &plan.cuboid, None)
+                        .map(|(full, rows)| (plan.cuboid, full, rows))
+                })
+                .collect(),
+        }
+    }
+
+    /// Releases a finished tier's tables: dropped in transient mode,
+    /// moved into the retained incremental state otherwise. The Arcs are
+    /// sole owners by now (all aggregation tasks completed), so the
+    /// unwrap is free.
+    fn retire_tier(&mut self, cache: &mut FxHashMap<CuboidSpec, Arc<CuboidTable>>, dims: usize) {
         for (cuboid, table) in cache.drain() {
             if self.transient {
                 self.mem.remove(table_bytes(&table, dims));
             } else {
+                let table = Arc::try_unwrap(table).unwrap_or_else(|shared| (*shared).clone());
                 self.tables.insert(cuboid, table);
             }
         }
-        Ok((o_table, exceptions))
     }
 
     /// Same-window batch, incremental mode: fold into the m/o tables and
@@ -481,7 +588,9 @@ impl MoCubingEngine {
         self.stats.cells_computed += created;
         delta.cells_touched += touched.len() as u64;
 
+        let m_table = Arc::new(m_table);
         let (o_table, exceptions) = self.compute_uppers(&m_table)?;
+        let m_table = Arc::try_unwrap(m_table).unwrap_or_else(|shared| (*shared).clone());
         delta.appeared = exceptions
             .iter()
             .flat_map(|(c, t)| t.keys().map(move |k| (c.clone(), k.clone())))
@@ -587,6 +696,7 @@ impl CubingEngine for MoCubingEngine {
             self.merge_batch_incremental(tuples, &mut delta)?;
         }
         delta.unit = self.units_opened.saturating_sub(1);
+        delta.sort_cells();
         self.stats.elapsed += started.elapsed();
         self.refresh_stats();
         Ok(delta)
@@ -598,6 +708,17 @@ impl CubingEngine for MoCubingEngine {
 
     fn stats(&self) -> &RunStats {
         &self.stats
+    }
+
+    /// Incremental mode keeps every between-layer full table for the
+    /// open unit, which is exactly what a sharded merge needs; transient
+    /// mode drops them and must answer `None`.
+    fn full_between_tables(&self) -> Option<&FxHashMap<CuboidSpec, CuboidTable>> {
+        if self.transient {
+            None
+        } else {
+            Some(&self.tables)
+        }
     }
 }
 
@@ -971,6 +1092,7 @@ impl CubingEngine for PopularPathEngine {
         let after = self.exception_cells();
         delta.appeared = after.difference(&before).cloned().collect();
         delta.cleared = before.difference(&after).cloned().collect();
+        delta.sort_cells();
         self.stats.elapsed += started.elapsed();
         self.refresh_stats();
         Ok(delta)

@@ -77,9 +77,11 @@ pub mod measure;
 pub mod mlr_cube;
 pub mod mo_cubing;
 pub mod plan;
+pub mod pool;
 pub mod popular_path;
 pub mod query;
 pub mod result;
+pub mod shard;
 pub mod stats;
 pub mod table;
 
@@ -89,7 +91,9 @@ pub use error::CoreError;
 pub use exception::{ExceptionPolicy, RefMode};
 pub use layers::CriticalLayers;
 pub use measure::MTuple;
+pub use pool::WorkerPool;
 pub use result::CubeResult;
+pub use shard::ShardedEngine;
 pub use stats::RunStats;
 
 /// Crate-wide result alias.
@@ -102,6 +106,8 @@ pub mod prelude {
     pub use crate::exception::{ExceptionPolicy, RefMode};
     pub use crate::layers::CriticalLayers;
     pub use crate::measure::MTuple;
+    pub use crate::pool::WorkerPool;
     pub use crate::result::CubeResult;
+    pub use crate::shard::ShardedEngine;
     pub use crate::{mo_cubing, popular_path};
 }

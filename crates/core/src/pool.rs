@@ -1,0 +1,220 @@
+//! A small reusable worker pool on std threads.
+//!
+//! The workspace builds with no external dependencies, so the parallel
+//! cubing paths ([`crate::shard`] and the tier roll-up inside
+//! [`crate::engine::MoCubingEngine`]) share this minimal channel-based
+//! pool instead of rayon/crossbeam: `N` long-lived workers pull boxed
+//! jobs from one queue, and [`WorkerPool::run`] fans a task vector out
+//! and collects the results **in task order**, so parallel execution
+//! never perturbs downstream determinism.
+//!
+//! Jobs must be `'static` (they are moved to worker threads), which the
+//! callers arrange by sharing read-only inputs behind [`std::sync::Arc`].
+//!
+//! # Nesting
+//!
+//! [`run`](WorkerPool::run) must not be called from inside a pool job of
+//! the *same* pool: a job that blocks on the queue it occupies can
+//! deadlock once every worker does the same. The cubing layers respect
+//! this by construction — a [`crate::shard::ShardedEngine`] runs its
+//! shards on the pool and gives the inner engines no pool of their own,
+//! while an unsharded engine may use the pool for its tier roll-up.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of std worker threads executing boxed jobs.
+///
+/// Dropping the pool closes the queue and joins every worker.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("regcube-pool-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// A pool sized to the machine (`available_parallelism`, fallback 1).
+    pub fn with_default_size() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one fire-and-forget job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool alive until drop")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+
+    /// Runs every task on the pool and returns the results **in task
+    /// order** (task `i`'s result at index `i`, regardless of which
+    /// worker finished first) — the property the deterministic shard and
+    /// tier merges rely on.
+    ///
+    /// # Panics
+    /// Re-raises (as a panic on the calling thread) if any task panicked
+    /// on its worker.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = tasks.len();
+        let (tx, rx) = channel::<(usize, T)>();
+        for (i, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.execute(move || {
+                // Ignore a disconnected receiver: `run` only drops it
+                // after collecting n results, so an error here can only
+                // follow a sibling task's panic.
+                let _ = tx.send((i, task()));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, value) = rx
+                .recv()
+                .expect("a pool task panicked before sending its result");
+            slots[i] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("each task index reports exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker loop.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The per-worker loop: pull jobs until the queue closes. A panicking
+/// job is contained to its `catch_unwind` so the worker survives and the
+/// pool stays usable; the submitting `run` call notices the missing
+/// result and re-raises.
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        match job {
+            Ok(job) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            }
+            Err(_) => break, // queue closed: pool dropped
+        }
+    }
+}
+
+/// The machine's available parallelism (fallback 1).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_preserves_task_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<_> = (0..32usize)
+            .map(|i| {
+                move || {
+                    // Stagger completion so out-of-order finishes are likely.
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        ((32 - i) % 7) as u64 * 50,
+                    ));
+                    i * i
+                }
+            })
+            .collect();
+        let results = pool.run(tasks);
+        assert_eq!(results, (0..32usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_runs() {
+        let pool = WorkerPool::new(2);
+        for round in 0..5usize {
+            let results = pool.run((0..8usize).map(|i| move || i + round).collect());
+            assert_eq!(results[7], 7 + round);
+        }
+        assert_eq!(pool.threads(), 2);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run(vec![|| 41 + 1]), vec![42]);
+    }
+
+    #[test]
+    fn execute_runs_detached_jobs() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins workers, so all jobs have run
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_pool() {
+        let pool = WorkerPool::new(2);
+        pool.execute(|| panic!("contained"));
+        // The pool still serves ordered runs afterwards.
+        let results = pool.run((0..4usize).map(|i| move || i).collect());
+        assert_eq!(results, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

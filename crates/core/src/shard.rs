@@ -1,0 +1,798 @@
+//! Sharded parallel cubing: partition the m-layer across N engines.
+//!
+//! Theorem 3.2 makes ISB aggregation **linear**, so cube construction is
+//! embarrassingly partitionable: split a unit's m-layer tuples into
+//! disjoint groups, cube each group independently, and every cell of the
+//! merged cube is the sibling-merge of the per-shard cells — exactly the
+//! value a single engine would have computed. [`ShardedEngine`] realizes
+//! that: it hash-partitions each batch by m-layer [`CellKey`] across `N`
+//! inner [`CubingEngine`]s, runs their `ingest_unit`s concurrently on a
+//! [`WorkerPool`], and merges the per-shard [`CubeResult`]s (and
+//! [`UnitDelta`]s) back in **deterministic shard order**. The merge
+//! itself is parallel too: each cuboid's tables are independent, so they
+//! are merged and screened as separate pool jobs.
+//!
+//! # Exactness
+//!
+//! A cell above the m-layer aggregates tuples from *several* shards, so
+//! no shard can judge exceptionality on its own (two sub-threshold shard
+//! partials may merge into an exception, and vice versa). The sharded
+//! engine therefore makes its inner engines retain **every**
+//! between-layer cell and screens exceptions *after* the merge with the
+//! real policy — which is precisely Algorithm 1's definition (compute
+//! every between-layer cell, retain the exceptional ones). Engines that
+//! keep full between-layer tables anyway (incremental-mode
+//! [`MoCubingEngine`], detected via
+//! [`CubingEngine::full_between_tables`]) run with a no-op policy and
+//! zero extra retention; others (e.g. [`PopularPathEngine`]) run under
+//! [`ExceptionPolicy::always`] so their exception stores carry the full
+//! tables to the merge. Consequently:
+//!
+//! * `ShardedEngine<MoCubingEngine>` produces the **same cube** as an
+//!   unsharded [`MoCubingEngine`] for every shard count (the contract
+//!   tests pin n ∈ {1, 2, 3, 7});
+//! * `ShardedEngine<PopularPathEngine>` keeps the critical layers and
+//!   path tables exact, but its exception set is Algorithm 1's — a
+//!   superset of the unsharded engine's drilled set (the footnote-7
+//!   invariant, now from the other side). With a single shard the inner
+//!   engine runs the real policy unmodified, so `n = 1` is a true
+//!   passthrough for *any* engine.
+//!
+//! # Topology
+//!
+//! The shard pool is the system's parallelism backbone: shard-level
+//! `ingest_unit` calls and per-cuboid merge jobs run on it, and the
+//! inner engines are built **without** pools of their own (see the
+//! nesting rule in [`crate::pool`]). An *unsharded* [`MoCubingEngine`]
+//! may instead take a pool via [`MoCubingEngine::with_pool`] to
+//! parallelize its per-tier roll-up — the two strategies compose with
+//! the same primitives but are never nested.
+
+use crate::engine::{batch_window, empty_result, CubingEngine, UnitDelta};
+use crate::exception::ExceptionPolicy;
+use crate::layers::CriticalLayers;
+use crate::measure::{merge_sibling, validate_tuples, MTuple};
+use crate::pool::{self, WorkerPool};
+use crate::result::{Algorithm, CubeResult};
+use crate::stats::RunStats;
+use crate::table::{table_bytes, CuboidTable};
+use crate::{MoCubingEngine, PopularPathEngine, Result};
+use regcube_olap::cell::CellKey;
+use regcube_olap::fxhash::{FxHashMap, FxHashSet, FxHasher};
+use regcube_olap::{CubeSchema, CuboidSpec};
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// A cubing engine that partitions every batch across `N` inner engines
+/// and merges their cubes under Theorem 3.2 linearity.
+///
+/// Implements [`CubingEngine`] itself, so it slots in wherever a single
+/// engine does — the online stream engine, the bench harness, the batch
+/// wrappers. See the module docs for the exactness contract.
+pub struct ShardedEngine<E: CubingEngine + Send + Sync + 'static> {
+    schema: Arc<CubeSchema>,
+    layers: CriticalLayers,
+    /// The *real* policy — inner shards retain everything; this screens
+    /// the merged cube.
+    policy: Arc<ExceptionPolicy>,
+    /// Writer lock for `ingest_unit`, shared readers for the merge.
+    shards: Vec<Arc<RwLock<E>>>,
+    /// Window of the last batch each shard successfully ingested. Only
+    /// shards on the current window join the merge: a shard whose key
+    /// range was silent across a rollover still holds the old unit's
+    /// cube and must not leak it into the new window.
+    shard_windows: Vec<Option<(i64, i64)>>,
+    /// Rebuilds one inner engine (with `inner_policy`) — used to reset
+    /// shards that advanced into a window whose rollover then failed,
+    /// so a retried batch never double-folds (the trait's "failed
+    /// rollover leaves no half-open window" contract).
+    #[allow(clippy::type_complexity)]
+    factory: Arc<dyn Fn(CubeSchema, CriticalLayers, ExceptionPolicy) -> Result<E> + Send + Sync>,
+    /// The policy the inner engines actually run (see
+    /// [`with_factory`](Self::with_factory)).
+    inner_policy: ExceptionPolicy,
+    pool: WorkerPool,
+    algorithm: Algorithm,
+    window: Option<(i64, i64)>,
+    units_opened: u64,
+    stats: RunStats,
+    result: CubeResult,
+}
+
+impl<E: CubingEngine + Send + Sync + 'static> std::fmt::Debug for ShardedEngine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards.len())
+            .field("algorithm", &self.algorithm)
+            .field("window", &self.window)
+            .field("units_opened", &self.units_opened)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedEngine<MoCubingEngine> {
+    /// Sharded Algorithm 1. Produces the same cube as one unsharded
+    /// engine for any `shards`: a single shard is a transient-mode
+    /// passthrough; more shards run incremental-mode engines whose
+    /// retained between-layer tables feed the merge directly.
+    ///
+    /// # Errors
+    /// Construction errors of the inner engines.
+    pub fn mo_cubing(
+        schema: CubeSchema,
+        layers: CriticalLayers,
+        policy: ExceptionPolicy,
+        shards: usize,
+    ) -> Result<Self> {
+        if shards <= 1 {
+            Self::with_factory(schema, layers, policy, 1, MoCubingEngine::transient)
+        } else {
+            Self::with_factory(schema, layers, policy, shards, MoCubingEngine::new)
+        }
+    }
+}
+
+impl ShardedEngine<PopularPathEngine> {
+    /// Sharded Algorithm 2: `shards` [`PopularPathEngine`]s on their
+    /// default paths. Critical layers and path tables are exact; with
+    /// more than one shard the exception set follows Algorithm 1's
+    /// definition (see the module docs).
+    ///
+    /// # Errors
+    /// Construction errors of the inner engines.
+    pub fn popular_path(
+        schema: CubeSchema,
+        layers: CriticalLayers,
+        policy: ExceptionPolicy,
+        shards: usize,
+    ) -> Result<Self> {
+        Self::with_factory(schema, layers, policy, shards, |schema, layers, policy| {
+            PopularPathEngine::new(schema, layers, policy, None)
+        })
+    }
+}
+
+impl<E: CubingEngine + Send + Sync + 'static> ShardedEngine<E> {
+    /// Builds a sharded engine over `shards` inner engines produced by
+    /// `make` (clamped to at least 1).
+    ///
+    /// With one shard `make` receives the real `policy` (true
+    /// passthrough). With more, the inner policy depends on a probe of
+    /// the engine's [`full_between_tables`] capability: engines that
+    /// retain every between-layer table get [`ExceptionPolicy::never`]
+    /// (the merge reads the tables directly), the rest get
+    /// [`ExceptionPolicy::always`] so their exception stores carry
+    /// every computed cell to the post-merge screen.
+    ///
+    /// [`full_between_tables`]: CubingEngine::full_between_tables
+    ///
+    /// # Errors
+    /// Whatever `make` returns.
+    pub fn with_factory(
+        schema: CubeSchema,
+        layers: CriticalLayers,
+        policy: ExceptionPolicy,
+        shards: usize,
+        make: impl Fn(CubeSchema, CriticalLayers, ExceptionPolicy) -> Result<E> + Send + Sync + 'static,
+    ) -> Result<Self> {
+        let shards = shards.max(1);
+        let inner_policy = if shards == 1 {
+            policy.clone()
+        } else {
+            let probe = make(schema.clone(), layers.clone(), ExceptionPolicy::never())?;
+            if probe.full_between_tables().is_some() {
+                ExceptionPolicy::never()
+            } else {
+                ExceptionPolicy::always()
+            }
+        };
+        let engines: Vec<Arc<RwLock<E>>> = (0..shards)
+            .map(|_| {
+                make(schema.clone(), layers.clone(), inner_policy.clone())
+                    .map(|e| Arc::new(RwLock::new(e)))
+            })
+            .collect::<Result<_>>()?;
+        let algorithm = read(&engines[0]).algorithm();
+        let result = empty_result(&layers, &policy, algorithm);
+        Ok(ShardedEngine {
+            schema: Arc::new(schema),
+            layers,
+            policy: Arc::new(policy),
+            shard_windows: vec![None; shards],
+            factory: Arc::new(make),
+            inner_policy,
+            pool: WorkerPool::new(shards.min(pool::default_threads())),
+            shards: engines,
+            algorithm,
+            window: None,
+            units_opened: 0,
+            stats: RunStats::default(),
+            result,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The critical layers the engine cubes for.
+    pub fn layers(&self) -> &CriticalLayers {
+        &self.layers
+    }
+
+    /// Consumes the engine, returning the final merged cube result.
+    pub fn into_result(self) -> CubeResult {
+        self.result
+    }
+
+    /// Partitions a validated batch by hashing each tuple's m-layer key.
+    /// The hash is [`FxHasher`] — deterministic across runs and
+    /// processes, so a key always lands on the same shard.
+    fn partition(&self, tuples: &[MTuple]) -> Vec<Vec<MTuple>> {
+        let n = self.shards.len();
+        let mut parts: Vec<Vec<MTuple>> = (0..n).map(|_| Vec::new()).collect();
+        for t in tuples {
+            parts[shard_of(t.ids(), n)].push(t.clone());
+        }
+        parts
+    }
+
+    /// Runs every non-empty partition's `ingest_unit` concurrently on
+    /// the pool and applies the per-shard deltas in shard order.
+    ///
+    /// On a partial failure during a **rollover** batch, the shards
+    /// that already advanced into the failed window are rebuilt empty
+    /// (via the stored factory) before the error propagates, so the
+    /// engine honors the trait contract — a failed rollover leaves no
+    /// half-open window, and a retried batch re-ingests every
+    /// partition from scratch instead of double-folding the ones that
+    /// had succeeded.
+    fn ingest_partitions(
+        &mut self,
+        parts: Vec<Vec<MTuple>>,
+        window: (i64, i64),
+        delta: &mut UnitDelta,
+    ) -> Result<()> {
+        let tasks: Vec<_> = parts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, part)| !part.is_empty())
+            .map(|(i, part)| {
+                let shard = Arc::clone(&self.shards[i]);
+                move || {
+                    let mut engine = shard.write().unwrap_or_else(|e| e.into_inner());
+                    engine.ingest_unit(&part).map(|d| (i, d))
+                }
+            })
+            .collect();
+        let mut first_err = None;
+        for outcome in self.pool.run(tasks) {
+            match outcome {
+                Ok((i, shard_delta)) => {
+                    self.shard_windows[i] = Some(window);
+                    delta.cells_touched += shard_delta.cells_touched;
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        let Some(err) = first_err else {
+            return Ok(());
+        };
+        if self.window != Some(window) {
+            // Failed rollover: reset every shard that advanced. (A
+            // same-window partial failure matches the single-engine
+            // contract instead: the fold is partial until the next
+            // successful batch, and no window committed.)
+            for i in 0..self.shards.len() {
+                if self.shard_windows[i] == Some(window) {
+                    let fresh = (self.factory)(
+                        (*self.schema).clone(),
+                        self.layers.clone(),
+                        self.inner_policy.clone(),
+                    )?;
+                    self.shards[i] = Arc::new(RwLock::new(fresh));
+                    self.shard_windows[i] = None;
+                }
+            }
+        }
+        Err(err)
+    }
+
+    /// Shard indices whose cube belongs to the current `window`.
+    fn active_shards(&self, window: (i64, i64)) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&i| self.shard_windows[i] == Some(window))
+            .collect()
+    }
+
+    /// Merges the cubes of every shard on the current window and screens
+    /// exceptions with the real policy. Tables of different cuboids are
+    /// independent, so each [`MergeKey`] is merged as its own pool job;
+    /// within a job shards merge in index order, and the key set is
+    /// collected into a [`BTreeSet`] — both deterministic, so the merged
+    /// measures never depend on scheduling. Also refreshes the merged
+    /// statistics.
+    fn merge_shards(&mut self, window: (i64, i64)) -> Result<()> {
+        let dims = self.schema.num_dims();
+        let active = Arc::new(self.active_shards(window));
+
+        // The union of table keys across active shards, in stable order.
+        let mut keys: BTreeSet<MergeKey> = BTreeSet::new();
+        keys.insert(MergeKey::M);
+        keys.insert(MergeKey::O);
+        let mut stats = RunStats::default();
+        for &i in active.iter() {
+            let engine = read(&self.shards[i]);
+            let result = engine.result();
+            match engine.full_between_tables() {
+                Some(tables) => keys.extend(tables.keys().cloned().map(MergeKey::Between)),
+                None => keys.extend(
+                    result
+                        .exceptions_map()
+                        .keys()
+                        .cloned()
+                        .map(MergeKey::Between),
+                ),
+            }
+            keys.extend(result.path_tables().keys().cloned().map(MergeKey::Path));
+
+            let s = engine.stats();
+            stats.rows_folded += s.rows_folded;
+            stats.cells_computed += s.cells_computed;
+            stats.cuboids_computed = stats.cuboids_computed.max(s.cuboids_computed);
+            // Upper bound of the concurrent high-water mark: every shard
+            // could hit its peak at the same instant.
+            stats.peak_bytes += s.peak_bytes;
+        }
+
+        // Fan the per-cuboid merges out; results return in key order.
+        // (Only the multi-shard path reaches here — a single shard is
+        // the passthrough in `ingest_unit`.)
+        let shard_list = Arc::new(self.shards.clone());
+        let tasks: Vec<_> = keys
+            .into_iter()
+            .map(|key| {
+                let shards = Arc::clone(&shard_list);
+                let active = Arc::clone(&active);
+                let policy = Arc::clone(&self.policy);
+                move || merge_one_key(key, &shards, &active, &policy)
+            })
+            .collect();
+        let merged = self.pool.run(tasks);
+
+        let mut m_table = CuboidTable::default();
+        let mut o_table = CuboidTable::default();
+        let mut exceptions: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
+        let mut path_tables: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
+        for item in merged {
+            let (key, table) = item?;
+            match key {
+                MergeKey::M => m_table = table,
+                MergeKey::O => o_table = table,
+                MergeKey::Between(cuboid) => {
+                    if !table.is_empty() {
+                        exceptions.insert(cuboid, table);
+                    }
+                }
+                MergeKey::Path(cuboid) => {
+                    path_tables.insert(cuboid, table);
+                }
+            }
+        }
+
+        stats.exception_cells = exceptions.values().map(|t| t.len() as u64).sum();
+        stats.cells_retained = m_table.len() as u64
+            + o_table.len() as u64
+            + stats.exception_cells
+            + path_tables.values().map(|t| t.len() as u64).sum::<u64>();
+        stats.retained_bytes = table_bytes(&m_table, dims)
+            + table_bytes(&o_table, dims)
+            + exceptions
+                .values()
+                .map(|t| table_bytes(t, dims))
+                .sum::<usize>()
+            + path_tables
+                .values()
+                .map(|t| table_bytes(t, dims))
+                .sum::<usize>();
+        stats.elapsed = self.stats.elapsed;
+        self.stats = stats;
+        self.result = CubeResult::new(
+            self.layers.clone(),
+            (*self.policy).clone(),
+            self.algorithm,
+            m_table,
+            o_table,
+            exceptions,
+            path_tables,
+            self.stats,
+        );
+        Ok(())
+    }
+
+    /// All retained between-layer exception cells of the merged cube.
+    fn exception_cells(&self) -> FxHashSet<(CuboidSpec, CellKey)> {
+        self.result
+            .iter_exceptions()
+            .map(|(c, k, _)| (c.clone(), k.clone()))
+            .collect()
+    }
+}
+
+impl<E: CubingEngine + Send + Sync + 'static> CubingEngine for ShardedEngine<E> {
+    fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    fn ingest_unit(&mut self, tuples: &[MTuple]) -> Result<UnitDelta> {
+        validate_tuples(&self.schema, self.layers.lattice().m_layer(), tuples)?;
+        let started = Instant::now();
+        let window = batch_window(tuples);
+        let opened_unit = self.window != Some(window);
+
+        // Single shard: a true passthrough (real policy, caller thread).
+        if self.shards.len() == 1 {
+            let mut delta = {
+                let mut engine = self.shards[0].write().unwrap_or_else(|e| e.into_inner());
+                engine.ingest_unit(tuples)?
+            };
+            self.shard_windows[0] = Some(window);
+            if opened_unit {
+                self.window = Some(window);
+                self.units_opened += 1;
+            }
+            delta.unit = self.units_opened.saturating_sub(1);
+            let engine = read(&self.shards[0]);
+            self.result = engine.result().clone();
+            self.stats = *engine.stats();
+            return Ok(delta);
+        }
+
+        let before = self.exception_cells();
+        let mut delta = UnitDelta::for_batch(window, opened_unit, tuples.len());
+        let parts = self.partition(tuples);
+        self.ingest_partitions(parts, window, &mut delta)?;
+        if opened_unit {
+            self.window = Some(window);
+            self.units_opened += 1;
+            // `elapsed` accumulates across a unit's batches and resets
+            // on a rollover, mirroring the single-engine bookkeeping.
+            self.stats.elapsed = std::time::Duration::ZERO;
+        }
+        delta.unit = self.units_opened.saturating_sub(1);
+
+        let pre_batch = self.stats.elapsed;
+        self.merge_shards(window)?;
+        let after = self.exception_cells();
+        delta.appeared = after.difference(&before).cloned().collect();
+        delta.cleared = before.difference(&after).cloned().collect();
+        delta.sort_cells();
+        self.stats.elapsed = pre_batch + started.elapsed();
+        self.result.set_stats(self.stats);
+        Ok(delta)
+    }
+
+    fn result(&self) -> &CubeResult {
+        &self.result
+    }
+
+    fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+}
+
+/// One independent unit of merge work: a cuboid table of the merged
+/// cube. Ordered (`BTreeSet`) so the job list is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum MergeKey {
+    /// The m-layer table.
+    M,
+    /// The o-layer table.
+    O,
+    /// A strictly-between cuboid (screened with the real policy after
+    /// the merge).
+    Between(CuboidSpec),
+    /// A popular-path table (retained in full, never screened).
+    Path(CuboidSpec),
+}
+
+/// Merges one [`MergeKey`]'s table across the active shards (in index
+/// order) and screens `Between` tables with the real policy. Runs as a
+/// pool job; shard access is a read lock, so all keys merge
+/// concurrently.
+fn merge_one_key<E: CubingEngine>(
+    key: MergeKey,
+    shards: &[Arc<RwLock<E>>],
+    active: &[usize],
+    policy: &ExceptionPolicy,
+) -> Result<(MergeKey, CuboidTable)> {
+    let mut table = CuboidTable::default();
+    for &i in active {
+        let engine = read(&shards[i]);
+        let result = engine.result();
+        let source = match &key {
+            MergeKey::M => Some(result.m_table()),
+            MergeKey::O => Some(result.o_table()),
+            MergeKey::Between(cuboid) => match engine.full_between_tables() {
+                Some(tables) => tables.get(cuboid),
+                None => result.exceptions_map().get(cuboid),
+            },
+            MergeKey::Path(cuboid) => result.path_tables().get(cuboid),
+        };
+        if let Some(source) = source {
+            merge_table_into(&mut table, source)?;
+        }
+    }
+    if let MergeKey::Between(cuboid) = &key {
+        table.retain(|_, isb| policy.is_exception(cuboid, isb));
+    }
+    Ok((key, table))
+}
+
+/// Read-locks a shard, riding over poisoning (a panicked pool job is
+/// already re-raised by the pool; the state behind the lock is about to
+/// be discarded by the caller's error path).
+fn read<E>(shard: &Arc<RwLock<E>>) -> std::sync::RwLockReadGuard<'_, E> {
+    shard.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The shard a (validated) m-layer key routes to: deterministic FxHash
+/// of the ids, modulo the shard count.
+fn shard_of(ids: &[u32], shards: usize) -> usize {
+    let mut hasher = FxHasher::default();
+    ids.hash(&mut hasher);
+    (hasher.finish() % shards as u64) as usize
+}
+
+/// Cell-wise sibling merge of `src` into `dst` (Theorem 3.2).
+///
+/// # Errors
+/// Interval mismatches — impossible for shards fed from one validated
+/// window.
+fn merge_table_into(dst: &mut CuboidTable, src: &CuboidTable) -> Result<()> {
+    for (key, isb) in src {
+        match dst.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                merge_sibling(e.get_mut(), isb)?;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(*isb);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regcube_regress::{Isb, TimeSeries};
+
+    fn isb(slope: f64, base: f64) -> Isb {
+        let z = TimeSeries::from_fn(0, 9, |t| base + slope * t as f64).unwrap();
+        Isb::fit(&z).unwrap()
+    }
+
+    fn setup() -> (CubeSchema, CriticalLayers, ExceptionPolicy) {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let layers = CriticalLayers::new(
+            &schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .unwrap();
+        (schema, layers, ExceptionPolicy::slope_threshold(0.4))
+    }
+
+    fn dense_tuples() -> Vec<MTuple> {
+        let mut tuples = Vec::new();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                tuples.push(MTuple::new(vec![a, b], isb((a + b) as f64 / 10.0, 1.0)));
+            }
+        }
+        tuples
+    }
+
+    fn tables_approx_eq(label: &str, a: &CuboidTable, b: &CuboidTable) {
+        assert_eq!(a.len(), b.len(), "{label}: cell counts differ");
+        for (key, m) in a {
+            let other = b
+                .get(key)
+                .unwrap_or_else(|| panic!("{label}: cell {key} missing"));
+            assert!(m.approx_eq(other, 1e-9), "{label} {key}: {m} vs {other}");
+        }
+    }
+
+    #[test]
+    fn sharded_mo_matches_unsharded_for_every_shard_count() {
+        let (schema, layers, policy) = setup();
+        let tuples = dense_tuples();
+        let mut reference =
+            MoCubingEngine::transient(schema.clone(), layers.clone(), policy.clone()).unwrap();
+        reference.ingest_unit(&tuples).unwrap();
+        for n in [1usize, 2, 3, 7] {
+            let mut sharded =
+                ShardedEngine::mo_cubing(schema.clone(), layers.clone(), policy.clone(), n)
+                    .unwrap();
+            sharded.ingest_unit(&tuples).unwrap();
+            assert_eq!(sharded.shards(), n);
+            let (a, b) = (sharded.result(), reference.result());
+            tables_approx_eq(&format!("n={n}/m"), a.m_table(), b.m_table());
+            tables_approx_eq(&format!("n={n}/o"), a.o_table(), b.o_table());
+            assert_eq!(a.total_exception_cells(), b.total_exception_cells());
+        }
+    }
+
+    #[test]
+    fn multi_shard_inner_engines_skip_exception_retention() {
+        // MoCubing shards retain full between-layer tables, so the probe
+        // must select the no-op inner policy: no shard stores exception
+        // cells of its own, yet the merged cube screens correctly.
+        let (schema, layers, policy) = setup();
+        let mut e = ShardedEngine::mo_cubing(schema, layers, policy, 3).unwrap();
+        e.ingest_unit(&dense_tuples()).unwrap();
+        assert!(e.result().total_exception_cells() > 0, "merged screen");
+        for shard in &e.shards {
+            let engine = read(shard);
+            assert!(engine.full_between_tables().is_some());
+            assert_eq!(engine.result().total_exception_cells(), 0);
+        }
+    }
+
+    #[test]
+    fn sharded_deltas_are_sorted_and_consistent() {
+        let (schema, layers, policy) = setup();
+        let mut e = ShardedEngine::mo_cubing(schema, layers, policy, 3).unwrap();
+        let d = e.ingest_unit(&dense_tuples()).unwrap();
+        assert!(d.opened_unit);
+        assert_eq!(d.unit, 0);
+        assert_eq!(d.tuples, 16);
+        let mut sorted = d.appeared.clone();
+        sorted.sort_unstable();
+        assert_eq!(d.appeared, sorted, "appeared must be pre-sorted");
+    }
+
+    #[test]
+    fn same_window_batches_fold_into_the_open_unit() {
+        let (schema, layers, policy) = setup();
+        let tuples = dense_tuples();
+        let mut split =
+            ShardedEngine::mo_cubing(schema.clone(), layers.clone(), policy.clone(), 4).unwrap();
+        for chunk in tuples.chunks(5) {
+            split.ingest_unit(chunk).unwrap();
+        }
+        let mut whole = ShardedEngine::mo_cubing(schema, layers, policy, 4).unwrap();
+        let d = whole.ingest_unit(&tuples).unwrap();
+        assert!(d.opened_unit);
+        let (a, b) = (split.result(), whole.result());
+        tables_approx_eq("split/m", a.m_table(), b.m_table());
+        tables_approx_eq("split/o", a.o_table(), b.o_table());
+        assert_eq!(a.total_exception_cells(), b.total_exception_cells());
+    }
+
+    #[test]
+    fn rollover_excludes_stale_shards() {
+        let (schema, layers, policy) = setup();
+        // Many shards: the 1-tuple second window leaves most shards
+        // stale, and none of their old-window cells may leak through.
+        let mut e = ShardedEngine::mo_cubing(schema, layers, policy, 7).unwrap();
+        e.ingest_unit(&dense_tuples()).unwrap();
+        let next = vec![MTuple::new(vec![1, 2], Isb::new(10, 19, 1.0, 0.7).unwrap())];
+        let d = e.ingest_unit(&next).unwrap();
+        assert!(d.opened_unit);
+        assert_eq!(d.unit, 1);
+        assert_eq!(e.result().m_layer_cells(), 1, "old unit replaced");
+        assert_eq!(e.result().o_table().len(), 1);
+    }
+
+    #[test]
+    fn sharded_popular_path_keeps_critical_layers_exact() {
+        let (schema, layers, policy) = setup();
+        let tuples = dense_tuples();
+        let mut reference =
+            PopularPathEngine::new(schema.clone(), layers.clone(), policy.clone(), None).unwrap();
+        reference.ingest_unit(&tuples).unwrap();
+        let mut sharded = ShardedEngine::popular_path(schema, layers, policy, 3).unwrap();
+        sharded.ingest_unit(&tuples).unwrap();
+        let (a, b) = (sharded.result(), reference.result());
+        tables_approx_eq("pp/m", a.m_table(), b.m_table());
+        tables_approx_eq("pp/o", a.o_table(), b.o_table());
+        // Exceptions follow Algorithm 1's rule: a superset of the
+        // unsharded drilled set (footnote 7).
+        assert!(a.total_exception_cells() >= b.total_exception_cells());
+        for (cuboid, key, _) in b.iter_exceptions() {
+            assert!(
+                a.exceptions_in(cuboid).is_some_and(|t| t.contains_key(key)),
+                "unsharded exception {cuboid}{key} missing from sharded cube"
+            );
+        }
+        assert_eq!(a.algorithm(), Algorithm::PopularPath);
+    }
+
+    #[test]
+    fn empty_batches_are_rejected() {
+        let (schema, layers, policy) = setup();
+        let mut e = ShardedEngine::mo_cubing(schema, layers, policy, 2).unwrap();
+        assert!(e.ingest_unit(&[]).is_err());
+    }
+
+    /// Delegates to an inner engine but fails one `ingest_unit` on
+    /// command — exercises the partial-failure rollback.
+    struct FlakyEngine {
+        inner: MoCubingEngine,
+        trip: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl CubingEngine for FlakyEngine {
+        fn algorithm(&self) -> Algorithm {
+            self.inner.algorithm()
+        }
+        fn ingest_unit(&mut self, tuples: &[MTuple]) -> Result<UnitDelta> {
+            let marked = tuples.iter().any(|t| t.ids() == [0, 0]);
+            if marked && self.trip.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                return Err(crate::CoreError::BadInput {
+                    detail: "injected shard failure".into(),
+                });
+            }
+            self.inner.ingest_unit(tuples)
+        }
+        fn result(&self) -> &CubeResult {
+            self.inner.result()
+        }
+        fn stats(&self) -> &RunStats {
+            self.inner.stats()
+        }
+        fn full_between_tables(&self) -> Option<&FxHashMap<CuboidSpec, CuboidTable>> {
+            self.inner.full_between_tables()
+        }
+    }
+
+    #[test]
+    fn failed_rollover_leaves_no_half_open_window() {
+        // One shard fails mid-rollover; the shards that already
+        // advanced must be reset, so retrying the same batch yields
+        // exactly the unsharded cube (no double-folding).
+        let (schema, layers, policy) = setup();
+        let tuples = dense_tuples();
+        let trip = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let handle = Arc::clone(&trip);
+        let mut e = ShardedEngine::with_factory(
+            schema.clone(),
+            layers.clone(),
+            policy.clone(),
+            4,
+            move |schema, layers, policy| {
+                Ok(FlakyEngine {
+                    inner: MoCubingEngine::new(schema, layers, policy)?,
+                    trip: Arc::clone(&handle),
+                })
+            },
+        )
+        .unwrap();
+        assert!(e.ingest_unit(&tuples).is_err(), "injected failure");
+        e.ingest_unit(&tuples).unwrap();
+
+        let mut reference = MoCubingEngine::transient(schema, layers, policy).unwrap();
+        reference.ingest_unit(&tuples).unwrap();
+        let (a, b) = (e.result(), reference.result());
+        tables_approx_eq("retry/m", a.m_table(), b.m_table());
+        tables_approx_eq("retry/o", a.o_table(), b.o_table());
+        assert_eq!(a.total_exception_cells(), b.total_exception_cells());
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic() {
+        for n in 1..9usize {
+            for ids in [[0u32, 1], [3, 2], [7, 7]] {
+                let a = shard_of(&ids, n);
+                assert!(a < n);
+                assert_eq!(a, shard_of(&ids, n), "same key, same shard");
+            }
+        }
+    }
+}

@@ -15,6 +15,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use regcube_core::engine::{CubingEngine, MoCubingEngine, PopularPathEngine};
+use regcube_core::shard::ShardedEngine;
 use regcube_core::table::CuboidTable;
 use regcube_core::{mo_cubing, popular_path, CriticalLayers, CubeResult, ExceptionPolicy, MTuple};
 use regcube_olap::{CubeSchema, CuboidSpec};
@@ -144,6 +145,139 @@ fn popular_path_engine_incremental_ingestion_matches_batch_compute() {
             &reference,
         );
     }
+}
+
+#[test]
+fn sharded_engine_incremental_ingestion_matches_batch_compute() {
+    // Law 1 for the sharded backend at n = 1, 2, 3, 7: hash-partitioned
+    // parallel cubing + Theorem 3.2 merge equals the unsharded batch
+    // compute, for one-shot and chunked same-window ingestion alike.
+    for (shards, chunk) in [(1usize, 50usize), (2, 11), (3, 7), (7, 1)] {
+        let (schema, layers, tuples) = random_dataset(40 + shards as u64, 120);
+        let policy = ExceptionPolicy::slope_threshold(0.3);
+        let reference = mo_cubing::compute(&schema, &layers, &policy, &tuples).unwrap();
+        let engine = ShardedEngine::mo_cubing(schema, layers, policy, shards).unwrap();
+        assert_incremental_matches_batch(
+            &format!("sharded n={shards} chunk {chunk}"),
+            engine,
+            &tuples,
+            chunk,
+            &reference,
+        );
+    }
+}
+
+#[test]
+fn sharded_engine_rollover_matches_unsharded() {
+    // Window rollovers: replay three units through sharded and
+    // unsharded engines; after every unit the cubes must agree, even
+    // when a unit activates only a few shards and leaves the rest
+    // holding the previous window's partition.
+    let (schema, layers, tuples) = random_dataset(50, 90);
+    let policy = ExceptionPolicy::slope_threshold(0.3);
+    let mut sharded =
+        ShardedEngine::mo_cubing(schema.clone(), layers.clone(), policy.clone(), 3).unwrap();
+    let mut single = MoCubingEngine::transient(schema, layers, policy).unwrap();
+    for unit in 0..3usize {
+        // Shrinking batches: unit 2 has 4 tuples, so several shards
+        // stay on an old window and must be excluded from the merge.
+        let take = [90usize, 30, 4][unit];
+        let start = unit as i64 * 16;
+        let batch: Vec<MTuple> = tuples[..take]
+            .iter()
+            .map(|t| {
+                let isb = t.isb();
+                MTuple::new(
+                    t.ids().to_vec(),
+                    Isb::new(start, start + 15, isb.base(), isb.slope()).unwrap(),
+                )
+            })
+            .collect();
+        let ds = sharded.ingest_unit(&batch).unwrap();
+        let du = single.ingest_unit(&batch).unwrap();
+        assert!(ds.opened_unit && du.opened_unit, "unit {unit}");
+        assert_eq!(ds.unit, du.unit, "unit {unit}");
+        results_approx_eq(
+            &format!("rollover unit {unit}"),
+            sharded.result(),
+            single.result(),
+        );
+        // Deltas are sorted by contract, so they compare directly.
+        assert_eq!(ds.appeared, du.appeared, "unit {unit} appeared");
+        assert_eq!(ds.cleared, du.cleared, "unit {unit} cleared");
+    }
+}
+
+#[test]
+fn sharded_engines_uphold_footnote_7() {
+    // The superset law holds with sharded engines in the mix: sharded
+    // A1 == unsharded A1 ⊇ sharded A2 ⊇ unsharded A2's exceptions.
+    let (schema, layers, tuples) = random_dataset(60, 200);
+    let policy = ExceptionPolicy::slope_threshold(0.25);
+    let mut engines: Vec<(&str, Box<dyn CubingEngine>)> = vec![
+        (
+            "a1",
+            Box::new(MoCubingEngine::new(schema.clone(), layers.clone(), policy.clone()).unwrap()),
+        ),
+        (
+            "sharded-a1",
+            Box::new(
+                ShardedEngine::mo_cubing(schema.clone(), layers.clone(), policy.clone(), 4)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "sharded-a2",
+            Box::new(
+                ShardedEngine::popular_path(schema.clone(), layers.clone(), policy.clone(), 4)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "a2",
+            Box::new(PopularPathEngine::new(schema, layers, policy, None).unwrap()),
+        ),
+    ];
+    for (_, engine) in &mut engines {
+        engine.ingest_unit(&tuples).unwrap();
+    }
+    // Ordered from the largest retained exception set to the smallest:
+    // each must contain the next (with identical critical layers).
+    for pair in engines.windows(2) {
+        let ((la, a), (lb, b)) = (&pair[0], &pair[1]);
+        let (ra, rb) = (a.result(), b.result());
+        tables_approx_eq(&format!("{la}/{lb} m"), ra.m_table(), rb.m_table());
+        tables_approx_eq(&format!("{la}/{lb} o"), ra.o_table(), rb.o_table());
+        assert!(
+            rb.total_exception_cells() <= ra.total_exception_cells(),
+            "{lb} retains more than {la}"
+        );
+        for (cuboid, key, _) in rb.iter_exceptions() {
+            assert!(
+                ra.exceptions_in(cuboid)
+                    .is_some_and(|t| t.contains_key(key)),
+                "{lb} exception {cuboid}{key} missing from {la}"
+            );
+        }
+    }
+    // And the two A1 variants agree exactly.
+    assert_eq!(
+        engines[0].1.result().total_exception_cells(),
+        engines[1].1.result().total_exception_cells()
+    );
+}
+
+#[test]
+fn engines_are_send() {
+    // Compile-time Send audit: a sharded engine moves its inner engines
+    // to worker threads, so every backend must be Send (and the sharded
+    // wrapper itself must be Send to stack behind further seams).
+    fn assert_send<T: Send>() {}
+    assert_send::<MoCubingEngine>();
+    assert_send::<PopularPathEngine>();
+    assert_send::<Box<dyn CubingEngine + Send>>();
+    assert_send::<ShardedEngine<MoCubingEngine>>();
+    assert_send::<ShardedEngine<PopularPathEngine>>();
 }
 
 /// Law 2, enforced through the trait with type-erased engines so any

@@ -9,6 +9,7 @@ use regcube_core::drill::{drill_children, drill_descendants, DrillHit};
 use regcube_core::engine::{CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
 use regcube_core::history::{CubeHistory, ExceptionDiff};
 use regcube_core::result::Algorithm;
+use regcube_core::shard::ShardedEngine;
 use regcube_core::{CoreError, CriticalLayers, CubeResult, ExceptionPolicy};
 use regcube_olap::cell::CellKey;
 use regcube_olap::fxhash::FxHashMap;
@@ -92,6 +93,9 @@ pub struct EngineConfig {
     pub ticks_per_unit: usize,
     /// Cubing algorithm; defaults to m/o-cubing.
     pub algorithm: Algorithm,
+    /// Number of cubing shards (m-layer hash partitions cubed in
+    /// parallel and merged via Theorem 3.2); defaults to 1 (unsharded).
+    pub shards: usize,
 }
 
 impl EngineConfig {
@@ -106,6 +110,7 @@ impl EngineConfig {
             tilt_spec: TiltSpec::paper_figure4(),
             ticks_per_unit: 15,
             algorithm: Algorithm::MoCubing,
+            shards: 1,
         }
     }
 
@@ -144,38 +149,65 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the number of cubing shards (clamped to at least 1). With
+    /// `n > 1` every build path routes cubing through a
+    /// [`ShardedEngine`]: each unit's m-layer batch is hash-partitioned
+    /// across `n` inner engines, cubed in parallel on a worker pool and
+    /// merged via Theorem 3.2 linearity. One shard is the unsharded
+    /// fast path. See `regcube_core::shard` for the exactness contract
+    /// and the README for choosing a shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Builds the engine, selecting the cubing backend at runtime from
     /// [`algorithm`](Self::algorithm) (type-erased behind
-    /// [`BoxedEngine`]).
+    /// [`BoxedEngine`]); [`shards`](Self::shards) > 1 wraps the backend
+    /// in a [`ShardedEngine`].
     ///
     /// # Errors
     /// Configuration validation from the ingestor and cube substrates.
     pub fn build(self) -> Result<OnlineEngine<BoxedEngine>> {
         let algorithm = self.algorithm;
-        self.build_with(|schema, layers, policy| match algorithm {
-            Algorithm::MoCubing => MoCubingEngine::transient(schema, layers, policy)
+        let shards = self.shards;
+        self.build_with(move |schema, layers, policy| match (algorithm, shards) {
+            (Algorithm::MoCubing, 1) => MoCubingEngine::transient(schema, layers, policy)
                 .map(|e| Box::new(e) as BoxedEngine),
-            Algorithm::PopularPath => PopularPathEngine::new(schema, layers, policy, None)
+            (Algorithm::MoCubing, n) => ShardedEngine::mo_cubing(schema, layers, policy, n)
+                .map(|e| Box::new(e) as BoxedEngine),
+            (Algorithm::PopularPath, 1) => PopularPathEngine::new(schema, layers, policy, None)
+                .map(|e| Box::new(e) as BoxedEngine),
+            (Algorithm::PopularPath, n) => ShardedEngine::popular_path(schema, layers, policy, n)
                 .map(|e| Box::new(e) as BoxedEngine),
         })
     }
 
-    /// Builds a statically-typed engine running Algorithm 1.
+    /// Builds a statically-typed engine running Algorithm 1 across
+    /// [`shards`](Self::shards) partitions (a single shard is an exact
+    /// passthrough to one transient [`MoCubingEngine`], so the default
+    /// configuration behaves as before the sharding refactor).
     ///
     /// # Errors
     /// Configuration validation from the ingestor and cube substrates.
-    pub fn build_mo(self) -> Result<OnlineEngine<MoCubingEngine>> {
-        self.build_with(MoCubingEngine::transient)
+    pub fn build_mo(self) -> Result<OnlineEngine<ShardedEngine<MoCubingEngine>>> {
+        let shards = self.shards;
+        self.build_with(move |schema, layers, policy| {
+            ShardedEngine::mo_cubing(schema, layers, policy, shards)
+        })
     }
 
     /// Builds a statically-typed engine running Algorithm 2 with the
-    /// default popular path.
+    /// default popular path across [`shards`](Self::shards) partitions
+    /// (a single shard is an exact passthrough).
     ///
     /// # Errors
     /// Configuration validation from the ingestor and cube substrates.
-    pub fn build_popular_path(self) -> Result<OnlineEngine<PopularPathEngine>> {
-        self.build_with(|schema, layers, policy| {
-            PopularPathEngine::new(schema, layers, policy, None)
+    pub fn build_popular_path(self) -> Result<OnlineEngine<ShardedEngine<PopularPathEngine>>> {
+        let shards = self.shards;
+        self.build_with(move |schema, layers, policy| {
+            ShardedEngine::popular_path(schema, layers, policy, shards)
         })
     }
 
@@ -198,6 +230,7 @@ impl EngineConfig {
             tilt_spec,
             ticks_per_unit,
             algorithm: _,
+            shards: _,
         } = self;
         let ingestor = Ingestor::new(schema.clone(), primitive, m_layer.clone(), ticks_per_unit)?;
         let layers = CriticalLayers::new(&schema, o_layer, m_layer).map_err(StreamError::from)?;
@@ -650,6 +683,81 @@ mod tests {
         let r1 = e.close_unit().unwrap();
         assert_eq!(r1.m_cells, 2);
         assert!(e.cube().is_ok());
+    }
+
+    /// Compile-time Send audit: shards move engines to worker threads,
+    /// so every cubing backend (and the type-erased box) must be Send.
+    #[test]
+    fn engines_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<MoCubingEngine>();
+        assert_send::<PopularPathEngine>();
+        assert_send::<BoxedEngine>();
+        assert_send::<ShardedEngine<MoCubingEngine>>();
+        assert_send::<ShardedEngine<PopularPathEngine>>();
+        assert_send::<OnlineEngine<BoxedEngine>>();
+        assert_send::<OnlineEngine<ShardedEngine<MoCubingEngine>>>();
+    }
+
+    #[test]
+    fn sharded_build_matches_unsharded_reports() {
+        // The same stream through 1 and 4 shards: every report must
+        // agree on alarms (score/keys) and exception cells.
+        let make = |shards: usize| {
+            let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+            EngineConfig::new(
+                schema,
+                CuboidSpec::new(vec![0, 0]),
+                CuboidSpec::new(vec![2, 2]),
+            )
+            .with_policy(ExceptionPolicy::slope_threshold(1.0))
+            .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
+            .with_ticks_per_unit(4)
+            .with_shards(shards)
+            .build()
+            .unwrap()
+        };
+        let (mut single, mut sharded) = (make(1), make(4));
+        for unit in 0..3 {
+            let slope = if unit == 1 { 2.0 } else { 0.1 };
+            feed_unit(&mut single, unit, slope);
+            feed_unit(&mut sharded, unit, slope);
+            let (a, b) = (single.close_unit().unwrap(), sharded.close_unit().unwrap());
+            assert_eq!(a.m_cells, b.m_cells, "unit {unit}");
+            assert_eq!(a.exception_cells, b.exception_cells, "unit {unit}");
+            assert_eq!(a.alarms.len(), b.alarms.len(), "unit {unit}");
+            for (x, y) in a.alarms.iter().zip(&b.alarms) {
+                assert_eq!(x.key, y.key);
+                assert!((x.score - y.score).abs() < 1e-9);
+            }
+            // Deltas are sorted, so they compare directly.
+            let (da, db) = (a.cube_delta.unwrap(), b.cube_delta.unwrap());
+            assert_eq!(da.appeared, db.appeared, "unit {unit}");
+            assert_eq!(da.cleared, db.cleared, "unit {unit}");
+        }
+    }
+
+    #[test]
+    fn statically_typed_sharded_builders_work() {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let mut e = EngineConfig::new(
+            schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
+        .with_ticks_per_unit(4)
+        .with_shards(2)
+        .build_mo()
+        .unwrap();
+        assert_eq!(e.cubing().shards(), 2);
+        for t in 0..4 {
+            e.ingest(&RawRecord::new(vec![0, 0], t, 1.0)).unwrap();
+            e.ingest(&RawRecord::new(vec![3, 2], t, 2.0)).unwrap();
+        }
+        let report = e.close_unit().unwrap();
+        assert_eq!(report.m_cells, 2);
+        assert_eq!(e.cube().unwrap().m_layer_cells(), 2);
     }
 
     #[test]
