@@ -7,12 +7,12 @@
 //! cargo run -p regcube-bench --release --bin figures -- all --json out.json
 //! ```
 
-use regcube_bench::experiments::{dims, fig10, fig8, fig9, incremental, scaling, tilt};
+use regcube_bench::experiments::{alarm, dims, fig10, fig8, fig9, incremental, scaling, tilt};
 use regcube_bench::report::{tables_to_json, Table};
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: figures [all|fig8|fig9|fig10|dims|tilt|incremental|scaling]... [--quick] [--json FILE]
+    "usage: figures [all|fig8|fig9|fig10|dims|tilt|incremental|scaling|alarm]... [--quick] [--json FILE]
 
   fig8         time & memory vs exception %        (D3L3C10T100K)
   fig9         time & memory vs m-layer size       (D3L3C10, 1% exceptions)
@@ -21,6 +21,7 @@ const USAGE: &str =
   tilt         Figure 4 / Example 3 tilt-frame compression
   incremental  online per-unit vs monolithic recomputation
   scaling      sharded cubing throughput at 1/2/4/8 shards
+  alarm        delta-driven alarm sinks vs rescan consumer overhead
   all          everything above
   --quick      shrunken datasets for smoke runs
   --json FILE  additionally write all tables as a JSON document";
@@ -57,6 +58,7 @@ fn main() -> ExitCode {
             "tilt",
             "incremental",
             "scaling",
+            "alarm",
         ];
     }
 
@@ -101,6 +103,11 @@ fn main() -> ExitCode {
                 eprintln!("[figures] running scaling ...");
                 let points = scaling::run(quick);
                 all_tables.extend(scaling::print(&points));
+            }
+            "alarm" => {
+                eprintln!("[figures] running alarm ...");
+                let points = alarm::run(quick);
+                all_tables.extend(alarm::print(&points));
             }
             other => {
                 eprintln!("unknown experiment: {other}\n{USAGE}");

@@ -1,5 +1,6 @@
 //! One module per figure of the paper's evaluation, plus shared plumbing.
 
+pub mod alarm;
 pub mod dims;
 pub mod fig10;
 pub mod fig8;

@@ -101,8 +101,11 @@ impl UnitDelta {
     /// Sorts `appeared`/`cleared` by `(cuboid, cell)` so the delta is
     /// byte-for-byte reproducible regardless of hash-map iteration or
     /// shard merge order. Every engine calls this before returning a
-    /// delta; consumers can rely on the ordering.
-    pub(crate) fn sort_cells(&mut self) {
+    /// delta; consumers can rely on the ordering. Public so external
+    /// [`CubingEngine`] implementations can uphold the same sorted-delta
+    /// contract (the stream layer additionally re-sorts defensively
+    /// before fanning a delta out to alarm sinks).
+    pub fn sort_cells(&mut self) {
         self.appeared.sort_unstable();
         self.cleared.sort_unstable();
     }

@@ -66,6 +66,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alarm;
 pub mod cube;
 pub mod drill;
 pub mod engine;
@@ -85,6 +86,7 @@ pub mod shard;
 pub mod stats;
 pub mod table;
 
+pub use alarm::{AlarmContext, AlarmLog, AlarmSink, DashboardSummary, SinkSet, ThresholdEscalator};
 pub use cube::RegressionCube;
 pub use engine::{CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
 pub use error::CoreError;
@@ -101,6 +103,10 @@ pub type Result<T> = std::result::Result<T, CoreError>;
 
 /// Convenient glob import for applications.
 pub mod prelude {
+    pub use crate::alarm::{
+        AlarmContext, AlarmLog, AlarmSink, DashboardSummary, Episode, Escalation, SinkSet,
+        ThresholdEscalator,
+    };
     pub use crate::cube::RegressionCube;
     pub use crate::engine::{CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
     pub use crate::exception::{ExceptionPolicy, RefMode};

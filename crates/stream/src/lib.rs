@@ -16,8 +16,12 @@
 //!   m-layer time unit feeds the unit's tuples to a pluggable
 //!   [`CubingEngine`](regcube_core::engine::CubingEngine) (generic
 //!   parameter `E`; Algorithm 1 or 2 out of the box), maintains per-cell
-//!   tilt frames, and raises o-layer alarms (own-slope or slot-delta
-//!   reference, Section 4.3);
+//!   tilt frames, raises o-layer alarms (own-slope or slot-delta
+//!   reference, Section 4.3), and fans every unit's merged, sorted
+//!   [`UnitDelta`](regcube_core::engine::UnitDelta) out to registered
+//!   [`AlarmSink`](regcube_core::alarm::AlarmSink)s
+//!   ([`online::EngineConfig::with_sinks`]) so consumers react to
+//!   exception transitions without rescanning any layer;
 //! * [`source`] — replay and mpsc-channel event sources for driving an
 //!   engine from another thread.
 

@@ -5,6 +5,7 @@ use crate::error::StreamError;
 use crate::ingest::Ingestor;
 use crate::record::RawRecord;
 use crate::Result;
+use regcube_core::alarm::{AlarmContext, SharedSink, SinkError, SinkSet};
 use regcube_core::drill::{drill_children, drill_descendants, DrillHit};
 use regcube_core::engine::{CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
 use regcube_core::history::{CubeHistory, ExceptionDiff};
@@ -54,6 +55,10 @@ pub struct UnitReport {
     /// What the cubing engine reported for the unit's batch (`None` for
     /// an empty unit, which never reaches the engine).
     pub cube_delta: Option<UnitDelta>,
+    /// Failures from alarm sinks consuming the unit's delta. A failing
+    /// sink never fails the unit — the cube is already updated when
+    /// sinks run, so each error is surfaced exactly once, here.
+    pub sink_errors: Vec<SinkError>,
 }
 
 /// Configuration of an [`OnlineEngine`], built fluently:
@@ -96,6 +101,11 @@ pub struct EngineConfig {
     /// Number of cubing shards (m-layer hash partitions cubed in
     /// parallel and merged via Theorem 3.2); defaults to 1 (unsharded).
     pub shards: usize,
+    /// Alarm sinks receiving every unit's [`UnitDelta`] (merged and
+    /// sorted — the identical stream at every shard count); defaults to
+    /// none. Sinks are shared (`Arc<Mutex<_>>`), so cloning the config
+    /// shares them.
+    pub sinks: SinkSet,
 }
 
 impl EngineConfig {
@@ -111,6 +121,7 @@ impl EngineConfig {
             ticks_per_unit: 15,
             algorithm: Algorithm::MoCubing,
             shards: 1,
+            sinks: SinkSet::new(),
         }
     }
 
@@ -159,6 +170,46 @@ impl EngineConfig {
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Registers alarm sinks: every closed non-empty unit's
+    /// [`UnitDelta`] is fanned out to them (in registration order)
+    /// right after the cube is updated, together with an
+    /// [`AlarmContext`] for score lookups. Wrap each sink with
+    /// [`regcube_core::alarm::shared`] and keep a clone to query it
+    /// while the engine runs. See [`regcube_core::alarm`] for the
+    /// ready-made sinks (log, escalator, dashboard).
+    ///
+    /// ```
+    /// use regcube_stream::online::EngineConfig;
+    /// use regcube_core::alarm::{self, AlarmLog, DashboardSummary, SharedSink};
+    /// use regcube_olap::{CubeSchema, CuboidSpec};
+    ///
+    /// let log = alarm::shared(AlarmLog::new(128));
+    /// let dash = alarm::shared(DashboardSummary::new());
+    /// let schema = CubeSchema::synthetic(2, 2, 3).unwrap();
+    /// let config = EngineConfig::new(
+    ///     schema,
+    ///     CuboidSpec::new(vec![0, 0]),
+    ///     CuboidSpec::new(vec![2, 2]),
+    /// )
+    /// .with_sinks([log.clone() as SharedSink, dash.clone() as SharedSink]);
+    /// assert!(config.build().is_ok());
+    /// assert_eq!(dash.lock().unwrap().active_cells(), 0);
+    /// ```
+    #[must_use]
+    pub fn with_sinks(mut self, sinks: impl IntoIterator<Item = SharedSink>) -> Self {
+        for sink in sinks {
+            self.sinks.push(sink);
+        }
+        self
+    }
+
+    /// Registers one alarm sink (see [`with_sinks`](Self::with_sinks)).
+    #[must_use]
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        self.sinks.push(sink);
         self
     }
 
@@ -231,6 +282,7 @@ impl EngineConfig {
             ticks_per_unit,
             algorithm: _,
             shards: _,
+            sinks,
         } = self;
         let ingestor = Ingestor::new(schema.clone(), primitive, m_layer.clone(), ticks_per_unit)?;
         let layers = CriticalLayers::new(&schema, o_layer, m_layer).map_err(StreamError::from)?;
@@ -247,6 +299,7 @@ impl EngineConfig {
             history: CubeHistory::new(16),
             ticks_per_unit,
             units_closed: 0,
+            sinks,
         })
     }
 }
@@ -287,6 +340,8 @@ pub struct OnlineEngine<E: CubingEngine = BoxedEngine> {
     history: CubeHistory,
     ticks_per_unit: usize,
     units_closed: u64,
+    /// Alarm sinks receiving the merged, sorted per-unit delta.
+    sinks: SinkSet,
 }
 
 impl OnlineEngine {
@@ -345,6 +400,18 @@ impl<E: CubingEngine> OnlineEngine<E> {
         &self.cubing
     }
 
+    /// Registers an alarm sink after construction (the fluent path is
+    /// [`EngineConfig::with_sinks`]). The sink starts receiving deltas
+    /// with the next closed non-empty unit.
+    pub fn add_sink(&mut self, sink: SharedSink) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of registered alarm sinks.
+    pub fn sink_count(&self) -> usize {
+        self.sinks.len()
+    }
+
     /// Closes the open unit and performs the per-unit pipeline.
     ///
     /// # Errors
@@ -375,6 +442,7 @@ impl<E: CubingEngine> OnlineEngine<E> {
                 recompute_time: Duration::ZERO,
                 diff: None,
                 cube_delta: None,
+                sink_errors: Vec::new(),
             });
         }
 
@@ -382,10 +450,14 @@ impl<E: CubingEngine> OnlineEngine<E> {
         // window differs from the previous unit's).
         let tuples = Ingestor::to_mtuples(&cells);
         let started = Instant::now();
-        let delta = self
+        let mut delta = self
             .cubing
             .ingest_unit(&tuples)
             .map_err(StreamError::from)?;
+        // The built-in engines return sorted deltas; re-sorting here is
+        // nearly free for them and upholds the sorted-delta contract for
+        // foreign `CubingEngine` backends before sinks observe it.
+        delta.sort_cells();
         self.computed = true;
         let recompute_time = started.elapsed();
 
@@ -419,6 +491,16 @@ impl<E: CubingEngine> OnlineEngine<E> {
 
         let diff = self.history.record(result);
 
+        // Fan the unit's delta out to the alarm sinks. Sinks see the
+        // post-batch cube; their failures are collected, never allowed
+        // to fail the unit (the cube is already updated).
+        let sink_errors = if self.sinks.is_empty() {
+            Vec::new()
+        } else {
+            self.sinks
+                .dispatch(&delta, &AlarmContext::new(result, &delta))
+        };
+
         // O-layer tilt frames: the observation deck at every granularity.
         let o_cells: Vec<(CellKey, Isb)> = result
             .o_table()
@@ -443,6 +525,7 @@ impl<E: CubingEngine> OnlineEngine<E> {
             recompute_time,
             diff,
             cube_delta: Some(delta),
+            sink_errors,
         })
     }
 
@@ -538,7 +621,7 @@ mod tests {
         .unwrap()
     }
 
-    fn feed_unit(e: &mut OnlineEngine, unit: i64, slope: f64) {
+    fn feed_unit<E: CubingEngine>(e: &mut OnlineEngine<E>, unit: i64, slope: f64) {
         let t0 = unit * 4;
         for t in t0..t0 + 4 {
             e.ingest(&RawRecord::new(vec![0, 0], t, slope * (t - t0) as f64))
@@ -758,6 +841,168 @@ mod tests {
         let report = e.close_unit().unwrap();
         assert_eq!(report.m_cells, 2);
         assert_eq!(e.cube().unwrap().m_layer_cells(), 2);
+    }
+
+    #[test]
+    fn sinks_consume_every_unit_delta() {
+        use regcube_core::alarm::{self, AlarmLog, DashboardSummary, SharedSink};
+        let log = alarm::shared(AlarmLog::new(32));
+        let dash = alarm::shared(DashboardSummary::new());
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let mut e = EngineConfig::new(
+            schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .with_policy(ExceptionPolicy::slope_threshold(1.0))
+        .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
+        .with_ticks_per_unit(4)
+        .with_sinks([log.clone() as SharedSink, dash.clone() as SharedSink])
+        .build()
+        .unwrap();
+        assert_eq!(e.sink_count(), 2);
+
+        // Unit 0 hot, unit 1 calm: one full episode.
+        feed_unit(&mut e, 0, 2.0);
+        let r0 = e.close_unit().unwrap();
+        assert!(r0.sink_errors.is_empty());
+        feed_unit(&mut e, 1, 0.0);
+        e.close_unit().unwrap();
+
+        let log = log.lock().unwrap();
+        assert!(log.opened_total() > 0);
+        assert_eq!(log.open_count(), 0, "calm unit closed every episode");
+        for ep in log.closed_episodes() {
+            assert_eq!(ep.raised_at, 0);
+            assert_eq!(ep.cleared_at, Some(1));
+        }
+        let dash = dash.lock().unwrap();
+        assert_eq!(dash.units_seen(), 2);
+        assert_eq!(dash.active_cells(), 0);
+        assert_eq!(dash.appeared_total(), dash.cleared_total());
+    }
+
+    /// A foreign engine that violates the sorted-delta contract: wraps
+    /// Algorithm 1 but reverses the transition lists. The stream layer
+    /// must re-sort before sinks observe the delta.
+    struct UnsortedEngine(MoCubingEngine);
+    impl CubingEngine for UnsortedEngine {
+        fn algorithm(&self) -> regcube_core::result::Algorithm {
+            self.0.algorithm()
+        }
+        fn ingest_unit(
+            &mut self,
+            tuples: &[regcube_core::MTuple],
+        ) -> regcube_core::Result<UnitDelta> {
+            let mut delta = self.0.ingest_unit(tuples)?;
+            delta.appeared.reverse();
+            delta.cleared.reverse();
+            Ok(delta)
+        }
+        fn result(&self) -> &regcube_core::CubeResult {
+            self.0.result()
+        }
+        fn stats(&self) -> &regcube_core::RunStats {
+            self.0.stats()
+        }
+    }
+
+    #[test]
+    fn unsorted_foreign_engines_still_deliver_sorted_deltas() {
+        use regcube_core::alarm::{AlarmContext, AlarmSink, SharedSink};
+        use regcube_core::CoreError;
+
+        /// Records what it observes; fails if a delta arrives unsorted.
+        struct SortAsserting {
+            deltas_seen: usize,
+        }
+        impl AlarmSink for SortAsserting {
+            fn name(&self) -> &'static str {
+                "sort-asserting"
+            }
+            fn on_unit(
+                &mut self,
+                delta: &UnitDelta,
+                _ctx: &AlarmContext<'_>,
+            ) -> regcube_core::Result<()> {
+                for list in [&delta.appeared, &delta.cleared] {
+                    if list.windows(2).any(|w| w[0] > w[1]) {
+                        return Err(CoreError::BadInput {
+                            detail: "unsorted delta reached a sink".into(),
+                        });
+                    }
+                }
+                self.deltas_seen += 1;
+                Ok(())
+            }
+        }
+
+        let sink = regcube_core::alarm::shared(SortAsserting { deltas_seen: 0 });
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let mut e = EngineConfig::new(
+            schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .with_policy(ExceptionPolicy::slope_threshold(0.5))
+        .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
+        .with_ticks_per_unit(4)
+        .with_sink(sink.clone() as SharedSink)
+        .build_with(|schema, layers, policy| {
+            MoCubingEngine::transient(schema, layers, policy).map(UnsortedEngine)
+        })
+        .unwrap();
+
+        for unit in 0..3 {
+            feed_unit(&mut e, unit, if unit == 1 { 2.0 } else { 0.1 });
+            let report = e.close_unit().unwrap();
+            assert!(report.sink_errors.is_empty(), "unit {unit}");
+            // The report's delta is the re-sorted one, too.
+            let delta = report.cube_delta.unwrap();
+            for list in [&delta.appeared, &delta.cleared] {
+                assert!(list.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+        assert_eq!(sink.lock().unwrap().deltas_seen, 3);
+    }
+
+    #[test]
+    fn failing_sinks_surface_once_without_poisoning_the_unit() {
+        use regcube_core::alarm::{self, AlarmContext, AlarmLog, AlarmSink, SharedSink};
+        use regcube_core::CoreError;
+
+        struct AlwaysFails;
+        impl AlarmSink for AlwaysFails {
+            fn name(&self) -> &'static str {
+                "always-fails"
+            }
+            fn on_unit(&mut self, _: &UnitDelta, _: &AlarmContext<'_>) -> regcube_core::Result<()> {
+                Err(CoreError::BadInput {
+                    detail: "broken sink".into(),
+                })
+            }
+        }
+
+        let log = alarm::shared(AlarmLog::new(8));
+        let mut e = engine(ExceptionPolicy::slope_threshold(1.0));
+        e.add_sink(alarm::shared(AlwaysFails) as SharedSink);
+        e.add_sink(log.clone() as SharedSink);
+
+        feed_unit(&mut e, 0, 2.0);
+        let report = e.close_unit().unwrap();
+        // The unit succeeded: delta applied, alarms raised, one error.
+        assert_eq!(report.alarms.len(), 1);
+        assert!(report.cube_delta.is_some());
+        assert_eq!(report.sink_errors.len(), 1);
+        assert_eq!(report.sink_errors[0].sink, "always-fails");
+        assert!(report.sink_errors[0].message.contains("broken sink"));
+        // Later sinks in the set still ran.
+        assert!(log.lock().unwrap().opened_total() > 0);
+        // The engine keeps working (and keeps surfacing one error per unit).
+        feed_unit(&mut e, 1, 0.1);
+        let r1 = e.close_unit().unwrap();
+        assert_eq!(r1.sink_errors.len(), 1);
+        assert!(e.cube().is_ok());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Network-traffic monitoring with **popular-path cubing** and an
 //! mpsc-channel pipeline: a producer thread replays flow records,
 //! the engine closes one m-layer unit per simulated minute-of-16-ticks,
-//! and the consumer inspects alarms and path cuboids.
+//! and the consumer reacts through **alarm sinks** — an episode log, a
+//! flap/persistence escalator and a running dashboard fed one
+//! `UnitDelta` per minute — instead of rescanning cube layers.
 //!
 //! Dimensions: `pop` (point of presence: region > router) and `proto`
 //! (class > protocol). A DDoS-like ramp hits one router's UDP traffic.
@@ -10,6 +12,7 @@
 //! cargo run --example network_monitor
 //! ```
 
+use regcube::core::alarm::{self, AlarmLog, DashboardSummary, SharedSink, ThresholdEscalator};
 use regcube::core::result::Algorithm;
 use regcube::olap::Dimension;
 use regcube::prelude::*;
@@ -37,12 +40,24 @@ fn main() {
     let o_layer = CuboidSpec::new(vec![1, 0]); // (region, *)
     let ticks_per_unit = 16usize;
 
+    // The reaction layer: all three sinks consume the per-minute
+    // UnitDelta; none of them ever rescans the o-layer or the
+    // exception stores.
+    let log = alarm::shared(AlarmLog::new(256));
+    let escalator = alarm::shared(ThresholdEscalator::new(2, 4, 8));
+    let dashboard = alarm::shared(DashboardSummary::new());
+
     let engine = Arc::new(Mutex::new(
-        regcube::stream::online::EngineConfig::new(schema, o_layer.clone(), m_layer)
+        regcube::stream::online::EngineConfig::new(schema, o_layer, m_layer)
             .with_policy(ExceptionPolicy::slope_threshold(4.0))
             .with_tilt(TiltSpec::new(vec![("minute", 4), ("5-min", 12), ("hour", 24)]).unwrap())
             .with_ticks_per_unit(ticks_per_unit)
             .with_algorithm(Algorithm::PopularPath)
+            .with_sinks([
+                log.clone() as SharedSink,
+                escalator.clone() as SharedSink,
+                dashboard.clone() as SharedSink,
+            ])
             .build()
             .unwrap(),
     ));
@@ -89,26 +104,56 @@ fn main() {
         }
     }
 
-    let engine = engine.lock().unwrap();
-    let cube = engine.cube().unwrap();
+    // ---- The sink-driven view: no layer was rescanned to build this ------
+    let dashboard = dashboard.lock().unwrap();
     println!(
-        "\nPopular path retained in full ({} cuboids):",
-        cube.path_tables().len()
+        "\nDashboard after {} minutes: {} active exception cells",
+        dashboard.units_seen(),
+        dashboard.active_cells()
     );
-    let mut path: Vec<_> = cube.path_tables().iter().collect();
-    path.sort_by_key(|(c, _)| c.total_depth());
-    for (cuboid, table) in path {
-        println!("  {cuboid}: {} cells", table.len());
+    for (depth, count) in dashboard.depth_counts() {
+        println!("  depth {depth}: {count} active cells");
     }
-    println!(
-        "exceptions retained between the layers: {}",
-        cube.total_exception_cells()
-    );
+    println!("hottest cells by residual score at raise:");
+    for (cuboid, cell, score) in dashboard.hottest(3) {
+        println!("  {cuboid} {cell}  score {score:.1}");
+    }
 
-    // Drill the hot region down to the attacking router/protocol.
-    if let Some((key, _)) = cube.exceptional_o_cells().first() {
-        println!("\nexception supporters under region cell {key}:");
-        for hit in engine.drill_descendants(&o_layer, key).unwrap() {
+    let log = log.lock().unwrap();
+    println!(
+        "\nAlarm log: {} episodes opened, {} still open",
+        log.opened_total(),
+        log.open_count()
+    );
+    for episode in log.open_episodes() {
+        println!("  OPEN  {episode}");
+    }
+    for episode in log.closed_episodes() {
+        println!("  ended {episode}");
+    }
+
+    let escalator = escalator.lock().unwrap();
+    for esc in escalator.escalations() {
+        println!(
+            "ESCALATED minute {}: {} {} ({:?})",
+            esc.unit, esc.cuboid, esc.cell, esc.reason
+        );
+    }
+
+    // Drill the hottest episode (ranked by live peak score, which
+    // tracks the ramping attack) down to the attacking streams.
+    let engine = engine.lock().unwrap();
+    let mut open = log.open_episodes();
+    open.sort_by(|a, b| b.peak_score.total_cmp(&a.peak_score));
+    if let Some(episode) = open.first() {
+        println!(
+            "\nexception supporters under {} {}:",
+            episode.cuboid, episode.cell
+        );
+        for hit in engine
+            .drill_descendants(&episode.cuboid, &episode.cell)
+            .unwrap()
+        {
             println!(
                 "  {} {} slope {:.1}",
                 hit.cuboid,

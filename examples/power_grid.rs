@@ -5,12 +5,15 @@
 //! * m-layer: `(user-group, street-block)` per quarter of an hour,
 //! * o-layer: `(*, city)` per quarter,
 //!
-//! with exception alarms and exception-guided drill-down.
+//! with exception alarms, a **sink-driven** episode log / dashboard fed
+//! one `UnitDelta` per quarter (no per-unit layer rescans), and
+//! exception-guided drill-down.
 //!
 //! ```text
 //! cargo run --example power_grid
 //! ```
 
+use regcube::core::alarm::{self, AlarmLog, DashboardSummary, SharedSink, ThresholdEscalator};
 use regcube::core::result::Algorithm;
 use regcube::olap::Dimension;
 use regcube::prelude::*;
@@ -44,13 +47,23 @@ fn main() {
     // The primitive stream layer: (individual-user, street-address).
     let primitive = CuboidSpec::new(vec![2, 3]);
 
+    // Reaction layer: episode log, persistence/flap escalator, dashboard.
+    let log = alarm::shared(AlarmLog::new(128));
+    let escalator = alarm::shared(ThresholdEscalator::new(2, 4, 8));
+    let dashboard = alarm::shared(DashboardSummary::new());
+
     let minutes_per_quarter = 15usize;
-    let mut engine = regcube::stream::online::EngineConfig::new(schema, o_layer.clone(), m_layer)
+    let mut engine = regcube::stream::online::EngineConfig::new(schema, o_layer, m_layer)
         .with_primitive(primitive)
         .with_policy(ExceptionPolicy::slope_threshold(6.0).with_ref_mode(RefMode::OwnSlope))
         .with_tilt(TiltSpec::paper_figure4())
         .with_ticks_per_unit(minutes_per_quarter)
         .with_algorithm(Algorithm::MoCubing)
+        .with_sinks([
+            log.clone() as SharedSink,
+            escalator.clone() as SharedSink,
+            dashboard.clone() as SharedSink,
+        ])
         .build()
         .unwrap();
 
@@ -98,12 +111,39 @@ fn main() {
         }
     }
 
+    // ---- The sinks carry the reaction state — no rescans needed ----------
+    let dashboard = dashboard.lock().unwrap();
+    println!(
+        "\nDashboard after {} quarters: {} active exception cells",
+        dashboard.units_seen(),
+        dashboard.active_cells()
+    );
+    for (depth, count) in dashboard.depth_counts() {
+        println!("  depth {depth}: {count} active cells");
+    }
+
+    let log = log.lock().unwrap();
+    println!(
+        "Alarm log: {} episodes opened, {} open now",
+        log.opened_total(),
+        log.open_count()
+    );
+    for episode in log.open_episodes() {
+        println!("  OPEN {episode}");
+    }
+    let escalator = escalator.lock().unwrap();
+    for esc in escalator.escalations() {
+        println!(
+            "  ESCALATED quarter {}: {} {} ({:?})",
+            esc.unit, esc.cuboid, esc.cell, esc.reason
+        );
+    }
+
     // ---- Exception-guided drilling ---------------------------------------
-    println!("\nDrilling the hottest city down to its exception supporters:");
-    let cube = engine.cube().unwrap();
-    if let Some((key, measure)) = cube.exceptional_o_cells().first() {
-        println!("  o-layer {}: slope {:.2}", key, measure.slope());
-        for hit in engine.drill_descendants(&o_layer, key).unwrap() {
+    println!("\nDrilling the hottest exception down to its supporters:");
+    if let Some((cuboid, cell, score)) = dashboard.hottest(1).first() {
+        println!("  {cuboid} {cell}: score {score:.2}");
+        for hit in engine.drill_descendants(cuboid, cell).unwrap() {
             println!(
                 "    {} {} slope {:.2}",
                 hit.cuboid,

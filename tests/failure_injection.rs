@@ -147,6 +147,169 @@ fn tilt_frame_rejects_duplicate_and_ancient_pushes() {
 }
 
 #[test]
+fn nan_streams_never_open_alarm_episodes() {
+    use regcube::core::alarm::{self, AlarmLog, DashboardSummary, SharedSink};
+    // A broken sensor feeding NaN: the fits go NaN, the policy scores
+    // NaN as non-exceptional, and no sink ever opens an episode — even
+    // under the always-exceptional policy.
+    let log = alarm::shared(AlarmLog::new(16));
+    let dash = alarm::shared(DashboardSummary::new());
+    let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+    let mut engine = EngineConfig::new(
+        schema,
+        CuboidSpec::new(vec![0, 0]),
+        CuboidSpec::new(vec![2, 2]),
+    )
+    .with_ticks_per_unit(4)
+    .with_policy(ExceptionPolicy::always())
+    .with_sinks([log.clone() as SharedSink, dash.clone() as SharedSink])
+    .build()
+    .unwrap();
+    for unit in 0..2i64 {
+        for t in (unit * 4)..(unit * 4 + 4) {
+            engine
+                .ingest(&RawRecord::new(vec![0, 0], t, f64::NAN))
+                .unwrap();
+            engine.ingest(&RawRecord::new(vec![3, 3], t, 1.0)).unwrap();
+        }
+        let report = engine.close_unit().unwrap();
+        assert!(report.sink_errors.is_empty());
+    }
+    // Only the healthy stream's coverage opened episodes; no NaN cell
+    // is active anywhere.
+    let log = log.lock().unwrap();
+    for episode in log.open_episodes() {
+        let cube = engine.cube().unwrap();
+        let measure = cube.get(&episode.cuboid, &episode.cell).unwrap();
+        assert!(
+            measure.slope().is_finite(),
+            "NaN cell holds an episode: {episode}"
+        );
+        assert!(episode.peak_score.is_finite());
+    }
+    assert_eq!(dash.lock().unwrap().active_cells(), log.open_count() as u64);
+
+    // The sink-level guard, directly: a delta naming a cell the cube
+    // does not retain (score lookup fails -> NaN) must be suppressed.
+    let delta = regcube::core::UnitDelta {
+        unit: 9,
+        window: (0, 3),
+        opened_unit: true,
+        tuples: 1,
+        cells_touched: 1,
+        appeared: vec![(CuboidSpec::new(vec![1, 1]), CellKey::new(vec![3, 3]))],
+        cleared: vec![],
+    };
+    let cube = engine.cube().unwrap();
+    let ctx = regcube::core::AlarmContext::new(cube, &delta);
+    let mut fresh = AlarmLog::new(4);
+    regcube::core::AlarmSink::on_unit(&mut fresh, &delta, &ctx).unwrap();
+    assert_eq!(fresh.open_count(), 0, "unretained cell must not alarm");
+    assert_eq!(fresh.suppressed(), 1);
+}
+
+#[test]
+fn a_failing_sink_does_not_poison_the_engine() {
+    use regcube::core::alarm::{self, AlarmContext, AlarmLog, AlarmSink, SharedSink};
+    use regcube::core::{CoreError, UnitDelta};
+
+    struct Exploding;
+    impl AlarmSink for Exploding {
+        fn name(&self) -> &'static str {
+            "exploding"
+        }
+        fn on_unit(&mut self, _: &UnitDelta, _: &AlarmContext<'_>) -> Result<(), CoreError> {
+            Err(CoreError::BadInput {
+                detail: "observer crashed".into(),
+            })
+        }
+    }
+
+    let log = alarm::shared(AlarmLog::new(16));
+    let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+    let mut engine = EngineConfig::new(
+        schema,
+        CuboidSpec::new(vec![0, 0]),
+        CuboidSpec::new(vec![2, 2]),
+    )
+    .with_ticks_per_unit(4)
+    .with_policy(ExceptionPolicy::slope_threshold(0.5))
+    .with_sinks([
+        alarm::shared(Exploding) as SharedSink,
+        log.clone() as SharedSink,
+    ])
+    .build()
+    .unwrap();
+
+    for t in 0..4 {
+        engine
+            .ingest(&RawRecord::new(vec![0, 0], t, 2.0 * t as f64))
+            .unwrap();
+    }
+    let report = engine.close_unit().unwrap();
+    // The unit succeeded and the delta was applied before sinks ran:
+    // the cube is live, later sinks consumed the delta, and the error
+    // is surfaced exactly once, in this report.
+    assert_eq!(report.m_cells, 1);
+    assert!(engine.cube().is_ok());
+    assert!(log.lock().unwrap().open_count() > 0);
+    assert_eq!(report.sink_errors.len(), 1);
+    assert_eq!(report.sink_errors[0].sink, "exploding");
+    assert!(report.sink_errors[0].message.contains("observer crashed"));
+
+    // The engine (and the failing sink) keep going on the next unit.
+    for t in 4..8 {
+        engine.ingest(&RawRecord::new(vec![0, 0], t, 0.0)).unwrap();
+    }
+    let next = engine.close_unit().unwrap();
+    assert_eq!(next.sink_errors.len(), 1);
+    assert_eq!(next.m_cells, 1);
+}
+
+#[test]
+fn rollover_mid_episode_keeps_raised_at_stable() {
+    use regcube::core::alarm::{self, AlarmLog, SharedSink};
+    let log = alarm::shared(AlarmLog::new(16));
+    let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+    let mut engine = EngineConfig::new(
+        schema,
+        CuboidSpec::new(vec![0, 0]),
+        CuboidSpec::new(vec![2, 2]),
+    )
+    .with_ticks_per_unit(4)
+    .with_policy(ExceptionPolicy::slope_threshold(0.5))
+    .with_sinks([log.clone() as SharedSink])
+    .build()
+    .unwrap();
+
+    // Hot across three unit rollovers, then calm.
+    for unit in 0..4i64 {
+        let slope = if unit < 3 { 2.0 } else { 0.0 };
+        for t in (unit * 4)..(unit * 4 + 4) {
+            let v = 1.0 + slope * (t - unit * 4) as f64;
+            engine.ingest(&RawRecord::new(vec![0, 0], t, v)).unwrap();
+        }
+        engine.close_unit().unwrap();
+        let log = log.lock().unwrap();
+        if unit < 3 {
+            assert!(log.open_count() > 0, "unit {unit}");
+            for episode in log.open_episodes() {
+                assert_eq!(
+                    episode.raised_at, 0,
+                    "rollover must not restart the episode: {episode}"
+                );
+            }
+        }
+    }
+    let log = log.lock().unwrap();
+    assert_eq!(log.open_count(), 0, "the calm unit closed everything");
+    for episode in log.closed_episodes() {
+        assert_eq!(episode.raised_at, 0);
+        assert_eq!(episode.cleared_at, Some(3));
+    }
+}
+
+#[test]
 fn zero_and_single_member_schemas_work_end_to_end() {
     // The smallest legal cube: one dimension, one level, fanout 1 —
     // exactly one m-cell, lattice of 2 cuboids (m and apex o).
