@@ -7,12 +7,14 @@
 //! cargo run -p regcube-bench --release --bin figures -- all --json out.json
 //! ```
 
-use regcube_bench::experiments::{alarm, dims, fig10, fig8, fig9, incremental, scaling, tilt};
+use regcube_bench::experiments::{
+    alarm, columnar, dims, fig10, fig8, fig9, incremental, scaling, tilt,
+};
 use regcube_bench::report::{tables_to_json, Table};
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: figures [all|fig8|fig9|fig10|dims|tilt|incremental|scaling|alarm]... [--quick] [--json FILE]
+    "usage: figures [all|fig8|fig9|fig10|dims|tilt|incremental|scaling|alarm|columnar]... [--quick] [--json FILE]
 
   fig8         time & memory vs exception %        (D3L3C10T100K)
   fig9         time & memory vs m-layer size       (D3L3C10, 1% exceptions)
@@ -22,6 +24,7 @@ const USAGE: &str =
   incremental  online per-unit vs monolithic recomputation
   scaling      sharded cubing throughput at 1/2/4/8 shards
   alarm        delta-driven alarm sinks vs rescan consumer overhead
+  columnar     struct-of-arrays vs hash-map layout on the tier roll-up
   all          everything above
   --quick      shrunken datasets for smoke runs
   --json FILE  additionally write all tables as a JSON document";
@@ -59,6 +62,7 @@ fn main() -> ExitCode {
             "incremental",
             "scaling",
             "alarm",
+            "columnar",
         ];
     }
 
@@ -108,6 +112,11 @@ fn main() -> ExitCode {
                 eprintln!("[figures] running alarm ...");
                 let points = alarm::run(quick);
                 all_tables.extend(alarm::print(&points));
+            }
+            "columnar" => {
+                eprintln!("[figures] running columnar ...");
+                let points = columnar::run(quick);
+                all_tables.extend(columnar::print(&points));
             }
             other => {
                 eprintln!("unknown experiment: {other}\n{USAGE}");

@@ -11,7 +11,12 @@
 //!   [`experiments::fig10`] (time/space vs number of levels),
 //!   [`experiments::tilt`] (Example 3's 71-vs-35,136 compression),
 //!   [`experiments::incremental`] (Section 5's closing remark: per-unit
-//!   incremental recomputation vs full recomputation).
+//!   incremental recomputation vs full recomputation);
+//!   plus post-paper scale-out experiments:
+//!   [`experiments::scaling`] (sharded cubing throughput),
+//!   [`experiments::alarm`] (delta-driven sinks vs rescans) and
+//!   [`experiments::columnar`] (struct-of-arrays vs hash-map table
+//!   layout on the hot tier roll-up).
 //!
 //! Run everything with:
 //!

@@ -133,6 +133,52 @@ impl<'a> AlarmContext<'a> {
 /// A sink may fail ([`on_unit`](Self::on_unit) returns the crate error);
 /// dispatchers treat that as the sink's problem, not the engine's — the
 /// batch stays applied and the error is surfaced once to the caller.
+///
+/// ```
+/// use regcube_core::alarm::{AlarmContext, AlarmSink};
+/// use regcube_core::engine::{CubingEngine, MoCubingEngine, UnitDelta};
+/// use regcube_core::{CriticalLayers, ExceptionPolicy, MTuple};
+/// use regcube_olap::{CubeSchema, CuboidSpec};
+/// use regcube_regress::Isb;
+///
+/// // The smallest useful sink: count exception transitions.
+/// struct Counter {
+///     raised: usize,
+///     cleared: usize,
+/// }
+/// impl AlarmSink for Counter {
+///     fn name(&self) -> &'static str {
+///         "counter"
+///     }
+///     fn on_unit(
+///         &mut self,
+///         delta: &UnitDelta,
+///         _ctx: &AlarmContext<'_>,
+///     ) -> regcube_core::Result<()> {
+///         self.raised += delta.appeared.len();
+///         self.cleared += delta.cleared.len();
+///         Ok(())
+///     }
+/// }
+///
+/// let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+/// let layers = CriticalLayers::new(
+///     &schema,
+///     CuboidSpec::new(vec![0, 0]),
+///     CuboidSpec::new(vec![2, 2]),
+/// ).unwrap();
+/// let mut engine = MoCubingEngine::transient(
+///     schema,
+///     layers,
+///     ExceptionPolicy::slope_threshold(0.5),
+/// ).unwrap();
+/// let delta = engine
+///     .ingest_unit(&[MTuple::new(vec![0, 0], Isb::new(0, 9, 1.0, 0.9).unwrap())])
+///     .unwrap();
+/// let mut sink = Counter { raised: 0, cleared: 0 };
+/// sink.on_unit(&delta, &AlarmContext::new(engine.result(), &delta)).unwrap();
+/// assert!(sink.raised > 0 && sink.cleared == 0);
+/// ```
 pub trait AlarmSink: Send {
     /// A short static name identifying the sink in error reports.
     fn name(&self) -> &'static str {

@@ -46,7 +46,7 @@ use crate::measure::{merge_sibling, validate_tuples, MTuple};
 use crate::pool::WorkerPool;
 use crate::result::{Algorithm, CubeResult};
 use crate::stats::{MemoryAccountant, RunStats};
-use crate::table::{aggregate_from, table_bytes, CuboidTable};
+use crate::table::{aggregate_from, collect_exceptions, table_bytes, CuboidTable};
 use crate::Result;
 use regcube_olap::cell::{project_key, CellKey};
 use regcube_olap::fxhash::{FxHashMap, FxHashSet};
@@ -55,6 +55,36 @@ use regcube_olap::{CubeSchema, CuboidSpec, PopularPath};
 use regcube_regress::Isb;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The physical layout a cube's cell tables are computed over —
+/// selected per engine, orthogonal to the [`Algorithm`].
+///
+/// Both backends produce the same cube (the contract and golden suites
+/// pin it at shard counts 1, 2, 3 and 7); they differ in how the hot
+/// roll-up path touches memory. See `ARCHITECTURE.md` ("Choosing a
+/// backend") for trade-offs and the `columnar` bench experiment for
+/// measured numbers.
+///
+/// ```
+/// use regcube_core::engine::Backend;
+///
+/// // Row is the default; Columnar opts into the struct-of-arrays path.
+/// assert_eq!(Backend::default(), Backend::Row);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Hash-map row layout ([`CuboidTable`]): one `CellKey → Isb` entry
+    /// per cell. Cheap point updates; the default and the layout every
+    /// retained [`CubeResult`] exposes.
+    #[default]
+    Row,
+    /// Struct-of-arrays layout
+    /// ([`ColumnarTable`](crate::columnar::ColumnarTable)): a sorted
+    /// dense cell-id index plus one vector per ISB component. The
+    /// cache-friendly choice for the full-table tier roll-up
+    /// ([`crate::columnar::ColumnarCubingEngine`]).
+    Columnar,
+}
 
 /// What one [`CubingEngine::ingest_unit`] call changed.
 #[derive(Debug, Clone)]
@@ -103,11 +133,27 @@ impl UnitDelta {
     /// shard merge order. Every engine calls this before returning a
     /// delta; consumers can rely on the ordering. Public so external
     /// [`CubingEngine`] implementations can uphold the same sorted-delta
-    /// contract (the stream layer additionally re-sorts defensively
-    /// before fanning a delta out to alarm sinks).
+    /// contract.
+    ///
+    /// A delta that is already sorted is detected in one O(n) pass and
+    /// left untouched, so re-asserting the invariant on a conforming
+    /// delta is cheap — the stream layer uses exactly that to skip its
+    /// defensive re-sort for the built-in engines and only pay the sort
+    /// for foreign engines that violate the contract.
     pub fn sort_cells(&mut self) {
+        if self.is_sorted() {
+            return;
+        }
         self.appeared.sort_unstable();
         self.cleared.sort_unstable();
+    }
+
+    /// Whether `appeared`/`cleared` are sorted by `(cuboid, cell)` —
+    /// the invariant [`sort_cells`](Self::sort_cells) establishes and
+    /// every built-in engine guarantees on returned deltas.
+    pub fn is_sorted(&self) -> bool {
+        self.appeared.windows(2).all(|w| w[0] <= w[1])
+            && self.cleared.windows(2).all(|w| w[0] <= w[1])
     }
 }
 
@@ -117,11 +163,45 @@ impl UnitDelta {
 /// tuple batch at a time (see the module docs for the unit semantics),
 /// `result` exposes the materialized cube of the open unit and `stats`
 /// the work/memory accounting accumulated over that unit.
+///
+/// ```
+/// use regcube_core::engine::{CubingEngine, MoCubingEngine};
+/// use regcube_core::{CriticalLayers, ExceptionPolicy, MTuple};
+/// use regcube_olap::{CubeSchema, CuboidSpec};
+/// use regcube_regress::Isb;
+///
+/// let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+/// let layers = CriticalLayers::new(
+///     &schema,
+///     CuboidSpec::new(vec![0, 0]),   // o-layer: the apex
+///     CuboidSpec::new(vec![2, 2]),   // m-layer: the finest levels
+/// ).unwrap();
+/// let mut engine = MoCubingEngine::transient(
+///     schema,
+///     layers,
+///     ExceptionPolicy::slope_threshold(0.5),
+/// ).unwrap();
+///
+/// // One unit's batch: a hot stream and a quiet one.
+/// let delta = engine.ingest_unit(&[
+///     MTuple::new(vec![0, 0], Isb::new(0, 14, 1.0, 0.9).unwrap()),
+///     MTuple::new(vec![3, 3], Isb::new(0, 14, 1.0, 0.1).unwrap()),
+/// ]).unwrap();
+/// assert!(delta.opened_unit && delta.is_sorted());
+/// assert_eq!(engine.result().m_layer_cells(), 2);
+/// ```
 pub trait CubingEngine {
     /// Which algorithm the engine realizes.
     fn algorithm(&self) -> Algorithm;
 
     /// Folds one batch of m-layer tuples into the cube.
+    ///
+    /// **Sorted-delta contract**: the returned [`UnitDelta`] must have
+    /// `appeared`/`cleared` sorted by `(cuboid, cell)` — call
+    /// [`UnitDelta::sort_cells`] before returning. All built-in engines
+    /// guarantee this (and debug-assert it); the stream layer verifies
+    /// it in O(n) and only re-sorts deltas of foreign engines that
+    /// violate it.
     ///
     /// # Errors
     /// [`CoreError::BadInput`] for an empty or structurally invalid
@@ -191,11 +271,30 @@ pub(crate) fn batch_window(tuples: &[MTuple]) -> (i64, i64) {
     tuples[0].isb().interval()
 }
 
+/// Groups every cuboid strictly above the m-layer into depth *tiers*
+/// (bottom-up, same total depth per tier) — the roll-up order both the
+/// row and columnar backends walk.
+pub(crate) fn depth_tiers(layers: &CriticalLayers) -> Vec<Vec<CuboidSpec>> {
+    let m_spec = layers.lattice().m_layer();
+    let mut tiers: Vec<(u32, Vec<CuboidSpec>)> = Vec::new();
+    for cuboid in layers.lattice().bottom_up_order() {
+        if &cuboid == m_spec {
+            continue;
+        }
+        let depth = cuboid.total_depth();
+        match tiers.last_mut() {
+            Some((d, group)) if *d == depth => group.push(cuboid),
+            _ => tiers.push((depth, vec![cuboid])),
+        }
+    }
+    tiers.into_iter().map(|(_, group)| group).collect()
+}
+
 /// Folds each tuple's measure into the cell of `cuboid` its m-layer ids
 /// project to — the one incremental merge both engines share (exact by
 /// Theorem 3.2's linearity). Returns the touched keys and how many cells
 /// the fold created.
-fn fold_tuples_into(
+pub(crate) fn fold_tuples_into(
     schema: &CubeSchema,
     m_layer: &CuboidSpec,
     cuboid: &CuboidSpec,
@@ -391,24 +490,11 @@ impl MoCubingEngine {
         let m_spec = self.layers.lattice().m_layer().clone();
         let o_spec = self.layers.lattice().o_layer().clone();
 
-        // Group cuboids by total depth, descending.
-        let mut tiers: Vec<(u32, Vec<CuboidSpec>)> = Vec::new();
-        for cuboid in self.layers.lattice().bottom_up_order() {
-            if cuboid == m_spec {
-                continue;
-            }
-            let depth = cuboid.total_depth();
-            match tiers.last_mut() {
-                Some((d, group)) if *d == depth => group.push(cuboid),
-                _ => tiers.push((depth, vec![cuboid])),
-            }
-        }
-
         let mut o_table = CuboidTable::default();
         let mut exceptions: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
         // Full tables of the previous tier (the aggregation sources).
         let mut cache: FxHashMap<CuboidSpec, Arc<CuboidTable>> = FxHashMap::default();
-        for (_, tier) in tiers {
+        for tier in depth_tiers(&self.layers) {
             // Pick each cuboid's aggregation source first (the choice
             // needs the whole previous tier), then aggregate the tier.
             let plans: Vec<TierPlan> = tier
@@ -440,12 +526,7 @@ impl MoCubingEngine {
                     o_table = full;
                     continue;
                 }
-                let mut exc = CuboidTable::default();
-                for (key, isb) in &full {
-                    if self.policy.is_exception(&cuboid, isb) {
-                        exc.insert(key.clone(), *isb);
-                    }
-                }
+                let exc = collect_exceptions(&self.policy, &cuboid, &full);
                 if !exc.is_empty() {
                     self.mem.add(table_bytes(&exc, dims));
                     exceptions.insert(cuboid.clone(), exc);
@@ -649,7 +730,7 @@ impl MoCubingEngine {
 }
 
 /// Total analytical bytes of a result's exception stores.
-fn exception_bytes(result: &CubeResult, dims: usize) -> usize {
+pub(crate) fn exception_bytes(result: &CubeResult, dims: usize) -> usize {
     result
         .exceptions_map()
         .values()
@@ -700,6 +781,7 @@ impl CubingEngine for MoCubingEngine {
         }
         delta.unit = self.units_opened.saturating_sub(1);
         delta.sort_cells();
+        debug_assert!(delta.is_sorted());
         self.stats.elapsed += started.elapsed();
         self.refresh_stats();
         Ok(delta)
@@ -1096,6 +1178,7 @@ impl CubingEngine for PopularPathEngine {
         delta.appeared = after.difference(&before).cloned().collect();
         delta.cleared = before.difference(&after).cloned().collect();
         delta.sort_cells();
+        debug_assert!(delta.is_sorted());
         self.stats.elapsed += started.elapsed();
         self.refresh_stats();
         Ok(delta)

@@ -37,6 +37,16 @@
 //! Algorithm 1 retains a superset of Algorithm 2's exceptions (the paper's
 //! footnote 7), which the cross-algorithm tests in `tests/` verify.
 //!
+//! Beyond the paper, the crate scales the same contract out: both
+//! algorithms run behind the [`engine::CubingEngine`] trait, so they
+//! compose with hash-partitioned parallel cubing ([`shard`]), a
+//! worker-pool tier roll-up ([`pool`]), streaming exception consumers
+//! ([`alarm`]) and a choice of physical table layout — the row
+//! (hash-map) default or the struct-of-arrays [`columnar`] backend,
+//! selected via [`engine::Backend`]. The repository-level
+//! `ARCHITECTURE.md` maps every paper section to its module and
+//! documents how to add further backends.
+//!
 //! ```
 //! use regcube_core::prelude::*;
 //! use regcube_olap::{CubeSchema, CuboidSpec};
@@ -67,6 +77,7 @@
 #![forbid(unsafe_code)]
 
 pub mod alarm;
+pub mod columnar;
 pub mod cube;
 pub mod drill;
 pub mod engine;
@@ -87,8 +98,9 @@ pub mod stats;
 pub mod table;
 
 pub use alarm::{AlarmContext, AlarmLog, AlarmSink, DashboardSummary, SinkSet, ThresholdEscalator};
+pub use columnar::{ColumnarCubingEngine, ColumnarTable};
 pub use cube::RegressionCube;
-pub use engine::{CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
+pub use engine::{Backend, CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
 pub use error::CoreError;
 pub use exception::{ExceptionPolicy, RefMode};
 pub use layers::CriticalLayers;
@@ -107,8 +119,9 @@ pub mod prelude {
         AlarmContext, AlarmLog, AlarmSink, DashboardSummary, Episode, Escalation, SinkSet,
         ThresholdEscalator,
     };
+    pub use crate::columnar::ColumnarCubingEngine;
     pub use crate::cube::RegressionCube;
-    pub use crate::engine::{CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
+    pub use crate::engine::{Backend, CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
     pub use crate::exception::{ExceptionPolicy, RefMode};
     pub use crate::layers::CriticalLayers;
     pub use crate::measure::MTuple;

@@ -14,7 +14,7 @@
 //! sets here are identical to Algorithm 1's).
 //!
 //! Since the engine refactor both steps live in
-//! [`MoCubingEngine`](crate::engine::MoCubingEngine), which additionally
+//! [`MoCubingEngine`], which additionally
 //! keeps the full tables alive so same-window batches can merge
 //! incrementally; [`compute`] is the batch wrapper that ingests one unit
 //! and drops the working state, retaining exactly critical layers +

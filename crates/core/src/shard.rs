@@ -155,6 +155,34 @@ impl ShardedEngine<PopularPathEngine> {
     }
 }
 
+impl ShardedEngine<crate::columnar::ColumnarCubingEngine> {
+    /// Sharded Algorithm 1 on the columnar backend
+    /// ([`crate::columnar::ColumnarCubingEngine`]). The columnar engine
+    /// keeps no between-layer tables across batches, so with more than
+    /// one shard the inner engines run under the always-retain fallback
+    /// (their exception stores carry every computed cell to the merge)
+    /// and the merged cube is screened with the real policy — identical
+    /// to the row backend at every shard count, pinned by the contract
+    /// and golden suites.
+    ///
+    /// # Errors
+    /// Construction errors of the inner engines.
+    pub fn columnar(
+        schema: CubeSchema,
+        layers: CriticalLayers,
+        policy: ExceptionPolicy,
+        shards: usize,
+    ) -> Result<Self> {
+        Self::with_factory(
+            schema,
+            layers,
+            policy,
+            shards,
+            crate::columnar::ColumnarCubingEngine::new,
+        )
+    }
+}
+
 impl<E: CubingEngine + Send + Sync + 'static> ShardedEngine<E> {
     /// Builds a sharded engine over `shards` inner engines produced by
     /// `make` (clamped to at least 1).

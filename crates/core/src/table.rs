@@ -1,22 +1,137 @@
-//! Cuboid tables: hash maps from cell keys to measures, plus the shared
-//! group-by-projection aggregation primitive both algorithms use.
+//! Cuboid tables behind one storage seam.
+//!
+//! A cuboid's cell store can be laid out two ways: the row-oriented
+//! [`CuboidTable`] (a hash map from [`CellKey`] to [`Isb`] — cheap point
+//! updates, the default) and the struct-of-arrays
+//! [`ColumnarTable`](crate::columnar::ColumnarTable) (sorted dense
+//! cell-id index plus one vector per ISB component — the cache-friendly
+//! layout of the hot roll-up path). The [`TableStorage`] trait is the
+//! seam between them: the group-by-projection aggregation
+//! ([`aggregate_into`]) and the exception screen
+//! ([`collect_exceptions`]) are written once against the trait, so both
+//! layouts share a single merge/exception code path and a new layout
+//! only has to implement the trait.
+//!
+//! ```
+//! use regcube_core::table::{aggregate_into, CuboidTable, TableStorage};
+//! use regcube_olap::cell::CellKey;
+//! use regcube_olap::{CubeSchema, CuboidSpec};
+//! use regcube_regress::Isb;
+//!
+//! let schema = CubeSchema::synthetic(2, 2, 3).unwrap();
+//! let fine = CuboidSpec::new(vec![2, 2]);
+//! let mut table = CuboidTable::default();
+//! table.merge_row(&[0, 1], &Isb::new(0, 9, 1.0, 0.5).unwrap()).unwrap();
+//! table.merge_row(&[1, 1], &Isb::new(0, 9, 1.0, 0.25).unwrap()).unwrap();
+//!
+//! // Roll both cells up to the apex: their ISBs merge under Theorem 3.2.
+//! let apex = CuboidSpec::new(vec![0, 0]);
+//! let mut out = CuboidTable::default();
+//! let rows = aggregate_into(&schema, &fine, &table, &apex, &mut out, None).unwrap();
+//! assert_eq!((rows, out.len()), (2, 1));
+//! assert_eq!(out[&CellKey::new(vec![0, 0])].slope(), 0.75);
+//! ```
 
+use crate::exception::ExceptionPolicy;
 use crate::measure::merge_sibling;
 use crate::Result;
-use regcube_olap::cell::{project_key, CellKey};
+use regcube_olap::cell::CellKey;
 use regcube_olap::fxhash::FxHashMap;
 use regcube_olap::{CubeSchema, CuboidSpec};
 use regcube_regress::Isb;
 
-/// The cell store of one cuboid.
+/// The row-oriented cell store of one cuboid: a hash map from cell keys
+/// to measures.
 pub type CuboidTable = FxHashMap<CellKey, Isb>;
 
 /// A predicate over projected target-cell coordinates, deciding which
 /// cells an aggregation materializes (Algorithm 2's drilling filter).
 pub type CellFilter<'a> = &'a dyn Fn(&[u32]) -> bool;
 
-/// Approximate retained bytes of a table (keys + measures + map overhead),
-/// used by the analytical memory accounting in [`crate::stats`].
+/// One cuboid's cell store, abstracted over the physical layout.
+///
+/// The contract mirrors how the cubing algorithms consume tables:
+/// rows are *merged in* one at a time under Theorem 3.2
+/// ([`merge_row`](Self::merge_row)), [`finish`](Self::finish) is called
+/// once after a batch of merges (layouts that stage appends compact
+/// here; eager layouts no-op), and reads
+/// ([`len`](Self::len)/[`try_for_each_cell`](Self::try_for_each_cell))
+/// are only made on a finished table.
+pub trait TableStorage {
+    /// Number of materialized cells. Only meaningful on a finished
+    /// table (after [`finish`](Self::finish)).
+    fn len(&self) -> usize;
+
+    /// Whether the (finished) table has no cells.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Folds one row into the cell at `ids`, creating it if absent and
+    /// merging under Theorem 3.2 otherwise.
+    ///
+    /// # Errors
+    /// Measure merge failures (interval mismatches — impossible for
+    /// tables built from one validated tuple window).
+    fn merge_row(&mut self, ids: &[u32], isb: &Isb) -> Result<()>;
+
+    /// Compacts staged rows after a batch of [`merge_row`](Self::merge_row)
+    /// calls. Layouts that merge eagerly (the hash map) no-op.
+    ///
+    /// # Errors
+    /// Deferred merge failures from staged duplicate rows.
+    fn finish(&mut self) -> Result<()>;
+
+    /// Visits every cell of a finished table in the layout's natural
+    /// order (hash order for rows, ascending cell id — i.e. sorted key
+    /// order — for columns), stopping at the first error.
+    ///
+    /// # Errors
+    /// Whatever `f` returns.
+    fn try_for_each_cell<F: FnMut(&[u32], &Isb) -> Result<()>>(&self, f: F) -> Result<()>;
+
+    /// Approximate retained bytes of the table (keys/index + measures +
+    /// container overhead), for the analytical accounting in
+    /// [`crate::stats`].
+    fn approx_bytes(&self, num_dims: usize) -> usize;
+}
+
+impl TableStorage for CuboidTable {
+    fn len(&self) -> usize {
+        FxHashMap::len(self)
+    }
+
+    fn merge_row(&mut self, ids: &[u32], isb: &Isb) -> Result<()> {
+        // Probing by slice first keeps the hot hit path allocation-free;
+        // only a genuinely new cell pays for boxing the key.
+        match self.get_mut(ids) {
+            Some(acc) => merge_sibling(acc, isb),
+            None => {
+                self.insert(CellKey::new(ids.to_vec()), *isb);
+                Ok(())
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn try_for_each_cell<F: FnMut(&[u32], &Isb) -> Result<()>>(&self, mut f: F) -> Result<()> {
+        for (key, isb) in self.iter() {
+            f(key.ids(), isb)?;
+        }
+        Ok(())
+    }
+
+    fn approx_bytes(&self, num_dims: usize) -> usize {
+        table_bytes(self, num_dims)
+    }
+}
+
+/// Approximate retained bytes of a row table (keys + measures + map
+/// overhead), used by the analytical memory accounting in
+/// [`crate::stats`].
 pub fn table_bytes(table: &CuboidTable, num_dims: usize) -> usize {
     // CellKey: boxed slice header + ids; Isb: 4 scalars; ~1.4x map slack.
     let per_entry = std::mem::size_of::<CellKey>()
@@ -25,18 +140,127 @@ pub fn table_bytes(table: &CuboidTable, num_dims: usize) -> usize {
     (table.len() * per_entry * 14) / 10
 }
 
-/// Aggregates `target` from a (descendant) `source` table by projecting
-/// every source cell key to the target cuboid and merging collisions under
-/// Theorem 3.2. `filter` decides which *target* cells to materialize —
-/// `None` computes every cell (Algorithm 1), `Some(pred)` computes only
+/// The largest per-dimension cardinality [`Projector`] materializes as
+/// a lookup table; beyond it the projection falls back to per-row
+/// hierarchy walks (bounding the table at 4 MiB per dimension).
+const PROJECTOR_LUT_MAX: u32 = 1 << 20;
+
+/// How one dimension of a [`Projector`] resolves ancestors.
+enum DimProj<'a> {
+    /// Source and target level coincide: the member is its own ancestor.
+    Identity,
+    /// `lut[member]` is the ancestor at the target level.
+    Lut(Vec<u32>),
+    /// Per-row hierarchy walk (huge cardinalities only).
+    Walk {
+        hierarchy: &'a regcube_olap::Hierarchy,
+        from: u8,
+        to: u8,
+    },
+}
+
+/// Per-dimension ancestor lookup tables for one `source → target`
+/// cuboid projection: `lut[d][member]` is the member's ancestor at the
+/// target level. Built once per aggregation (O(Σ cardinalities)), so
+/// the per-row projection is a plain indexed load instead of a
+/// hierarchy walk.
+pub struct Projector<'a> {
+    dims: Vec<DimProj<'a>>,
+}
+
+impl<'a> Projector<'a> {
+    /// Builds the lookup tables for projecting `source`-cuboid cells to
+    /// the (ancestor-or-equal) `target` cuboid.
+    pub fn new(schema: &'a CubeSchema, source: &CuboidSpec, target: &CuboidSpec) -> Self {
+        let dims = (0..schema.num_dims())
+            .map(|d| {
+                let hierarchy = schema.dims()[d].hierarchy();
+                let (from, to) = (source.level(d), target.level(d));
+                let card = hierarchy.cardinality(from);
+                if from == to {
+                    DimProj::Identity
+                } else if card <= PROJECTOR_LUT_MAX {
+                    DimProj::Lut(
+                        (0..card)
+                            .map(|m| hierarchy.ancestor_unchecked(from, m, to))
+                            .collect(),
+                    )
+                } else {
+                    DimProj::Walk {
+                        hierarchy,
+                        from,
+                        to,
+                    }
+                }
+            })
+            .collect();
+        Projector { dims }
+    }
+
+    /// Projects one source key into `out` (same arity as the schema).
+    #[inline]
+    pub fn project_into(&self, ids: &[u32], out: &mut [u32]) {
+        for ((&id, slot), dim) in ids.iter().zip(out.iter_mut()).zip(&self.dims) {
+            *slot = match dim {
+                DimProj::Identity => id,
+                DimProj::Lut(lut) => lut[id as usize],
+                DimProj::Walk {
+                    hierarchy,
+                    from,
+                    to,
+                } => hierarchy.ancestor_unchecked(*from, id, *to),
+            };
+        }
+    }
+}
+
+/// Aggregates `source` into `target` by projecting every source cell to
+/// the target cuboid and merging collisions under Theorem 3.2 — the one
+/// group-by-projection primitive both algorithms and both storage
+/// layouts share. `filter` decides which *target* cells to materialize:
+/// `None` computes every cell (Algorithm 1), `Some(pred)` only
 /// qualifying cells (Algorithm 2's drilling).
 ///
-/// Returns the new table and the number of *source rows* folded (the work
-/// measure reported in run statistics).
+/// Returns the number of *source rows* folded (the work measure
+/// reported in run statistics); the target is
+/// [`finish`](TableStorage::finish)ed before returning.
 ///
 /// # Errors
 /// Propagates measure merge failures (interval mismatches — impossible
 /// for tables built from one validated tuple window).
+pub fn aggregate_into<S: TableStorage, T: TableStorage>(
+    schema: &CubeSchema,
+    source_cuboid: &CuboidSpec,
+    source: &S,
+    target_cuboid: &CuboidSpec,
+    target: &mut T,
+    filter: Option<CellFilter<'_>>,
+) -> Result<u64> {
+    let projector = Projector::new(schema, source_cuboid, target_cuboid);
+    let mut projected = vec![0u32; schema.num_dims()];
+    let mut rows: u64 = 0;
+    source.try_for_each_cell(|ids, isb| {
+        projector.project_into(ids, &mut projected);
+        if let Some(pred) = filter {
+            if !pred(&projected) {
+                return Ok(());
+            }
+        }
+        rows += 1;
+        target.merge_row(&projected, isb)
+    })?;
+    target.finish()?;
+    Ok(rows)
+}
+
+/// Row-layout convenience over [`aggregate_into`]: aggregates a new
+/// [`CuboidTable`] for `target_cuboid` from a (descendant) `source`
+/// table.
+///
+/// Returns the new table and the number of source rows folded.
+///
+/// # Errors
+/// See [`aggregate_into`].
 pub fn aggregate_from(
     schema: &CubeSchema,
     source_cuboid: &CuboidSpec,
@@ -45,30 +269,42 @@ pub fn aggregate_from(
     filter: Option<CellFilter<'_>>,
 ) -> Result<(CuboidTable, u64)> {
     let mut out = CuboidTable::default();
-    let mut rows: u64 = 0;
-    for (key, isb) in source {
-        let projected = project_key(schema, source_cuboid, key.ids(), target_cuboid);
-        if let Some(pred) = filter {
-            if !pred(&projected) {
-                continue;
-            }
-        }
-        rows += 1;
-        match out.entry(CellKey::new(projected)) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                merge_sibling(e.get_mut(), isb)?;
-            }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(*isb);
-            }
-        }
-    }
+    let rows = aggregate_into(
+        schema,
+        source_cuboid,
+        source,
+        target_cuboid,
+        &mut out,
+        filter,
+    )?;
     Ok((out, rows))
+}
+
+/// Screens a finished full table against the exception policy and
+/// returns the exceptional cells as a row-layout store (exception sets
+/// are small, so the retained form is always row-oriented) — the one
+/// screening pass every backend shares.
+pub fn collect_exceptions<S: TableStorage>(
+    policy: &ExceptionPolicy,
+    cuboid: &CuboidSpec,
+    table: &S,
+) -> CuboidTable {
+    let mut exc = CuboidTable::default();
+    table
+        .try_for_each_cell(|ids, isb| {
+            if policy.is_exception(cuboid, isb) {
+                exc.insert(CellKey::new(ids.to_vec()), *isb);
+            }
+            Ok(())
+        })
+        .expect("screening never fails");
+    exc
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use regcube_olap::cell::project_key;
     use regcube_regress::TimeSeries;
 
     fn isb(slope: f64) -> Isb {
@@ -135,5 +371,47 @@ mod tests {
         let one = table_bytes(&t, 3);
         t.insert(CellKey::new(vec![1, 1, 1]), isb(0.0));
         assert_eq!(table_bytes(&t, 3), 2 * one);
+    }
+
+    #[test]
+    fn projector_matches_project_key() {
+        let s = schema();
+        let fine = CuboidSpec::new(vec![2, 1]);
+        for coarse in [
+            CuboidSpec::new(vec![1, 0]),
+            CuboidSpec::new(vec![0, 1]),
+            CuboidSpec::new(vec![2, 1]),
+        ] {
+            let p = Projector::new(&s, &fine, &coarse);
+            let mut out = vec![0u32; 2];
+            for a in 0..9u32 {
+                for b in 0..3u32 {
+                    p.project_into(&[a, b], &mut out);
+                    assert_eq!(out, project_key(&s, &fine, &[a, b], &coarse), "({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_row_hits_without_allocating_a_key() {
+        let mut t = CuboidTable::default();
+        t.merge_row(&[1, 2], &isb(0.1)).unwrap();
+        t.merge_row(&[1, 2], &isb(0.2)).unwrap();
+        t.finish().unwrap();
+        assert_eq!(TableStorage::len(&t), 1);
+        let m = t.get([1u32, 2].as_slice()).unwrap();
+        assert!((m.slope() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collect_exceptions_screens_with_the_policy() {
+        let cuboid = CuboidSpec::new(vec![1, 1]);
+        let mut t = CuboidTable::default();
+        t.insert(CellKey::new(vec![0, 0]), isb(0.9));
+        t.insert(CellKey::new(vec![1, 1]), isb(0.1));
+        let exc = collect_exceptions(&ExceptionPolicy::slope_threshold(0.5), &cuboid, &t);
+        assert_eq!(exc.len(), 1);
+        assert!(exc.contains_key(&CellKey::new(vec![0, 0])));
     }
 }

@@ -14,6 +14,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use regcube_core::columnar::ColumnarCubingEngine;
 use regcube_core::engine::{CubingEngine, MoCubingEngine, PopularPathEngine};
 use regcube_core::shard::ShardedEngine;
 use regcube_core::table::CuboidTable;
@@ -148,6 +149,91 @@ fn popular_path_engine_incremental_ingestion_matches_batch_compute() {
 }
 
 #[test]
+fn columnar_engine_incremental_ingestion_matches_batch_compute() {
+    // Law 1 for the columnar backend: the struct-of-arrays roll-up is a
+    // drop-in for Algorithm 1 under every batching.
+    for (seed, chunk) in [(7u64, 1usize), (8, 7), (9, 50)] {
+        let (schema, layers, tuples) = random_dataset(seed, 120);
+        let policy = ExceptionPolicy::slope_threshold(0.3);
+        let reference = mo_cubing::compute(&schema, &layers, &policy, &tuples).unwrap();
+        let engine = ColumnarCubingEngine::new(schema, layers, policy).unwrap();
+        assert_incremental_matches_batch(
+            &format!("columnar seed {seed} chunk {chunk}"),
+            engine,
+            &tuples,
+            chunk,
+            &reference,
+        );
+    }
+}
+
+#[test]
+fn columnar_matches_row_at_every_shard_count() {
+    // The layout pin: sharded columnar cubing equals the unsharded row
+    // reference at n ∈ {1, 2, 3, 7} — full cube and sorted deltas.
+    let (schema, layers, tuples) = random_dataset(70, 150);
+    let policy = ExceptionPolicy::slope_threshold(0.3);
+    let mut reference =
+        MoCubingEngine::transient(schema.clone(), layers.clone(), policy.clone()).unwrap();
+    let ref_delta = reference.ingest_unit(&tuples).unwrap();
+    for shards in [1usize, 2, 3, 7] {
+        let mut engine =
+            ShardedEngine::columnar(schema.clone(), layers.clone(), policy.clone(), shards)
+                .unwrap();
+        let delta = engine.ingest_unit(&tuples).unwrap();
+        results_approx_eq(
+            &format!("columnar n={shards}"),
+            engine.result(),
+            reference.result(),
+        );
+        // Deltas are sorted by contract, so they compare directly.
+        assert_eq!(delta.appeared, ref_delta.appeared, "n={shards}");
+        assert_eq!(delta.cleared, ref_delta.cleared, "n={shards}");
+        assert_eq!(engine.result().algorithm(), reference.result().algorithm());
+    }
+}
+
+#[test]
+fn columnar_rollover_matches_row() {
+    // Window rollovers through the columnar backend (sharded and not):
+    // after every unit the cube and the delta stream must agree with
+    // the row reference, including units that leave shards stale.
+    let (schema, layers, tuples) = random_dataset(71, 90);
+    let policy = ExceptionPolicy::slope_threshold(0.3);
+    let mut columnar =
+        ColumnarCubingEngine::new(schema.clone(), layers.clone(), policy.clone()).unwrap();
+    let mut sharded =
+        ShardedEngine::columnar(schema.clone(), layers.clone(), policy.clone(), 3).unwrap();
+    let mut single = MoCubingEngine::transient(schema, layers, policy).unwrap();
+    for unit in 0..3usize {
+        let take = [90usize, 30, 4][unit];
+        let start = unit as i64 * 16;
+        let batch: Vec<MTuple> = tuples[..take]
+            .iter()
+            .map(|t| {
+                let isb = t.isb();
+                MTuple::new(
+                    t.ids().to_vec(),
+                    Isb::new(start, start + 15, isb.base(), isb.slope()).unwrap(),
+                )
+            })
+            .collect();
+        let dc = columnar.ingest_unit(&batch).unwrap();
+        let ds = sharded.ingest_unit(&batch).unwrap();
+        let du = single.ingest_unit(&batch).unwrap();
+        for (label, delta, engine) in [
+            ("columnar", &dc, columnar.result()),
+            ("columnar x3", &ds, sharded.result()),
+        ] {
+            assert_eq!(delta.unit, du.unit, "unit {unit} {label}");
+            results_approx_eq(&format!("unit {unit} {label}"), engine, single.result());
+            assert_eq!(delta.appeared, du.appeared, "unit {unit} {label} appeared");
+            assert_eq!(delta.cleared, du.cleared, "unit {unit} {label} cleared");
+        }
+    }
+}
+
+#[test]
 fn sharded_engine_incremental_ingestion_matches_batch_compute() {
     // Law 1 for the sharded backend at n = 1, 2, 3, 7: hash-partitioned
     // parallel cubing + Theorem 3.2 merge equals the unsharded batch
@@ -275,9 +361,11 @@ fn engines_are_send() {
     fn assert_send<T: Send>() {}
     assert_send::<MoCubingEngine>();
     assert_send::<PopularPathEngine>();
+    assert_send::<ColumnarCubingEngine>();
     assert_send::<Box<dyn CubingEngine + Send>>();
     assert_send::<ShardedEngine<MoCubingEngine>>();
     assert_send::<ShardedEngine<PopularPathEngine>>();
+    assert_send::<ShardedEngine<ColumnarCubingEngine>>();
 }
 
 /// Law 2, enforced through the trait with type-erased engines so any

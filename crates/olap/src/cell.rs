@@ -36,6 +36,16 @@ impl CellKey {
     }
 }
 
+/// Keys borrow as their id slice, so hash tables keyed by [`CellKey`]
+/// can be probed with a plain `&[u32]` (e.g. a projection buffer)
+/// without allocating a key first. The derived `Hash`/`Eq` hash and
+/// compare exactly the id slice, so the `Borrow` contract holds.
+impl std::borrow::Borrow<[u32]> for CellKey {
+    fn borrow(&self) -> &[u32] {
+        &self.0
+    }
+}
+
 impl fmt::Display for CellKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;

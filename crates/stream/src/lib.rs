@@ -15,7 +15,10 @@
 //! * [`online`] — the [`online::OnlineEngine`]: one `close_unit()` per
 //!   m-layer time unit feeds the unit's tuples to a pluggable
 //!   [`CubingEngine`](regcube_core::engine::CubingEngine) (generic
-//!   parameter `E`; Algorithm 1 or 2 out of the box), maintains per-cell
+//!   parameter `E`; Algorithm 1 or 2, on the row or columnar table
+//!   backend — [`online::EngineConfig::with_backend`] — and across any
+//!   shard count — [`online::EngineConfig::with_shards`] — out of the
+//!   box), maintains per-cell
 //!   tilt frames, raises o-layer alarms (own-slope or slot-delta
 //!   reference, Section 4.3), and fans every unit's merged, sorted
 //!   [`UnitDelta`](regcube_core::engine::UnitDelta) out to registered

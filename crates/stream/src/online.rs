@@ -6,8 +6,9 @@ use crate::ingest::Ingestor;
 use crate::record::RawRecord;
 use crate::Result;
 use regcube_core::alarm::{AlarmContext, SharedSink, SinkError, SinkSet};
+use regcube_core::columnar::ColumnarCubingEngine;
 use regcube_core::drill::{drill_children, drill_descendants, DrillHit};
-use regcube_core::engine::{CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
+use regcube_core::engine::{Backend, CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
 use regcube_core::history::{CubeHistory, ExceptionDiff};
 use regcube_core::result::Algorithm;
 use regcube_core::shard::ShardedEngine;
@@ -98,6 +99,11 @@ pub struct EngineConfig {
     pub ticks_per_unit: usize,
     /// Cubing algorithm; defaults to m/o-cubing.
     pub algorithm: Algorithm,
+    /// Physical table layout of the cubing backend; defaults to the
+    /// row (hash-map) layout. [`Backend::Columnar`] selects the
+    /// struct-of-arrays roll-up of
+    /// [`regcube_core::columnar`] (Algorithm 1 only).
+    pub backend: Backend,
     /// Number of cubing shards (m-layer hash partitions cubed in
     /// parallel and merged via Theorem 3.2); defaults to 1 (unsharded).
     pub shards: usize,
@@ -120,6 +126,7 @@ impl EngineConfig {
             tilt_spec: TiltSpec::paper_figure4(),
             ticks_per_unit: 15,
             algorithm: Algorithm::MoCubing,
+            backend: Backend::Row,
             shards: 1,
             sinks: SinkSet::new(),
         }
@@ -157,6 +164,32 @@ impl EngineConfig {
     #[must_use]
     pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the physical table layout of the cubing backend. The
+    /// columnar backend implements Algorithm 1 (m/o-cubing) only;
+    /// [`build`](Self::build) rejects `Columnar` together with
+    /// [`Algorithm::PopularPath`]. Every backend produces the same cube
+    /// at every shard count — see the README's "Choosing a backend".
+    ///
+    /// ```
+    /// use regcube_stream::online::EngineConfig;
+    /// use regcube_core::Backend;
+    /// use regcube_olap::{CubeSchema, CuboidSpec};
+    ///
+    /// let schema = CubeSchema::synthetic(2, 2, 3).unwrap();
+    /// let config = EngineConfig::new(
+    ///     schema,
+    ///     CuboidSpec::new(vec![0, 0]),
+    ///     CuboidSpec::new(vec![2, 2]),
+    /// )
+    /// .with_backend(Backend::Columnar);
+    /// assert!(config.build().is_ok());
+    /// ```
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -213,25 +246,67 @@ impl EngineConfig {
         self
     }
 
-    /// Builds the engine, selecting the cubing backend at runtime from
-    /// [`algorithm`](Self::algorithm) (type-erased behind
-    /// [`BoxedEngine`]); [`shards`](Self::shards) > 1 wraps the backend
-    /// in a [`ShardedEngine`].
+    /// Builds the engine, selecting the cubing strategy at runtime from
+    /// [`algorithm`](Self::algorithm) and [`backend`](Self::backend)
+    /// (type-erased behind [`BoxedEngine`]); [`shards`](Self::shards)
+    /// > 1 wraps the strategy in a [`ShardedEngine`].
+    ///
+    /// # Errors
+    /// [`StreamError::BadConfig`] for [`Backend::Columnar`] combined
+    /// with [`Algorithm::PopularPath`] (the columnar backend implements
+    /// Algorithm 1 only); otherwise configuration validation from the
+    /// ingestor and cube substrates.
+    pub fn build(self) -> Result<OnlineEngine<BoxedEngine>> {
+        let algorithm = self.algorithm;
+        let backend = self.backend;
+        let shards = self.shards;
+        if algorithm == Algorithm::PopularPath && backend == Backend::Columnar {
+            return Err(StreamError::BadConfig {
+                detail: "the columnar backend implements Algorithm 1 (MoCubing) only; \
+                         use Backend::Row with Algorithm::PopularPath"
+                    .into(),
+            });
+        }
+        self.build_with(
+            move |schema, layers, policy| match (algorithm, backend, shards) {
+                (Algorithm::MoCubing, Backend::Row, 1) => {
+                    MoCubingEngine::transient(schema, layers, policy)
+                        .map(|e| Box::new(e) as BoxedEngine)
+                }
+                (Algorithm::MoCubing, Backend::Row, n) => {
+                    ShardedEngine::mo_cubing(schema, layers, policy, n)
+                        .map(|e| Box::new(e) as BoxedEngine)
+                }
+                (Algorithm::MoCubing, Backend::Columnar, 1) => {
+                    ColumnarCubingEngine::new(schema, layers, policy)
+                        .map(|e| Box::new(e) as BoxedEngine)
+                }
+                (Algorithm::MoCubing, Backend::Columnar, n) => {
+                    ShardedEngine::columnar(schema, layers, policy, n)
+                        .map(|e| Box::new(e) as BoxedEngine)
+                }
+                (Algorithm::PopularPath, _, 1) => {
+                    PopularPathEngine::new(schema, layers, policy, None)
+                        .map(|e| Box::new(e) as BoxedEngine)
+                }
+                (Algorithm::PopularPath, _, n) => {
+                    ShardedEngine::popular_path(schema, layers, policy, n)
+                        .map(|e| Box::new(e) as BoxedEngine)
+                }
+            },
+        )
+    }
+
+    /// Builds a statically-typed engine running the columnar backend
+    /// ([`ColumnarCubingEngine`]) across [`shards`](Self::shards)
+    /// partitions (a single shard is an exact passthrough).
     ///
     /// # Errors
     /// Configuration validation from the ingestor and cube substrates.
-    pub fn build(self) -> Result<OnlineEngine<BoxedEngine>> {
-        let algorithm = self.algorithm;
+    pub fn build_columnar(self) -> Result<OnlineEngine<ShardedEngine<ColumnarCubingEngine>>> {
         let shards = self.shards;
-        self.build_with(move |schema, layers, policy| match (algorithm, shards) {
-            (Algorithm::MoCubing, 1) => MoCubingEngine::transient(schema, layers, policy)
-                .map(|e| Box::new(e) as BoxedEngine),
-            (Algorithm::MoCubing, n) => ShardedEngine::mo_cubing(schema, layers, policy, n)
-                .map(|e| Box::new(e) as BoxedEngine),
-            (Algorithm::PopularPath, 1) => PopularPathEngine::new(schema, layers, policy, None)
-                .map(|e| Box::new(e) as BoxedEngine),
-            (Algorithm::PopularPath, n) => ShardedEngine::popular_path(schema, layers, policy, n)
-                .map(|e| Box::new(e) as BoxedEngine),
+        self.build_with(move |schema, layers, policy| {
+            ShardedEngine::columnar(schema, layers, policy, shards)
         })
     }
 
@@ -281,6 +356,7 @@ impl EngineConfig {
             tilt_spec,
             ticks_per_unit,
             algorithm: _,
+            backend: _,
             shards: _,
             sinks,
         } = self;
@@ -454,9 +530,11 @@ impl<E: CubingEngine> OnlineEngine<E> {
             .cubing
             .ingest_unit(&tuples)
             .map_err(StreamError::from)?;
-        // The built-in engines return sorted deltas; re-sorting here is
-        // nearly free for them and upholds the sorted-delta contract for
-        // foreign `CubingEngine` backends before sinks observe it.
+        // The built-in engines guarantee sorted deltas (the trait's
+        // sorted-delta contract) and `sort_cells` skips after one O(n)
+        // verification; only foreign `CubingEngine` backends that
+        // violate the contract pay the sort before sinks observe the
+        // delta.
         delta.sort_cells();
         self.computed = true;
         let recompute_time = started.elapsed();
@@ -775,11 +853,14 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<MoCubingEngine>();
         assert_send::<PopularPathEngine>();
+        assert_send::<ColumnarCubingEngine>();
         assert_send::<BoxedEngine>();
         assert_send::<ShardedEngine<MoCubingEngine>>();
         assert_send::<ShardedEngine<PopularPathEngine>>();
+        assert_send::<ShardedEngine<ColumnarCubingEngine>>();
         assert_send::<OnlineEngine<BoxedEngine>>();
         assert_send::<OnlineEngine<ShardedEngine<MoCubingEngine>>>();
+        assert_send::<OnlineEngine<ShardedEngine<ColumnarCubingEngine>>>();
     }
 
     #[test]
@@ -818,6 +899,98 @@ mod tests {
             assert_eq!(da.appeared, db.appeared, "unit {unit}");
             assert_eq!(da.cleared, db.cleared, "unit {unit}");
         }
+    }
+
+    #[test]
+    fn columnar_backend_matches_row_reports() {
+        // The same stream through the row and columnar backends (and a
+        // sharded columnar run): identical alarms, exception counts and
+        // deltas unit after unit.
+        let make = |backend: Backend, shards: usize| {
+            let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+            EngineConfig::new(
+                schema,
+                CuboidSpec::new(vec![0, 0]),
+                CuboidSpec::new(vec![2, 2]),
+            )
+            .with_policy(ExceptionPolicy::slope_threshold(1.0))
+            .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
+            .with_ticks_per_unit(4)
+            .with_backend(backend)
+            .with_shards(shards)
+            .build()
+            .unwrap()
+        };
+        let mut row = make(Backend::Row, 1);
+        let mut col = make(Backend::Columnar, 1);
+        let mut col_sharded = make(Backend::Columnar, 3);
+        for unit in 0..3 {
+            let slope = if unit == 1 { 2.0 } else { 0.1 };
+            for e in [&mut row, &mut col, &mut col_sharded] {
+                feed_unit(e, unit, slope);
+            }
+            let (a, b, c) = (
+                row.close_unit().unwrap(),
+                col.close_unit().unwrap(),
+                col_sharded.close_unit().unwrap(),
+            );
+            for (label, other) in [("columnar", &b), ("columnar x3", &c)] {
+                assert_eq!(a.m_cells, other.m_cells, "unit {unit} {label}");
+                assert_eq!(
+                    a.exception_cells, other.exception_cells,
+                    "unit {unit} {label}"
+                );
+                assert_eq!(a.alarms.len(), other.alarms.len(), "unit {unit} {label}");
+                for (x, y) in a.alarms.iter().zip(&other.alarms) {
+                    assert_eq!(x.key, y.key);
+                    assert!((x.score - y.score).abs() < 1e-9);
+                }
+                let (da, db) = (
+                    a.cube_delta.as_ref().unwrap(),
+                    other.cube_delta.as_ref().unwrap(),
+                );
+                assert_eq!(da.appeared, db.appeared, "unit {unit} {label}");
+                assert_eq!(da.cleared, db.cleared, "unit {unit} {label}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_backend_rejects_popular_path() {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let err = match EngineConfig::new(
+            schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .with_algorithm(Algorithm::PopularPath)
+        .with_backend(Backend::Columnar)
+        .build()
+        {
+            Ok(_) => panic!("columnar + popular path must be rejected"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, StreamError::BadConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn statically_typed_columnar_builder_works() {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let mut e = EngineConfig::new(
+            schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
+        .with_ticks_per_unit(4)
+        .with_shards(2)
+        .build_columnar()
+        .unwrap();
+        assert_eq!(e.cubing().shards(), 2);
+        feed_unit(&mut e, 0, 1.0);
+        let report = e.close_unit().unwrap();
+        assert_eq!(report.m_cells, 2);
+        assert_eq!(e.cube().unwrap().m_layer_cells(), 2);
     }
 
     #[test]

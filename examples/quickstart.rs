@@ -91,4 +91,29 @@ fn main() {
             );
         }
     }
+
+    // ---- The same cube on the columnar backend --------------------------
+    // Backends select the physical table layout, not the semantics: the
+    // struct-of-arrays roll-up retains the identical exception set (see
+    // ARCHITECTURE.md, "Choosing a backend").
+    let schema = CubeSchema::synthetic(2, 2, 3).unwrap();
+    let layers = CriticalLayers::new(
+        &schema,
+        CuboidSpec::new(vec![0, 0]),
+        CuboidSpec::new(vec![2, 2]),
+    )
+    .unwrap();
+    let mut columnar =
+        ColumnarCubingEngine::new(schema, layers, ExceptionPolicy::slope_threshold(0.8)).unwrap();
+    columnar.ingest_unit(&tuples).unwrap();
+    assert_eq!(
+        columnar.result().total_exception_cells(),
+        result.total_exception_cells()
+    );
+    println!(
+        "\nColumnar backend recomputes the same cube: {} exception cells, {}/{} peak table bytes",
+        columnar.result().total_exception_cells(),
+        columnar.stats().peak_bytes,
+        result.stats().peak_bytes,
+    );
 }

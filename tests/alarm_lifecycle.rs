@@ -17,7 +17,7 @@ const CELLS: [(u32, u32); 5] = [(0, 0), (1, 2), (2, 1), (3, 3), (0, 3)];
 
 type Sinks = (Arc<Mutex<AlarmLog>>, Arc<Mutex<DashboardSummary>>);
 
-fn build(shards: usize) -> (OnlineEngine<BoxedEngine>, Sinks) {
+fn build(shards: usize, backend: Backend) -> (OnlineEngine<BoxedEngine>, Sinks) {
     let log = alarm::shared(AlarmLog::new(256));
     let dash = alarm::shared(DashboardSummary::new());
     let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
@@ -29,6 +29,7 @@ fn build(shards: usize) -> (OnlineEngine<BoxedEngine>, Sinks) {
     .with_policy(ExceptionPolicy::slope_threshold(0.5))
     .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
     .with_ticks_per_unit(TICKS)
+    .with_backend(backend)
     .with_shards(shards)
     .with_sinks([log.clone() as SharedSink, dash.clone() as SharedSink])
     .build()
@@ -64,8 +65,8 @@ fn rescan(engine: &OnlineEngine<BoxedEngine>) -> Vec<(CuboidSpec, CellKey)> {
 }
 
 /// One run: returns the full episode history, serialized comparably.
-fn episode_history(shards: usize, units: &[Vec<f64>]) -> Vec<String> {
-    let (mut engine, (log, _)) = build(shards);
+fn episode_history(shards: usize, backend: Backend, units: &[Vec<f64>]) -> Vec<String> {
+    let (mut engine, (log, _)) = build(shards, backend);
     for (u, slopes) in units.iter().enumerate() {
         feed_unit(&mut engine, u, slopes);
         engine.close_unit().unwrap();
@@ -90,7 +91,7 @@ proptest! {
             1..6,
         ),
     ) {
-        let (mut engine, (log, dash)) = build(1);
+        let (mut engine, (log, dash)) = build(1, Backend::Row);
         for (u, slopes) in units.iter().enumerate() {
             feed_unit(&mut engine, u, slopes);
             let report = engine.close_unit().unwrap();
@@ -137,18 +138,23 @@ proptest! {
     }
 
     /// The complete episode history (raise/clear units, peaks) is
-    /// identical at shard counts 1, 2, 3 and 7.
+    /// identical at shard counts 1, 2, 3 and 7 — and on the columnar
+    /// backend at every one of those shard counts.
     #[test]
-    fn episode_history_is_shard_invariant(
+    fn episode_history_is_shard_and_backend_invariant(
         units in prop::collection::vec(
             prop::collection::vec(-1.5..1.5f64, CELLS.len()),
             1..5,
         ),
     ) {
-        let baseline = episode_history(1, &units);
+        let baseline = episode_history(1, Backend::Row, &units);
         for shards in [2usize, 3, 7] {
-            let history = episode_history(shards, &units);
+            let history = episode_history(shards, Backend::Row, &units);
             prop_assert_eq!(&history, &baseline, "shards={}", shards);
+        }
+        for shards in [1usize, 2, 3, 7] {
+            let history = episode_history(shards, Backend::Columnar, &units);
+            prop_assert_eq!(&history, &baseline, "columnar shards={}", shards);
         }
     }
 }

@@ -6,8 +6,10 @@
 //! final retained exception set, the alarm log's episode list, the
 //! escalations and the dashboard, so a refactor that silently shifts
 //! any of them fails here with a line diff. The run is repeated at
-//! shard counts 1 and 3 and must serialize **byte-identically** — the
-//! sorted-delta/merge contract, pinned end to end.
+//! shard counts 1 and 3 **and on both table-layout backends** (row and
+//! columnar) and must serialize **byte-identically** every time — the
+//! sorted-delta/merge contract and the backend-equivalence contract,
+//! pinned end to end.
 //!
 //! Regenerate the snapshot after an intended behavior change with:
 //!
@@ -51,10 +53,10 @@ fn slope_for(cell: (u32, u32), unit: i64) -> f64 {
     }
 }
 
-/// Runs the pipeline at the given shard count and serializes everything
-/// observable: reports, deltas, final cube, episodes, escalations,
-/// dashboard.
-fn run_pipeline(shards: usize) -> String {
+/// Runs the pipeline at the given shard count and cubing backend, and
+/// serializes everything observable: reports, deltas, final cube,
+/// episodes, escalations, dashboard.
+fn run_pipeline(shards: usize, backend: Backend) -> String {
     let cells: [(u32, u32); 7] = [(0, 0), (1, 2), (2, 5), (3, 6), (4, 7), (7, 1), (8, 8)];
     let log = alarm::shared(AlarmLog::new(64));
     let escalator = alarm::shared(ThresholdEscalator::new(2, 3, 4));
@@ -69,6 +71,7 @@ fn run_pipeline(shards: usize) -> String {
     .with_policy(ExceptionPolicy::slope_threshold(0.8))
     .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
     .with_ticks_per_unit(TICKS_PER_UNIT)
+    .with_backend(backend)
     .with_shards(shards)
     .with_sinks([
         log.clone() as SharedSink,
@@ -225,16 +228,23 @@ fn line_diff(expected: &str, actual: &str) -> String {
 
 #[test]
 fn pipeline_matches_golden_snapshot() {
-    let actual = run_pipeline(1);
+    let actual = run_pipeline(1, Backend::Row);
 
-    // The identical pipeline through 3 shards must serialize
-    // byte-for-byte the same — merged deltas, episodes and all.
-    let sharded = run_pipeline(3);
-    assert!(
-        actual == sharded,
-        "shards=1 and shards=3 diverged:\n{}",
-        line_diff(&actual, &sharded)
-    );
+    // The identical pipeline through 3 shards, and through the columnar
+    // backend at both shard counts, must serialize byte-for-byte the
+    // same — merged deltas, episodes and all.
+    for (label, shards, backend) in [
+        ("shards=3", 3, Backend::Row),
+        ("columnar", 1, Backend::Columnar),
+        ("columnar shards=3", 3, Backend::Columnar),
+    ] {
+        let other = run_pipeline(shards, backend);
+        assert!(
+            actual == other,
+            "row shards=1 and {label} diverged:\n{}",
+            line_diff(&actual, &other)
+        );
+    }
 
     let path = golden_path();
     if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
