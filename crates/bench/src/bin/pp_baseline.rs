@@ -1,0 +1,193 @@
+//! Popular-path incremental-drill baseline: emit or check
+//! `BENCH_pp_incremental.json`.
+//!
+//! ```text
+//! # regenerate the committed baseline (repo root):
+//! cargo run --release -p regcube-bench --bin pp_baseline -- --quick --write BENCH_pp_incremental.json
+//! # CI regression gate (fails if quiet-stream units/sec drops >20%):
+//! cargo run --release -p regcube-bench --bin pp_baseline -- --quick --check BENCH_pp_incremental.json
+//! ```
+//!
+//! The gate compares three kinds of figures:
+//!
+//! * the **replayed/skipped cuboid counts**, which are deterministic
+//!   for the fixed workload and must match the baseline exactly — a
+//!   mismatch means the frontier-dirty logic changed behavior;
+//! * the **quiet-stream speedup** (frontier-dirty units/sec over the
+//!   full-replay units/sec, both measured in this run on this
+//!   machine), which normalizes machine speed out — this is the
+//!   enforced throughput gate: it fails when the speedup drops more
+//!   than the tolerance (default 20%, override with
+//!   `PP_BASELINE_TOLERANCE=0.3`) below the committed figure;
+//! * the **absolute quiet-stream units/sec**, which is
+//!   machine-dependent and therefore only advisory by default — set
+//!   `PP_BASELINE_STRICT=1` to enforce it too (useful when the check
+//!   always runs on the same runner class as the committed baseline).
+
+use regcube_bench::experiments::incremental::run_drill_phases;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pp_baseline [--quick] (--write FILE | --check FILE)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let grab = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let (write, check) = (grab("--write"), grab("--check"));
+    if write.is_none() == check.is_none() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "[pp_baseline] measuring drill phases ({}) ...",
+        if quick { "quick" } else { "full" }
+    );
+    let (quiet, churny) = run_drill_phases(quick);
+    let doc = format!(
+        "{{\n  \"mode\": \"{}\",\n  \"quiet_units_per_sec\": {:.1},\n  \
+         \"quiet_speedup\": {:.2},\n  \"quiet_replayed_cuboids\": {},\n  \
+         \"quiet_skipped_cuboids\": {},\n  \"churny_units_per_sec\": {:.1},\n  \
+         \"churny_replayed_cuboids\": {},\n  \"churny_skipped_cuboids\": {}\n}}\n",
+        if quick { "quick" } else { "full" },
+        quiet.units_per_sec,
+        quiet.speedup,
+        quiet.replayed_cuboids,
+        quiet.skipped_cuboids,
+        churny.units_per_sec,
+        churny.replayed_cuboids,
+        churny.skipped_cuboids,
+    );
+
+    if let Some(path) = write {
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[pp_baseline] wrote {path}");
+        print!("{doc}");
+        return ExitCode::SUCCESS;
+    }
+
+    let path = check.expect("checked above");
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e}; regenerate with --write");
+            return ExitCode::FAILURE;
+        }
+    };
+    let field = |name: &str| -> Option<f64> {
+        let tag = format!("\"{name}\":");
+        let rest = &baseline[baseline.find(&tag)? + tag.len()..];
+        rest.split([',', '}', '\n']).next()?.trim().parse().ok()
+    };
+    let mut failed = false;
+    // Mode first: comparing a quick baseline against a full run (or
+    // vice versa) would fail every deterministic counter for a reason
+    // that has nothing to do with the frontier logic.
+    let mode = if quick { "quick" } else { "full" };
+    if !baseline.contains(&format!("\"mode\": \"{mode}\"")) {
+        eprintln!(
+            "FAIL baseline {path} was not recorded in {mode} mode — rerun \
+             with the matching --quick flag or regenerate with --write"
+        );
+        failed = true;
+    }
+    for (name, actual) in [
+        ("quiet_replayed_cuboids", quiet.replayed_cuboids as f64),
+        ("quiet_skipped_cuboids", quiet.skipped_cuboids as f64),
+        ("churny_replayed_cuboids", churny.replayed_cuboids as f64),
+        ("churny_skipped_cuboids", churny.skipped_cuboids as f64),
+    ] {
+        match field(name) {
+            Some(expected) if expected == actual => {}
+            Some(expected) => {
+                eprintln!(
+                    "FAIL {name}: baseline {expected} vs measured {actual} \
+                     (deterministic counter changed — intended? regenerate \
+                     the baseline with --write)"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL baseline {path} is missing field {name}");
+                failed = true;
+            }
+        }
+    }
+    let tolerance: f64 = std::env::var("PP_BASELINE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    // The enforced throughput gate: the quiet-stream speedup over the
+    // full replay, measured in-process, is independent of how fast
+    // this machine is relative to the one that recorded the baseline.
+    match field("quiet_speedup") {
+        Some(expected) => {
+            let floor = expected * (1.0 - tolerance);
+            if quiet.speedup < floor {
+                eprintln!(
+                    "FAIL quiet-stream speedup regressed: {:.2}x vs baseline \
+                     {:.2}x (floor {:.2}x at {:.0}% tolerance)",
+                    quiet.speedup,
+                    expected,
+                    floor,
+                    tolerance * 100.0
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "[pp_baseline] quiet speedup {:.2}x (baseline {:.2}x, \
+                     floor {:.2}x) — ok",
+                    quiet.speedup, expected, floor
+                );
+            }
+        }
+        None => {
+            eprintln!("FAIL baseline {path} is missing field quiet_speedup");
+            failed = true;
+        }
+    }
+    // Absolute units/sec is machine-dependent: advisory unless the
+    // operator opts into strict mode (same runner class as baseline).
+    let strict = std::env::var("PP_BASELINE_STRICT").is_ok_and(|v| v == "1");
+    match field("quiet_units_per_sec") {
+        Some(expected) => {
+            let floor = expected * (1.0 - tolerance);
+            if quiet.units_per_sec < floor {
+                eprintln!(
+                    "{} quiet-stream throughput below baseline: {:.1} units/s \
+                     vs {:.1} (floor {:.1}; machine-dependent figure{})",
+                    if strict { "FAIL" } else { "WARN" },
+                    quiet.units_per_sec,
+                    expected,
+                    floor,
+                    if strict { "" } else { ", advisory" }
+                );
+                failed |= strict;
+            } else {
+                eprintln!(
+                    "[pp_baseline] quiet {:.1} units/s (baseline {:.1}, floor \
+                     {:.1}) — ok",
+                    quiet.units_per_sec, expected, floor
+                );
+            }
+        }
+        None => {
+            eprintln!("FAIL baseline {path} is missing field quiet_units_per_sec");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("[pp_baseline] check passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -3,7 +3,8 @@
 //! lower layers to find their corresponding exception supporters").
 
 use crate::result::CubeResult;
-use regcube_olap::cell::{project_key, CellKey};
+use crate::table::Projector;
+use regcube_olap::cell::CellKey;
 use regcube_olap::{CubeSchema, CuboidSpec};
 use regcube_regress::Isb;
 
@@ -59,6 +60,12 @@ pub fn drill_descendants(
 
 /// Collects exceptional cells of `target` (a descendant cuboid of
 /// `ancestor`) whose projection to `ancestor` equals `key`.
+///
+/// The scan is allocation-free per row: projections go through the
+/// PR-4 [`Projector`] lookup tables into one reusable scratch buffer
+/// and are compared as plain id slices (the same `Borrow<[u32]>`
+/// convention the cuboid-table probes use), so drilling never boxes a
+/// [`CellKey`] for a cell it does not return.
 fn collect_hits(
     schema: &CubeSchema,
     cube: &CubeResult,
@@ -69,6 +76,8 @@ fn collect_hits(
 ) {
     let policy = cube.policy();
     let lattice = cube.layers().lattice();
+    let projector = Projector::new(schema, target, ancestor);
+    let mut projected = vec![0u32; schema.num_dims()];
     // Candidate stores for the target cuboid: exception tables, path
     // tables, and the critical layers.
     let mut scan = |table: &crate::table::CuboidTable, filter_exceptions: bool| {
@@ -76,7 +85,7 @@ fn collect_hits(
             if filter_exceptions && !policy.is_exception(target, m) {
                 continue;
             }
-            let projected = project_key(schema, target, k.ids(), ancestor);
+            projector.project_into(k.ids(), &mut projected);
             if projected.as_slice() == key.ids() {
                 hits.push(DrillHit {
                     cuboid: target.clone(),

@@ -44,15 +44,19 @@ use crate::exception::ExceptionPolicy;
 use crate::layers::CriticalLayers;
 use crate::measure::{merge_sibling, validate_tuples, MTuple};
 use crate::pool::WorkerPool;
+use crate::popular_path::{DrillFrontier, Frontier};
 use crate::result::{Algorithm, CubeResult};
 use crate::stats::{MemoryAccountant, RunStats};
-use crate::table::{aggregate_from, collect_exceptions, table_bytes, CuboidTable};
+use crate::table::{
+    aggregate_from, collect_exceptions, drill_aggregate, table_bytes, CuboidTable, Projector,
+};
 use crate::Result;
 use regcube_olap::cell::{project_key, CellKey};
 use regcube_olap::fxhash::{FxHashMap, FxHashSet};
 use regcube_olap::htree::{attrs_for_path, expand_tuple, HTree};
 use regcube_olap::{CubeSchema, CuboidSpec, PopularPath};
 use regcube_regress::Isb;
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -816,10 +820,19 @@ impl CubingEngine for MoCubingEngine {
 /// result. A same-window batch merges into every path table directly
 /// (the extracted equivalent of inserting into the path-ordered H-tree
 /// and re-aggregating the insert path); exception-guided drilling over
-/// the off-path cuboids is then replayed from the updated path tables —
-/// the drilled region is proportional to the exception set, not the
-/// cube. Opening a new unit rebuilds the H-tree and path tables from
-/// scratch.
+/// the off-path cuboids is then brought up to date **incrementally**:
+/// the engine retains a per-cuboid exception [`Frontier`] plus the full
+/// drilled off-path tables ([`DrillFrontier`]), re-screens only the
+/// path cells the batch touched, and re-aggregates an off-path cuboid
+/// only when a parent frontier changed or the batch touched its
+/// qualifying region — every other cuboid's drill output is reused
+/// verbatim, so per-batch step-3 work is proportional to the *delta*
+/// (touched cells + frontier churn), not the cube. Opening a new unit
+/// rebuilds the H-tree, path tables and frontier state from scratch.
+///
+/// [`with_full_drill_replay`](Self::with_full_drill_replay) restores
+/// the pre-frontier behavior (replay all of step 3 per batch) as the
+/// reference baseline; both modes produce byte-identical cubes.
 #[derive(Debug, Clone)]
 pub struct PopularPathEngine {
     schema: CubeSchema,
@@ -831,6 +844,11 @@ pub struct PopularPathEngine {
     /// Cells computed along the path (steps 1+2), excluding drilling —
     /// lets the drilling replay restate `cells_computed` exactly.
     path_cells: u64,
+    /// Retained step-3 state: per-cuboid frontiers + drilled tables.
+    drill: DrillFrontier,
+    /// Replay all of step 3 on every batch (the reference baseline)
+    /// instead of the frontier-dirty incremental walk.
+    full_replay: bool,
     stats: RunStats,
     mem: MemoryAccountant,
     result: CubeResult,
@@ -861,6 +879,8 @@ impl PopularPathEngine {
             window: None,
             units_opened: 0,
             path_cells: 0,
+            drill: DrillFrontier::default(),
+            full_replay: false,
             stats: RunStats::default(),
             mem: MemoryAccountant::new(),
             result,
@@ -870,6 +890,25 @@ impl PopularPathEngine {
     /// The popular path the engine drills along.
     pub fn path(&self) -> &PopularPath {
         &self.path
+    }
+
+    /// Switches the engine to the pre-frontier behavior: replay **all**
+    /// of step 3 (exception-guided drilling over every off-path cuboid)
+    /// on every same-window batch, instead of restricting the replay to
+    /// cuboids whose exception frontier changed. Cubes are
+    /// byte-identical either way — this mode exists as the reference
+    /// baseline for the equivalence tests and the `incremental` bench
+    /// experiment's speedup measurement.
+    #[must_use]
+    pub fn with_full_drill_replay(mut self) -> Self {
+        self.full_replay = true;
+        self
+    }
+
+    /// The retained step-3 state of the open unit: per-cuboid exception
+    /// frontiers and the drilled off-path tables.
+    pub fn drill_state(&self) -> &DrillFrontier {
+        &self.drill
     }
 
     /// Consumes the engine, returning the final cube result.
@@ -953,11 +992,12 @@ impl PopularPathEngine {
             path_tables,
             self.stats,
         );
-        self.drill()
+        self.drill_full()
     }
 
     /// Incremental merge of a same-window batch into every path table
-    /// (and the critical-layer mirrors), then a drilling replay.
+    /// (and the critical-layer mirrors), then the step-3 update —
+    /// frontier-dirty by default, a full replay in baseline mode.
     fn merge_batch(&mut self, tuples: &[MTuple], delta: &mut UnitDelta) -> Result<()> {
         let dims = self.schema.num_dims();
         let m_spec = self.layers.lattice().m_layer().clone();
@@ -965,6 +1005,7 @@ impl PopularPathEngine {
         let path_specs: Vec<CuboidSpec> = self.path.cuboids().to_vec();
 
         self.stats.rows_folded += tuples.len() as u64;
+        let mut touched_all: FxHashMap<CuboidSpec, FxHashSet<CellKey>> = FxHashMap::default();
         let mut m_updates: Vec<(CellKey, Isb)> = Vec::new();
         let mut o_updates: Vec<(CellKey, Isb)> = Vec::new();
         for cuboid in &path_specs {
@@ -985,21 +1026,23 @@ impl PopularPathEngine {
             // without re-folding the batch.
             if cuboid == &m_spec {
                 m_updates = touched
-                    .into_iter()
+                    .iter()
                     .map(|k| {
-                        let isb = table[&k];
-                        (k, isb)
+                        let isb = table[k];
+                        (k.clone(), isb)
                     })
                     .collect();
             } else if cuboid == &o_spec {
                 o_updates = touched
-                    .into_iter()
+                    .iter()
                     .map(|k| {
-                        let isb = table[&k];
-                        (k, isb)
+                        let isb = table[k];
+                        (k.clone(), isb)
                     })
                     .collect();
             }
+            // The incremental drill re-screens exactly these cells.
+            touched_all.insert(cuboid.clone(), touched);
         }
         for spec_is_m in [true, false] {
             let (updates, mirror) = if spec_is_m {
@@ -1014,26 +1057,34 @@ impl PopularPathEngine {
             self.mem
                 .add(table_bytes(mirror, dims).saturating_sub(before));
         }
-        self.drill()
+        if self.full_replay {
+            self.drill_full()
+        } else {
+            self.drill_incremental(&touched_all)
+        }
     }
 
-    /// Step 3: exception-guided drilling over the off-path cuboids,
-    /// replayed from the (updated) path tables. Coarse-to-fine, so every
-    /// cuboid's one-step-coarser parents are screened first; an off-path
-    /// cell is computed only when at least one parent projection is an
-    /// exception cell.
-    fn drill(&mut self) -> Result<()> {
+    /// Step 3, from scratch: exception-guided drilling over every
+    /// off-path cuboid, aggregated from the (updated) path tables.
+    /// Coarse-to-fine, so every cuboid's one-step-coarser parents are
+    /// screened first; an off-path cell is computed only when at least
+    /// one parent projection lies on that parent's exception frontier.
+    /// Rebuilds the retained [`DrillFrontier`] state the incremental
+    /// walk ([`drill_incremental`](Self::drill_incremental)) updates on
+    /// later batches.
+    fn drill_full(&mut self) -> Result<()> {
         let dims = self.schema.num_dims();
         let lattice = self.layers.lattice();
         let is_m_or_o = |c: &CuboidSpec| c == lattice.m_layer() || c == lattice.o_layer();
         let mut top_down = lattice.bottom_up_order();
         top_down.reverse();
-        let path_cuboids: Vec<CuboidSpec> = self.path.cuboids().to_vec();
+
+        for table in self.drill.tables.values() {
+            self.mem.remove(table_bytes(table, dims));
+        }
+        self.drill.clear();
 
         let mut exceptions: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
-        let mut exception_keys: FxHashMap<CuboidSpec, FxHashSet<CellKey>> = FxHashMap::default();
-        let mut drilled_cuboids: u32 = 0;
-        let mut drilled_cells: u64 = 0;
         let mut drilled_rows: u64 = 0;
 
         for cuboid in top_down {
@@ -1049,7 +1100,9 @@ impl PopularPathEngine {
                         }
                     }
                 }
-                exception_keys.insert(cuboid.clone(), keys);
+                self.drill
+                    .frontiers
+                    .insert(cuboid.clone(), Frontier::from_cells(keys));
                 if !exc.is_empty() {
                     exceptions.insert(cuboid, exc);
                 }
@@ -1057,46 +1110,20 @@ impl PopularPathEngine {
             }
 
             let parents = lattice.parents(&cuboid);
-            let has_candidates = parents
-                .iter()
-                .any(|p| exception_keys.get(p).is_some_and(|s| !s.is_empty()));
-            if !has_candidates {
-                exception_keys.insert(cuboid.clone(), FxHashSet::default());
+            if !self.has_drill_candidates(&parents) {
+                self.drill
+                    .frontiers
+                    .insert(cuboid.clone(), Frontier::default());
                 continue;
             }
-            let source = lattice
-                .closest_computed_descendant(&cuboid, path_cuboids.iter())
-                .ok_or_else(|| CoreError::NotMaterialized {
-                    detail: format!("no path cuboid below {cuboid}"),
-                })?;
-            let source_table = &self.result.path_tables()[source];
-            let schema = &self.schema;
-            let qualifies = |ids: &[u32]| {
-                parents.iter().any(|p| {
-                    exception_keys.get(p).is_some_and(|set| {
-                        let projected = project_key(schema, &cuboid, ids, p);
-                        set.contains(&CellKey::new(projected))
-                    })
-                })
-            };
-            let (computed, rows) =
-                aggregate_from(schema, source, source_table, &cuboid, Some(&qualifies))?;
+            let (computed, frontier, exc, rows) = self.drill_cuboid(&cuboid, &parents)?;
             drilled_rows += rows;
-            drilled_cells += computed.len() as u64;
-            drilled_cuboids += 1;
-
-            let mut keys = FxHashSet::default();
-            let mut exc = CuboidTable::default();
-            for (key, isb) in &computed {
-                if self.policy.is_exception(&cuboid, isb) {
-                    keys.insert(key.clone());
-                    exc.insert(key.clone(), *isb);
-                }
-            }
-            exception_keys.insert(cuboid.clone(), keys);
+            self.drill.frontiers.insert(cuboid.clone(), frontier);
             if !exc.is_empty() {
                 exceptions.insert(cuboid.clone(), exc);
             }
+            self.mem.add(table_bytes(&computed, dims));
+            self.drill.tables.insert(cuboid, computed);
         }
 
         // Swap the replayed exception stores in, keeping the analytical
@@ -1109,16 +1136,242 @@ impl PopularPathEngine {
             self.mem.remove(table_bytes(table, dims));
         }
 
-        // Drilling is a replay: restate the drilled share of the
-        // counters instead of accumulating it across same-window batches.
-        self.stats.cuboids_computed = self.path.cuboids().len() as u32 + drilled_cuboids;
-        self.stats.cells_computed = self.path_cells + drilled_cells;
         self.stats.rows_folded += drilled_rows;
+        self.stats.drill_replayed_cuboids += self.drill.tables.len() as u64;
+        self.restate_drill_counters();
         Ok(())
     }
 
+    /// Step 3, frontier-dirty: brings the retained drill state up to
+    /// date after a same-window batch touching `touched` path cells.
+    ///
+    /// 1. Path frontiers and exception stores are re-screened **only at
+    ///    the touched cells** (everything else is provably unchanged).
+    /// 2. Off-path cuboids are walked coarse-to-fine; one is
+    ///    re-aggregated only when a parent frontier changed this batch
+    ///    (newly exceptional ancestors drill down, cleared ancestors
+    ///    retract their drilled subtree) or the batch touched a cell of
+    ///    its qualifying region (stale drilled values). Unchanged
+    ///    frontiers keep their prior off-path tables verbatim — and
+    ///    because [`drill_aggregate`] folds in a deterministic sorted
+    ///    order, the retained tables are byte-identical to what a full
+    ///    replay would recompute.
+    fn drill_incremental(
+        &mut self,
+        touched: &FxHashMap<CuboidSpec, FxHashSet<CellKey>>,
+    ) -> Result<()> {
+        let dims = self.schema.num_dims();
+        let m_spec = self.layers.lattice().m_layer().clone();
+        let o_spec = self.layers.lattice().o_layer().clone();
+        self.drill.changed.clear();
+        let exc_before = exception_bytes(&self.result, dims);
+
+        // Phase 1: path frontiers + exception stores, touched cells only.
+        let mut exc_updates: Vec<(CuboidSpec, CellKey, Option<Isb>)> = Vec::new();
+        for cuboid in self.path.cuboids() {
+            let Some(keys) = touched.get(cuboid) else {
+                continue;
+            };
+            let table = &self.result.path_tables()[cuboid];
+            let keep = cuboid != &m_spec && cuboid != &o_spec;
+            let frontier = self.drill.frontiers.entry(cuboid.clone()).or_default();
+            let mut changed = false;
+            for key in keys {
+                let isb = table[key];
+                if self
+                    .policy
+                    .screen_frontier_cell(cuboid, frontier.cells_mut(), key, &isb)
+                    .is_some()
+                {
+                    changed = true;
+                }
+                if keep {
+                    let is_exc = frontier.contains(key);
+                    exc_updates.push((cuboid.clone(), key.clone(), is_exc.then_some(isb)));
+                }
+            }
+            if changed {
+                self.drill.changed.insert(cuboid.clone());
+            }
+        }
+
+        // Phase 2: the off-path walk. `touch_memo` caches, per parent
+        // cuboid, whether any touched m-cell projects onto its frontier
+        // — the "did the batch touch this cuboid's qualifying region?"
+        // half of the dirty test, shared by all of the parent's
+        // children.
+        let lattice = self.layers.lattice();
+        let mut top_down = lattice.bottom_up_order();
+        top_down.reverse();
+        let m_touched = touched.get(&m_spec);
+        let mut touch_memo: FxHashMap<CuboidSpec, bool> = FxHashMap::default();
+        let mut replayed: u64 = 0;
+        let mut skipped: u64 = 0;
+        let mut exc_replacements: Vec<(CuboidSpec, Option<CuboidTable>)> = Vec::new();
+
+        for cuboid in top_down {
+            if self.result.path_tables().contains_key(&cuboid) {
+                continue;
+            }
+            let parents = lattice.parents(&cuboid);
+            if !self.has_drill_candidates(&parents) {
+                // Cleared ancestors: retract the drilled subtree.
+                let had_frontier = self
+                    .drill
+                    .frontiers
+                    .get(&cuboid)
+                    .is_some_and(|f| !f.is_empty());
+                if let Some(old) = self.drill.tables.remove(&cuboid) {
+                    self.mem.remove(table_bytes(&old, dims));
+                    exc_replacements.push((cuboid.clone(), None));
+                    replayed += 1;
+                } else {
+                    skipped += 1;
+                }
+                if had_frontier {
+                    self.drill.changed.insert(cuboid.clone());
+                }
+                self.drill.frontiers.insert(cuboid, Frontier::default());
+                continue;
+            }
+
+            let parent_changed = parents.iter().any(|p| self.drill.changed.contains(p));
+            let batch_touches = parents.iter().any(|p| {
+                *touch_memo.entry(p.clone()).or_insert_with(|| {
+                    let Some(keys) = m_touched else {
+                        return false;
+                    };
+                    let Some(frontier) = self.drill.frontiers.get(p) else {
+                        return false;
+                    };
+                    if frontier.is_empty() {
+                        return false;
+                    }
+                    let projector = Projector::new(&self.schema, &m_spec, p);
+                    let mut out = vec![0u32; dims];
+                    keys.iter().any(|k| {
+                        projector.project_into(k.ids(), &mut out);
+                        frontier.contains_ids(&out)
+                    })
+                })
+            });
+            if !parent_changed && !batch_touches {
+                // Unchanged frontier, untouched region: the retained
+                // table (and its exception store) is exact verbatim.
+                skipped += 1;
+                continue;
+            }
+
+            // Re-drill this cuboid — the identical code path the full
+            // replay runs, so reuse-vs-replay can never diverge.
+            let (computed, new_frontier, exc, rows) = self.drill_cuboid(&cuboid, &parents)?;
+            self.stats.rows_folded += rows;
+            replayed += 1;
+
+            if self.drill.frontiers.get(&cuboid) != Some(&new_frontier) {
+                self.drill.changed.insert(cuboid.clone());
+            }
+            self.drill.frontiers.insert(cuboid.clone(), new_frontier);
+            exc_replacements.push((cuboid.clone(), (!exc.is_empty()).then_some(exc)));
+            self.mem.add(table_bytes(&computed, dims));
+            if let Some(old) = self.drill.tables.insert(cuboid, computed) {
+                self.mem.remove(table_bytes(&old, dims));
+            }
+        }
+
+        // Apply the collected exception-store updates in one pass.
+        let exceptions = self.result.exceptions_mut();
+        for (cuboid, key, value) in exc_updates {
+            match value {
+                Some(isb) => {
+                    exceptions.entry(cuboid).or_default().insert(key, isb);
+                }
+                None => {
+                    if let Some(t) = exceptions.get_mut(&cuboid) {
+                        t.remove(&key);
+                    }
+                }
+            }
+        }
+        for (cuboid, replacement) in exc_replacements {
+            match replacement {
+                Some(table) => {
+                    exceptions.insert(cuboid, table);
+                }
+                None => {
+                    exceptions.remove(&cuboid);
+                }
+            }
+        }
+        exceptions.retain(|_, t| !t.is_empty());
+        let exc_after = exception_bytes(&self.result, dims);
+        self.mem.add(exc_after.saturating_sub(exc_before));
+        self.mem.remove(exc_before.saturating_sub(exc_after));
+
+        self.stats.drill_replayed_cuboids += replayed;
+        self.stats.drill_skipped_cuboids += skipped;
+        self.restate_drill_counters();
+        Ok(())
+    }
+
+    /// Whether any of `parents` has a non-empty exception frontier —
+    /// the step-3 precondition for drilling a cuboid at all.
+    fn has_drill_candidates(&self, parents: &[CuboidSpec]) -> bool {
+        parents
+            .iter()
+            .any(|p| self.drill.frontiers.get(p).is_some_and(|f| !f.is_empty()))
+    }
+
+    /// Drills one off-path cuboid from its closest path source,
+    /// qualifying cells against the parents' current frontiers, and
+    /// screens the result. This is the **single** drill-one-cuboid code
+    /// path — the full replay and the frontier-dirty walk both call it,
+    /// so "re-drills exactly as the replay would" holds by
+    /// construction. Returns the computed full table, its frontier, its
+    /// exception store and the source rows folded.
+    fn drill_cuboid(
+        &self,
+        cuboid: &CuboidSpec,
+        parents: &[CuboidSpec],
+    ) -> Result<(CuboidTable, Frontier, CuboidTable, u64)> {
+        let lattice = self.layers.lattice();
+        let probe = QualifyProbe::new(&self.schema, cuboid, parents, &self.drill.frontiers);
+        let source = lattice
+            .closest_computed_descendant(cuboid, self.path.cuboids().iter())
+            .ok_or_else(|| CoreError::NotMaterialized {
+                detail: format!("no path cuboid below {cuboid}"),
+            })?;
+        let source_table = &self.result.path_tables()[source];
+        let (computed, rows) =
+            drill_aggregate(&self.schema, source, source_table, cuboid, |ids| {
+                probe.qualifies(ids)
+            })?;
+        let mut keys = FxHashSet::default();
+        let mut exc = CuboidTable::default();
+        for (key, isb) in &computed {
+            if self.policy.is_exception(cuboid, isb) {
+                keys.insert(key.clone());
+                exc.insert(key.clone(), *isb);
+            }
+        }
+        Ok((computed, Frontier::from_cells(keys), exc, rows))
+    }
+
+    /// Restates the drilled share of the work counters from the
+    /// retained drill state (drilling is a replay: the counters
+    /// describe the *current* cube, they do not accumulate across
+    /// same-window batches).
+    fn restate_drill_counters(&mut self) {
+        self.stats.cuboids_computed =
+            self.path.cuboids().len() as u32 + self.drill.tables.len() as u32;
+        self.stats.cells_computed = self.path_cells + self.drill.drilled_cells();
+    }
+
     /// Refreshes the retention statistics and publishes them into the
-    /// exposed result.
+    /// exposed result. The drilled off-path tables are genuinely
+    /// retained across a unit's batches (that is what makes the
+    /// frontier-dirty replay incremental), so they count toward the
+    /// retention figures alongside the path tables and exceptions.
     fn refresh_stats(&mut self) {
         let dims = self.schema.num_dims();
         let result = &self.result;
@@ -1128,13 +1381,20 @@ impl PopularPathEngine {
             .values()
             .map(|t| t.len() as u64)
             .sum::<u64>()
-            + self.stats.exception_cells;
+            + self.stats.exception_cells
+            + self.drill.drilled_cells();
         self.stats.retained_bytes = result
             .path_tables()
             .values()
             .map(|t| table_bytes(t, dims))
             .sum::<usize>()
-            + exception_bytes(result, dims);
+            + exception_bytes(result, dims)
+            + self
+                .drill
+                .tables
+                .values()
+                .map(|t| table_bytes(t, dims))
+                .sum::<usize>();
         self.stats.peak_bytes = self.mem.peak();
         self.result.set_stats(self.stats);
     }
@@ -1145,6 +1405,51 @@ impl PopularPathEngine {
             .iter_exceptions()
             .map(|(c, k, _)| (c.clone(), k.clone()))
             .collect()
+    }
+}
+
+/// Alloc-free drill qualification for one off-path cuboid: a target
+/// cell qualifies when its projection into at least one parent cuboid
+/// lands on that parent's exception frontier. Parents with empty
+/// frontiers are dropped up front, projections run through the PR-4
+/// [`Projector`] LUTs into one reusable scratch buffer, and the
+/// frontier probe is the `Borrow<[u32]>` slice lookup — no per-row
+/// key allocation anywhere on the drill path.
+struct QualifyProbe<'a> {
+    /// `(frontier, target → parent projector)` per non-empty parent.
+    parents: Vec<(&'a Frontier, Projector<'a>)>,
+    scratch: RefCell<Vec<u32>>,
+}
+
+impl<'a> QualifyProbe<'a> {
+    fn new(
+        schema: &'a CubeSchema,
+        cuboid: &CuboidSpec,
+        parent_specs: &[CuboidSpec],
+        frontiers: &'a FxHashMap<CuboidSpec, Frontier>,
+    ) -> Self {
+        let parents = parent_specs
+            .iter()
+            .filter_map(|p| {
+                frontiers
+                    .get(p)
+                    .filter(|f| !f.is_empty())
+                    .map(|f| (f, Projector::new(schema, cuboid, p)))
+            })
+            .collect();
+        QualifyProbe {
+            parents,
+            scratch: RefCell::new(vec![0u32; schema.num_dims()]),
+        }
+    }
+
+    /// Tests one target cell's coordinates against the parent frontiers.
+    fn qualifies(&self, ids: &[u32]) -> bool {
+        let mut scratch = self.scratch.borrow_mut();
+        self.parents.iter().any(|(frontier, projector)| {
+            projector.project_into(ids, &mut scratch);
+            frontier.contains_ids(&scratch)
+        })
     }
 }
 

@@ -106,6 +106,7 @@ pub use exception::{ExceptionPolicy, RefMode};
 pub use layers::CriticalLayers;
 pub use measure::MTuple;
 pub use pool::WorkerPool;
+pub use popular_path::{DrillFrontier, Frontier};
 pub use result::CubeResult;
 pub use shard::ShardedEngine;
 pub use stats::RunStats;

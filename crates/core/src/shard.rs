@@ -38,6 +38,18 @@
 //!   engine runs the real policy unmodified, so `n = 1` is a true
 //!   passthrough for *any* engine.
 //!
+//! Popular-path shards carry their own frontier-dirty drill state
+//! (`regcube_core::popular_path::DrillFrontier`): each shard's
+//! frontiers are invalidated by exactly the batches its partition
+//! receives, and the merged [`UnitDelta`] is re-derived here by
+//! diffing the *merged* exception stores before and after the batch —
+//! never by trusting a shard's local frontier, which only sees its own
+//! partition of the data. The per-shard `drill_replayed_cuboids` /
+//! `drill_skipped_cuboids` counters sum into the merged [`RunStats`],
+//! so the step-3 savings stay observable at every shard count (the
+//! contract tests pin incremental ≡ full-replay shards at n ∈
+//! {1, 2, 3, 7}).
+//!
 //! # Topology
 //!
 //! The shard pool is the system's parallelism backbone: shard-level
@@ -372,6 +384,11 @@ impl<E: CubingEngine + Send + Sync + 'static> ShardedEngine<E> {
             stats.rows_folded += s.rows_folded;
             stats.cells_computed += s.cells_computed;
             stats.cuboids_computed = stats.cuboids_computed.max(s.cuboids_computed);
+            // Each shard drills its own partition's cube, so the
+            // frontier-replay counters sum: the merged figures report
+            // total step-3 work (and total reuse) across the partition.
+            stats.drill_replayed_cuboids += s.drill_replayed_cuboids;
+            stats.drill_skipped_cuboids += s.drill_skipped_cuboids;
             // Upper bound of the concurrent high-water mark: every shard
             // could hit its peak at the same instant.
             stats.peak_bytes += s.peak_bytes;

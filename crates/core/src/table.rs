@@ -280,6 +280,61 @@ pub fn aggregate_from(
     Ok((out, rows))
 }
 
+/// Drill aggregation: rolls the qualifying region of `source` up into a
+/// new row table for `target_cuboid`, folding source cells in ascending
+/// `(target key, source key)` order.
+///
+/// Unlike [`aggregate_from`], whose per-cell fold order follows the
+/// source table's hash iteration order, the result here is a pure
+/// function of the source's *contents* — independent of insertion
+/// history, capacity or when the aggregation runs. That is the property
+/// the frontier-dirty incremental drill replay relies on: an off-path
+/// table retained from an earlier batch is byte-identical to the table
+/// a from-scratch step-3 replay would compute now, as long as its
+/// qualifying source region is unchanged.
+///
+/// The scan itself is allocation-free per row (the PR-4 [`Projector`]
+/// LUTs project into one scratch buffer and `qualify` receives the
+/// projected slice); only *qualifying* rows — proportional to the
+/// drilled region, not the cube — allocate their sort entry.
+///
+/// Returns the new table and the number of qualifying source rows
+/// folded.
+///
+/// # Errors
+/// Propagates measure merge failures (interval mismatches — impossible
+/// for tables built from one validated tuple window).
+pub fn drill_aggregate(
+    schema: &CubeSchema,
+    source_cuboid: &CuboidSpec,
+    source: &CuboidTable,
+    target_cuboid: &CuboidSpec,
+    qualify: impl Fn(&[u32]) -> bool,
+) -> Result<(CuboidTable, u64)> {
+    let projector = Projector::new(schema, source_cuboid, target_cuboid);
+    let mut projected = vec![0u32; schema.num_dims()];
+    // (target ids, source key, measure) of every qualifying source row.
+    let mut rows: Vec<(Box<[u32]>, &CellKey, &Isb)> = Vec::new();
+    for (key, isb) in source {
+        projector.project_into(key.ids(), &mut projected);
+        if qualify(&projected) {
+            rows.push((projected.clone().into_boxed_slice(), key, isb));
+        }
+    }
+    let folded = rows.len() as u64;
+    rows.sort_unstable_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    let mut out = CuboidTable::default();
+    for (target_ids, _, isb) in rows {
+        match out.get_mut(target_ids.as_ref()) {
+            Some(acc) => merge_sibling(acc, isb)?,
+            None => {
+                out.insert(CellKey::new(target_ids), *isb);
+            }
+        }
+    }
+    Ok((out, folded))
+}
+
 /// Screens a finished full table against the exception policy and
 /// returns the exceptional cells as a row-layout store (exception sets
 /// are small, so the retained form is always row-oriented) — the one

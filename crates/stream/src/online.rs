@@ -60,6 +60,17 @@ pub struct UnitReport {
     /// sink never fails the unit — the cube is already updated when
     /// sinks run, so each error is surfaced exactly once, here.
     pub sink_errors: Vec<SinkError>,
+    /// Off-path cuboids the popular-path drill re-aggregated (or
+    /// retracted) for this unit, summed across shards. Zero for
+    /// Algorithm 1 backends and for empty units. See
+    /// [`RunStats::drill_replayed_cuboids`](regcube_core::RunStats).
+    pub drill_replayed_cuboids: u64,
+    /// Off-path cuboids the popular-path engine's step 3 left
+    /// untouched for this unit (retained output reused verbatim, or no
+    /// drill candidates at all), summed across shards — the work the
+    /// frontier-dirty replay saved. See
+    /// [`RunStats::drill_skipped_cuboids`](regcube_core::RunStats).
+    pub drill_skipped_cuboids: u64,
 }
 
 /// Configuration of an [`OnlineEngine`], built fluently:
@@ -519,6 +530,8 @@ impl<E: CubingEngine> OnlineEngine<E> {
                 diff: None,
                 cube_delta: None,
                 sink_errors: Vec::new(),
+                drill_replayed_cuboids: 0,
+                drill_skipped_cuboids: 0,
             });
         }
 
@@ -595,6 +608,7 @@ impl<E: CubingEngine> OnlineEngine<E> {
             self.ticks_per_unit,
         )?;
 
+        let drill_stats = self.cubing.stats();
         Ok(UnitReport {
             unit,
             m_cells: cells.len(),
@@ -604,6 +618,8 @@ impl<E: CubingEngine> OnlineEngine<E> {
             diff,
             cube_delta: Some(delta),
             sink_errors,
+            drill_replayed_cuboids: drill_stats.drill_replayed_cuboids,
+            drill_skipped_cuboids: drill_stats.drill_skipped_cuboids,
         })
     }
 

@@ -88,8 +88,8 @@ pub mod sim {
 pub mod prelude {
     pub use regcube_core::{
         mo_cubing, popular_path, Backend, ColumnarCubingEngine, CriticalLayers, CubeResult,
-        CubingEngine, ExceptionPolicy, MTuple, MoCubingEngine, RefMode, RegressionCube,
-        ShardedEngine, WorkerPool,
+        CubingEngine, DrillFrontier, ExceptionPolicy, Frontier, MTuple, MoCubingEngine,
+        PopularPathEngine, RefMode, RegressionCube, ShardedEngine, WorkerPool,
     };
     pub use regcube_datagen::{Dataset, DatasetSpec};
     pub use regcube_olap::{

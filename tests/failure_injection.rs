@@ -456,3 +456,55 @@ fn zero_and_single_member_schemas_work_end_to_end() {
         assert!((apex.slope() - 2.0).abs() < 1e-9);
     }
 }
+
+#[test]
+fn cleared_frontier_retracts_drilled_descendants_even_after_nan_noise() {
+    // Frontier-dirty drilling under adversarial input: a hot stream
+    // builds a drilled off-path subtree; a NaN batch must neither panic
+    // nor extend any frontier (NaN scores are non-exceptional); and a
+    // canceling merge that clears the frontier cell must retract every
+    // retained drilled descendant, leaving no stale exception behind.
+    let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+    let layers = CriticalLayers::new(
+        &schema,
+        CuboidSpec::new(vec![0, 0]),
+        CuboidSpec::new(vec![2, 2]),
+    )
+    .unwrap();
+    let policy = ExceptionPolicy::slope_threshold(0.4);
+    let mut engine = PopularPathEngine::new(schema.clone(), layers.clone(), policy, None).unwrap();
+
+    let hot = MTuple::new(vec![0, 0], Isb::new(0, 9, 1.0, 0.6).unwrap());
+    let quiet = MTuple::new(vec![3, 3], Isb::new(0, 9, 1.0, 0.01).unwrap());
+    engine.ingest_unit(&[hot, quiet]).unwrap();
+    assert!(engine.drill_state().drilled_cuboids() > 0);
+    assert!(engine.result().total_exception_cells() > 0);
+
+    // NaN on an unrelated cell: folds through without panicking and
+    // without qualifying anything new (NaN >= t is false).
+    let broken = MTuple::new(vec![2, 1], Isb::new(0, 9, f64::NAN, f64::NAN).unwrap());
+    let nan_delta = engine.ingest_unit(&[broken]).unwrap();
+    assert!(
+        !nan_delta
+            .appeared
+            .iter()
+            .any(|(_, k)| k.ids() == [1, 0] || k.ids() == [2, 1]),
+        "a NaN stream must not raise exceptions of its own"
+    );
+
+    // The canceling sibling clears the hot chain's frontier cells; the
+    // drilled subtree must be retracted with them.
+    let cancel = MTuple::new(vec![0, 0], Isb::new(0, 9, -1.0, -0.6).unwrap());
+    let delta = engine.ingest_unit(&[cancel]).unwrap();
+    assert!(!delta.cleared.is_empty(), "the chain reports cleared cells");
+    assert_eq!(engine.drill_state().drilled_cuboids(), 0, "subtree gone");
+    assert_eq!(engine.result().total_exception_cells(), 0);
+    // Drilling the apex afterwards finds no supporters.
+    let hits = regcube::core::drill::drill_descendants(
+        &schema,
+        engine.result(),
+        layers.o_layer(),
+        &CellKey::new(vec![0, 0]),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
