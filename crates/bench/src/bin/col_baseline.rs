@@ -1,0 +1,224 @@
+//! Columnar kernel baseline: emit or check `BENCH_columnar.json`.
+//!
+//! ```text
+//! # regenerate the committed baseline (repo root):
+//! cargo run --release -p regcube-bench --bin col_baseline -- --quick --write BENCH_columnar.json
+//! # CI regression gate (fails if the kernel speedup drops >20%):
+//! cargo run --release -p regcube-bench --bin col_baseline -- --quick --check BENCH_columnar.json
+//! ```
+//!
+//! The gate compares three kinds of figures:
+//!
+//! * the **fold/dispatch counts** (total rows folded, kernel rows,
+//!   scalar rows) and the **retained exception cells**, which are
+//!   deterministic for the fixed workload and must match the baseline
+//!   exactly — a mismatch means the dispatch logic (or the cube
+//!   semantics) changed behavior;
+//! * the **kernel speedup** (kernel-dispatch rows/sec over the
+//!   forced-scalar rows/sec, both measured in this run on this
+//!   machine), which normalizes machine speed out — this is the
+//!   enforced throughput gate: it fails when the speedup drops more
+//!   than the tolerance (default 20%, override with
+//!   `COL_BASELINE_TOLERANCE=0.3`) below the committed figure;
+//! * the **absolute vectorized rows/sec**, which is machine-dependent
+//!   and therefore only advisory by default — set `COL_BASELINE_STRICT=1`
+//!   to enforce it too (useful when the check always runs on the same
+//!   runner class as the committed baseline).
+//!
+//! The two phases also cross-check each other in-process: both must
+//! retain the same exception cells and fold the same number of rows,
+//! or the run fails before any baseline comparison.
+
+use regcube_bench::experiments::columnar::run_kernel_phases;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: col_baseline [--quick] (--write FILE | --check FILE)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let grab = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let (write, check) = (grab("--write"), grab("--check"));
+    if write.is_none() == check.is_none() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "[col_baseline] measuring kernel phases ({}) ...",
+        if quick { "quick" } else { "full" }
+    );
+    let (vec_phase, scalar_phase) = run_kernel_phases(quick);
+
+    // In-process parity first: identical semantics and identical total
+    // fold work are preconditions for the speedup to mean anything.
+    if vec_phase.exception_cells != scalar_phase.exception_cells {
+        eprintln!(
+            "FAIL kernel and scalar phases disagree on exceptions: {} vs {}",
+            vec_phase.exception_cells, scalar_phase.exception_cells
+        );
+        return ExitCode::FAILURE;
+    }
+    if vec_phase.rows != scalar_phase.rows {
+        eprintln!(
+            "FAIL kernel and scalar phases folded different row counts: {} vs {}",
+            vec_phase.rows, scalar_phase.rows
+        );
+        return ExitCode::FAILURE;
+    }
+    if scalar_phase.rows_folded_simd != 0 {
+        eprintln!(
+            "FAIL forced-scalar phase reported {} kernel rows",
+            scalar_phase.rows_folded_simd
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let kernel_speedup = vec_phase.rows_per_sec / scalar_phase.rows_per_sec.max(1e-9);
+    let doc = format!(
+        "{{\n  \"mode\": \"{}\",\n  \"vectorized_rows_per_sec\": {:.1},\n  \
+         \"scalar_rows_per_sec\": {:.1},\n  \"kernel_speedup\": {:.2},\n  \
+         \"rows_folded\": {},\n  \"rows_folded_simd\": {},\n  \
+         \"rows_folded_scalar\": {},\n  \"exception_cells\": {}\n}}\n",
+        if quick { "quick" } else { "full" },
+        vec_phase.rows_per_sec,
+        scalar_phase.rows_per_sec,
+        kernel_speedup,
+        vec_phase.rows,
+        vec_phase.rows_folded_simd,
+        vec_phase.rows_folded_scalar,
+        vec_phase.exception_cells,
+    );
+
+    if let Some(path) = write {
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[col_baseline] wrote {path}");
+        print!("{doc}");
+        return ExitCode::SUCCESS;
+    }
+
+    let path = check.expect("checked above");
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e}; regenerate with --write");
+            return ExitCode::FAILURE;
+        }
+    };
+    let field = |name: &str| -> Option<f64> {
+        let tag = format!("\"{name}\":");
+        let rest = &baseline[baseline.find(&tag)? + tag.len()..];
+        rest.split([',', '}', '\n']).next()?.trim().parse().ok()
+    };
+    let mut failed = false;
+    // Mode first: comparing a quick baseline against a full run (or
+    // vice versa) would fail every deterministic counter for a reason
+    // that has nothing to do with the kernels.
+    let mode = if quick { "quick" } else { "full" };
+    if !baseline.contains(&format!("\"mode\": \"{mode}\"")) {
+        eprintln!(
+            "FAIL baseline {path} was not recorded in {mode} mode — rerun \
+             with the matching --quick flag or regenerate with --write"
+        );
+        failed = true;
+    }
+    for (name, actual) in [
+        ("rows_folded", vec_phase.rows as f64),
+        ("rows_folded_simd", vec_phase.rows_folded_simd as f64),
+        ("rows_folded_scalar", vec_phase.rows_folded_scalar as f64),
+        ("exception_cells", vec_phase.exception_cells as f64),
+    ] {
+        match field(name) {
+            Some(expected) if expected == actual => {}
+            Some(expected) => {
+                eprintln!(
+                    "FAIL {name}: baseline {expected} vs measured {actual} \
+                     (deterministic counter changed — intended? regenerate \
+                     the baseline with --write)"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL baseline {path} is missing field {name}");
+                failed = true;
+            }
+        }
+    }
+    let tolerance: f64 = std::env::var("COL_BASELINE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    // The enforced throughput gate: the kernel-vs-scalar speedup,
+    // measured in-process, is independent of how fast this machine is
+    // relative to the one that recorded the baseline.
+    match field("kernel_speedup") {
+        Some(expected) => {
+            let floor = expected * (1.0 - tolerance);
+            if kernel_speedup < floor {
+                eprintln!(
+                    "FAIL kernel speedup regressed: {:.2}x vs baseline \
+                     {:.2}x (floor {:.2}x at {:.0}% tolerance)",
+                    kernel_speedup,
+                    expected,
+                    floor,
+                    tolerance * 100.0
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "[col_baseline] kernel speedup {:.2}x (baseline {:.2}x, \
+                     floor {:.2}x) — ok",
+                    kernel_speedup, expected, floor
+                );
+            }
+        }
+        None => {
+            eprintln!("FAIL baseline {path} is missing field kernel_speedup");
+            failed = true;
+        }
+    }
+    // Absolute rows/sec is machine-dependent: advisory unless the
+    // operator opts into strict mode (same runner class as baseline).
+    let strict = std::env::var("COL_BASELINE_STRICT").is_ok_and(|v| v == "1");
+    match field("vectorized_rows_per_sec") {
+        Some(expected) => {
+            let floor = expected * (1.0 - tolerance);
+            if vec_phase.rows_per_sec < floor {
+                eprintln!(
+                    "{} vectorized throughput below baseline: {:.1} rows/s \
+                     vs {:.1} (floor {:.1}; machine-dependent figure{})",
+                    if strict { "FAIL" } else { "WARN" },
+                    vec_phase.rows_per_sec,
+                    expected,
+                    floor,
+                    if strict { "" } else { ", advisory" }
+                );
+                failed |= strict;
+            } else {
+                eprintln!(
+                    "[col_baseline] vectorized {:.1} rows/s (baseline {:.1}, \
+                     floor {:.1}) — ok",
+                    vec_phase.rows_per_sec, expected, floor
+                );
+            }
+        }
+        None => {
+            eprintln!("FAIL baseline {path} is missing field vectorized_rows_per_sec");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("[col_baseline] check passed");
+        ExitCode::SUCCESS
+    }
+}

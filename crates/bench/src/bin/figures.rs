@@ -25,7 +25,8 @@ const USAGE: &str =
                frontier-dirty drill replay vs full step-3 replay phases
   scaling      sharded cubing throughput at 1/2/4/8 shards
   alarm        delta-driven alarm sinks vs rescan consumer overhead
-  columnar     struct-of-arrays vs hash-map layout on the tier roll-up
+  columnar     struct-of-arrays vs hash-map layout on the tier roll-up,
+               plus the kernel-dispatch vs scalar-fallback fold phases
   all          everything above
   --quick      shrunken datasets for smoke runs
   --json FILE  additionally write all tables as a JSON document";

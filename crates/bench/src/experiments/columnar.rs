@@ -24,7 +24,7 @@ use crate::report::{fmt_count, fmt_mb, fmt_secs, Table};
 use regcube_core::columnar::ColumnarCubingEngine;
 use regcube_core::engine::CubingEngine;
 use regcube_core::shard::ShardedEngine;
-use regcube_core::{CriticalLayers, ExceptionPolicy, MTuple, MoCubingEngine};
+use regcube_core::{CriticalLayers, ExceptionPolicy, KernelMode, MTuple, MoCubingEngine};
 use regcube_datagen::{Dataset, DatasetSpec};
 use regcube_regress::Isb;
 use std::time::{Duration, Instant};
@@ -48,19 +48,26 @@ pub struct Point {
     pub analytical_peak: usize,
     /// Exception cells retained after the last unit (equality check).
     pub exception_cells: u64,
+    /// Rows folded through the chunked kernel layer across the replay.
+    pub rows_folded_simd: u64,
+    /// Rows folded through the scalar per-row path across the replay.
+    pub rows_folded_scalar: u64,
 }
 
 /// Replays `batches` (one per unit window) through `engine` under the
 /// allocator meter.
 fn measure(config: &str, batches: &[Vec<MTuple>], mut engine: Box<dyn CubingEngine>) -> Point {
     let started = Instant::now();
-    let (rows, alloc_peak) = memtrack::measure_peak(|| {
-        let mut rows = 0u64;
+    let ((rows, simd, scalar), alloc_peak) = memtrack::measure_peak(|| {
+        let (mut rows, mut simd, mut scalar) = (0u64, 0u64, 0u64);
         for batch in batches {
             engine.ingest_unit(batch).expect("valid replay batch");
-            rows += engine.stats().rows_folded;
+            let s = engine.stats();
+            rows += s.rows_folded;
+            simd += s.rows_folded_simd;
+            scalar += s.rows_folded_scalar;
         }
-        rows
+        (rows, simd, scalar)
     });
     let total = started.elapsed();
     Point {
@@ -72,11 +79,22 @@ fn measure(config: &str, batches: &[Vec<MTuple>], mut engine: Box<dyn CubingEngi
         alloc_peak,
         analytical_peak: engine.stats().peak_bytes,
         exception_cells: engine.result().total_exception_cells(),
+        rows_folded_simd: simd,
+        rows_folded_scalar: scalar,
     }
 }
 
-/// Runs the sweep and returns one point per configuration.
-pub fn run(quick: bool) -> Vec<Point> {
+/// The replay workload: schema, layers, policy and one batch of tuples
+/// per unit window (every batch opens a unit — the full tier roll-up
+/// the layouts are racing on).
+fn workload(
+    quick: bool,
+) -> (
+    regcube_olap::CubeSchema,
+    CriticalLayers,
+    ExceptionPolicy,
+    Vec<Vec<MTuple>>,
+) {
     let (tuples_n, units, fanout) = if quick { (2_000, 3, 4) } else { (50_000, 6, 8) };
     let ticks = 16usize;
     let spec = DatasetSpec::new(3, 3, fanout, tuples_n)
@@ -87,9 +105,6 @@ pub fn run(quick: bool) -> Vec<Point> {
     let layers = CriticalLayers::new(&schema, dataset.o_layer.clone(), dataset.m_layer.clone())
         .expect("valid layers");
     let policy = ExceptionPolicy::slope_threshold(0.5);
-
-    // One batch per unit window, so every replayed batch opens a unit —
-    // the full tier roll-up both layouts are racing on.
     let unit_batches: Vec<Vec<MTuple>> = (0..units)
         .map(|u| {
             let start = (u * ticks) as i64;
@@ -104,7 +119,12 @@ pub fn run(quick: bool) -> Vec<Point> {
                 .collect()
         })
         .collect();
+    (schema, layers, policy, unit_batches)
+}
 
+/// Runs the sweep and returns one point per configuration.
+pub fn run(quick: bool) -> Vec<Point> {
+    let (schema, layers, policy, unit_batches) = workload(quick);
     vec![
         measure(
             "tier roll-up, row (hash-map) layout",
@@ -117,9 +137,22 @@ pub fn run(quick: bool) -> Vec<Point> {
         measure(
             "tier roll-up, columnar layout",
             &unit_batches,
+            // Both kernel modes are pinned programmatically so the race
+            // stays kernel-vs-scalar even when the suite runs under
+            // REGCUBE_SCALAR_KERNELS=1.
             Box::new(
                 ColumnarCubingEngine::new(schema.clone(), layers.clone(), policy.clone())
-                    .expect("valid engine"),
+                    .expect("valid engine")
+                    .with_kernel_mode(KernelMode::Auto),
+            ),
+        ),
+        measure(
+            "columnar layout, scalar kernels",
+            &unit_batches,
+            Box::new(
+                ColumnarCubingEngine::new(schema.clone(), layers.clone(), policy.clone())
+                    .expect("valid engine")
+                    .with_kernel_mode(KernelMode::Scalar),
             ),
         ),
         measure(
@@ -128,6 +161,33 @@ pub fn run(quick: bool) -> Vec<Point> {
             Box::new(ShardedEngine::columnar(schema, layers, policy, 2).expect("valid engine")),
         ),
     ]
+}
+
+/// The kernel phase alone: the same columnar replay with auto kernel
+/// dispatch and with the scalar fallback forced, in that order. This
+/// is the pair `col_baseline` gates on — both runs happen in this
+/// process, so their rows/sec ratio normalizes machine speed out.
+pub fn run_kernel_phases(quick: bool) -> (Point, Point) {
+    let (schema, layers, policy, unit_batches) = workload(quick);
+    let vectorized = measure(
+        "columnar tier roll-up, kernel dispatch",
+        &unit_batches,
+        Box::new(
+            ColumnarCubingEngine::new(schema.clone(), layers.clone(), policy.clone())
+                .expect("valid engine")
+                .with_kernel_mode(KernelMode::Auto),
+        ),
+    );
+    let scalar = measure(
+        "columnar tier roll-up, scalar fallback",
+        &unit_batches,
+        Box::new(
+            ColumnarCubingEngine::new(schema, layers, policy)
+                .expect("valid engine")
+                .with_kernel_mode(KernelMode::Scalar),
+        ),
+    );
+    (vectorized, scalar)
 }
 
 /// Prints the sweep and returns it (for JSON export).
@@ -145,6 +205,8 @@ pub fn print(points: &[Point]) -> Vec<Table> {
             "rows/sec",
             "total (s)",
             "speedup",
+            "kernel rows",
+            "scalar rows",
             "alloc peak",
             "table peak",
             "exceptions",
@@ -156,6 +218,8 @@ pub fn print(points: &[Point]) -> Vec<Table> {
             format!("{:.0}", p.rows_per_sec),
             fmt_secs(p.total),
             format!("{:.2}x", p.rows_per_sec / base_rate),
+            fmt_count(p.rows_folded_simd),
+            fmt_count(p.rows_folded_scalar),
             fmt_mb(p.alloc_peak),
             fmt_mb(p.analytical_peak),
             fmt_count(p.exception_cells),
@@ -170,6 +234,12 @@ pub fn print(points: &[Point]) -> Vec<Table> {
             row.analytical_peak as f64 / col.analytical_peak.max(1) as f64,
         );
     }
+    if let (Some(col), Some(scalar)) = (points.get(1), points.get(2)) {
+        println!(
+            "kernel dispatch vs scalar fallback: {:.2}x rows/sec",
+            col.rows_per_sec / scalar.rows_per_sec,
+        );
+    }
     println!();
     vec![t]
 }
@@ -181,18 +251,29 @@ mod tests {
     #[test]
     fn quick_sweep_agrees_on_the_cube() {
         let points = run(true);
-        assert_eq!(points.len(), 3);
-        // Identical semantics across layouts and shards: same retained
-        // exceptions (throughput varies with the hardware, so only the
-        // semantics are asserted).
+        assert_eq!(points.len(), 4);
+        // Identical semantics across layouts, kernel modes and shards:
+        // same retained exceptions (throughput varies with the
+        // hardware, so only the semantics are asserted).
         for p in &points {
             assert_eq!(p.exception_cells, points[0].exception_cells, "{}", p.config);
             assert!(p.rows_per_sec > 0.0, "{}", p.config);
             assert!(p.alloc_peak > 0, "{}", p.config);
         }
-        // The two unsharded layouts do exactly the same folding work
+        // The unsharded layouts do exactly the same folding work
         // (sharded roll-ups fold per-shard partials, so their row count
-        // legitimately differs).
+        // legitimately differs) — the kernel mode only moves rows
+        // between the dispatch counters.
         assert_eq!(points[0].rows, points[1].rows);
+        assert_eq!(points[1].rows, points[2].rows);
+        let (auto, scalar) = (&points[1], &points[2]);
+        assert!(auto.rows_folded_simd > 0, "kernels reached");
+        assert_eq!(scalar.rows_folded_simd, 0, "fallback forced");
+        for p in [auto, scalar] {
+            assert_eq!(p.rows, p.rows_folded_simd + p.rows_folded_scalar);
+        }
+        // The row layout has no kernel dispatch at all.
+        assert_eq!(points[0].rows_folded_simd, 0);
+        assert_eq!(points[0].rows_folded_scalar, 0);
     }
 }

@@ -74,13 +74,17 @@ use crate::engine::{
     batch_window, depth_tiers, empty_result, exception_bytes, fold_tuples_into, CubingEngine,
     UnitDelta,
 };
-use crate::error::CoreError;
 use crate::exception::ExceptionPolicy;
+use crate::kernel::{self, FoldColumns, FoldOutput, KernelMode};
 use crate::layers::CriticalLayers;
 use crate::measure::{merge_sibling, validate_tuples, MTuple};
 use crate::result::{Algorithm, CubeResult};
 use crate::stats::{MemoryAccountant, RunStats};
-use crate::table::{aggregate_into, collect_exceptions, table_bytes, CuboidTable, TableStorage};
+use crate::table::{
+    aggregate_into, collect_exceptions, table_bytes, CuboidTable, Projector, TableStorage,
+};
+
+pub use crate::table::DenseCellCodec;
 use crate::Result;
 use regcube_olap::cell::CellKey;
 use regcube_olap::fxhash::{FxHashMap, FxHashSet};
@@ -102,11 +106,9 @@ use std::time::Instant;
 /// ([`get`](Self::get), iteration) address the compacted region only.
 #[derive(Debug, Clone)]
 pub struct ColumnarTable {
-    /// Per-dimension cardinality at the cuboid's levels.
-    radices: Box<[u32]>,
-    /// Mixed-radix strides: `id = Σ ids[d] · strides[d]`, last dimension
-    /// fastest — ascending id order is ascending key order.
-    strides: Box<[u64]>,
+    /// Dense mixed-radix cell-id codec (shared with the kernel layer):
+    /// ascending id order is ascending key order.
+    codec: DenseCellCodec,
     /// Sorted dense cell ids; rows `compacted..` are the staged tail.
     index: Vec<u64>,
     /// ISB component columns, parallel to `index`.
@@ -116,57 +118,54 @@ pub struct ColumnarTable {
     slopes: Vec<f64>,
     /// Length of the sorted, duplicate-free prefix.
     compacted: usize,
+    /// Which implementation [`TableStorage::finish`] runs (see
+    /// [`crate::kernel`]).
+    kernel: KernelMode,
 }
 
 impl ColumnarTable {
-    /// Creates an empty table for one cuboid of `schema`.
+    /// Creates an empty table for one cuboid of `schema`, with the
+    /// process-default kernel mode ([`KernelMode::from_env`]).
     ///
     /// # Errors
-    /// [`CoreError::BadInput`] when the cuboid's cell space does not fit
+    /// [`CoreError::BadInput`](crate::CoreError::BadInput) when the cuboid's cell space does not fit
     /// a dense 64-bit id (astronomical cardinalities only).
     pub fn new(schema: &CubeSchema, cuboid: &CuboidSpec) -> Result<Self> {
-        let radices: Box<[u32]> = (0..schema.num_dims())
-            .map(|d| schema.dims()[d].hierarchy().cardinality(cuboid.level(d)))
-            .collect();
-        let mut strides = vec![0u64; radices.len()].into_boxed_slice();
-        let mut stride: u64 = 1;
-        for d in (0..radices.len()).rev() {
-            strides[d] = stride;
-            stride =
-                stride
-                    .checked_mul(u64::from(radices[d]))
-                    .ok_or_else(|| CoreError::BadInput {
-                        detail: format!("cuboid {cuboid} cell space overflows a dense 64-bit id"),
-                    })?;
-        }
         Ok(ColumnarTable {
-            radices,
-            strides,
+            codec: DenseCellCodec::new(schema, cuboid)?,
             index: Vec::new(),
             starts: Vec::new(),
             ends: Vec::new(),
             bases: Vec::new(),
             slopes: Vec::new(),
             compacted: 0,
+            kernel: KernelMode::from_env(),
         })
+    }
+
+    /// Selects which implementation the table's compaction runs
+    /// (builder form; see [`crate::kernel::KernelMode`]).
+    pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernel = mode;
+        self
+    }
+
+    /// The table's dense cell-id codec.
+    #[inline]
+    pub fn codec(&self) -> &DenseCellCodec {
+        &self.codec
     }
 
     /// The dense cell id of a key (mixed-radix over the cuboid levels).
     #[inline]
     fn encode(&self, ids: &[u32]) -> u64 {
-        ids.iter()
-            .zip(self.strides.iter())
-            .map(|(&id, &stride)| u64::from(id) * stride)
-            .sum()
+        self.codec.encode(ids)
     }
 
     /// Decodes a dense cell id into per-dimension member ids.
     #[inline]
     fn decode_into(&self, id: u64, out: &mut [u32]) {
-        for ((slot, &stride), &radix) in out.iter_mut().zip(self.strides.iter()).zip(&self.radices)
-        {
-            *slot = ((id / stride) % u64::from(radix)) as u32;
-        }
+        self.codec.decode_into(id, out)
     }
 
     /// The stored measure of row `i`.
@@ -199,7 +198,7 @@ impl ColumnarTable {
     /// [`CubeResult`] every downstream consumer reads).
     pub fn to_row_table(&self) -> CuboidTable {
         let mut out = CuboidTable::with_capacity_and_hasher(self.compacted, Default::default());
-        let mut ids = vec![0u32; self.radices.len()];
+        let mut ids = vec![0u32; self.codec.num_dims()];
         for i in 0..self.compacted {
             self.decode_into(self.index[i], &mut ids);
             out.insert(CellKey::new(ids.clone()), self.isb_at(i));
@@ -209,11 +208,25 @@ impl ColumnarTable {
 
     /// Compacts the staged tail: stable-sort by id (duplicates keep
     /// arrival order), fold duplicates left-to-right, merge with the
-    /// compacted run.
-    fn compact(&mut self) -> Result<()> {
+    /// compacted run. Returns `true` when the kernel path ran (the
+    /// dispatch-counter attribution the engine reports).
+    fn compact(&mut self) -> Result<bool> {
         if self.compacted == self.index.len() {
-            return Ok(());
+            // Nothing staged: every merged row hit the compacted region
+            // in place (scalar per-row merges), so no kernel ran.
+            return Ok(false);
         }
+        if self.kernel.use_kernel() && self.index.len() - self.compacted <= u32::MAX as usize {
+            self.compact_kernel()?;
+            return Ok(true);
+        }
+        self.compact_scalar()?;
+        Ok(false)
+    }
+
+    /// The scalar compaction (the kernel layer's fallback): row-at-a-
+    /// time via [`Isb`] round trips, the pre-kernel code path.
+    fn compact_scalar(&mut self) -> Result<()> {
         let mut staged: Vec<(u64, Isb)> = (self.compacted..self.index.len())
             .map(|i| (self.index[i], self.isb_at(i)))
             .collect();
@@ -256,17 +269,78 @@ impl ColumnarTable {
         Ok(())
     }
 
-    /// An empty table with the same shape (radices/strides).
+    /// Kernel compaction: the staged tail folds column-to-column (no
+    /// per-row [`Isb`] round trips, no 40-byte sort entries — the sort
+    /// permutes `(id, index)` pairs, and an already-sorted stage skips
+    /// it entirely), then span-merges with the compacted run. Bit-exact
+    /// with [`compact_scalar`](Self::compact_scalar): same stable
+    /// order, same left-to-right sums, same mismatch errors.
+    fn compact_kernel(&mut self) -> Result<()> {
+        let split = self.compacted;
+        let staged_ids = &self.index[split..];
+        let staged = FoldColumns {
+            ids: staged_ids,
+            starts: &self.starts[split..],
+            ends: &self.ends[split..],
+            bases: &self.bases[split..],
+            slopes: &self.slopes[split..],
+        };
+        let mut folded = FoldOutput::with_capacity(staged_ids.len());
+        if kernel::is_nondecreasing_u64(staged_ids) {
+            kernel::fold_sorted_runs(staged_ids, &staged, &mut folded)?;
+        } else {
+            let mut pairs: Vec<(u64, u32)> = staged_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (id, i as u32))
+                .collect();
+            pairs.sort_by_key(|&(id, _)| id); // stable: arrival order on ties
+            kernel::fold_permuted_runs(&pairs, &staged, &mut folded)?;
+        }
+        if split == 0 {
+            self.index = folded.ids;
+            self.starts = folded.starts;
+            self.ends = folded.ends;
+            self.bases = folded.bases;
+            self.slopes = folded.slopes;
+        } else {
+            let compacted = FoldColumns {
+                ids: &self.index[..split],
+                starts: &self.starts[..split],
+                ends: &self.ends[..split],
+                bases: &self.bases[..split],
+                slopes: &self.slopes[..split],
+            };
+            let folded_cols = FoldColumns {
+                ids: &folded.ids,
+                starts: &folded.starts,
+                ends: &folded.ends,
+                bases: &folded.bases,
+                slopes: &folded.slopes,
+            };
+            let mut merged = FoldOutput::with_capacity(split + folded.ids.len());
+            kernel::merge_two_runs(&compacted, &folded_cols, &mut merged)?;
+            self.index = merged.ids;
+            self.starts = merged.starts;
+            self.ends = merged.ends;
+            self.bases = merged.bases;
+            self.slopes = merged.slopes;
+        }
+        self.compacted = self.index.len();
+        Ok(())
+    }
+
+    /// An empty table with the same shape (codec) and kernel mode.
     fn empty_like(other: &ColumnarTable) -> Self {
         ColumnarTable {
-            radices: other.radices.clone(),
-            strides: other.strides.clone(),
+            codec: other.codec.clone(),
             index: Vec::new(),
             starts: Vec::new(),
             ends: Vec::new(),
             bases: Vec::new(),
             slopes: Vec::new(),
             compacted: 0,
+            kernel: other.kernel,
         }
     }
 
@@ -284,6 +358,18 @@ impl ColumnarTable {
         self.ends.truncate(self.compacted);
         self.bases.truncate(self.compacted);
         self.slopes.truncate(self.compacted);
+    }
+
+    /// [`TableStorage::finish`] that also reports which path compacted
+    /// the stage: `true` for the kernel path, `false` for the scalar
+    /// fallback — the engine feeds this into the
+    /// [`RunStats::rows_folded_simd`](crate::stats::RunStats::rows_folded_simd)
+    /// / `rows_folded_scalar` dispatch counters.
+    ///
+    /// # Errors
+    /// Deferred merge failures from staged duplicate rows.
+    pub fn finish_with_path(&mut self) -> Result<bool> {
+        self.compact()
     }
 }
 
@@ -312,12 +398,12 @@ impl TableStorage for ColumnarTable {
     }
 
     fn finish(&mut self) -> Result<()> {
-        self.compact()
+        self.compact().map(|_| ())
     }
 
     fn try_for_each_cell<F: FnMut(&[u32], &Isb) -> Result<()>>(&self, mut f: F) -> Result<()> {
         debug_assert_eq!(self.compacted, self.index.len(), "finish() before reads");
-        let mut ids = vec![0u32; self.radices.len()];
+        let mut ids = vec![0u32; self.codec.num_dims()];
         for i in 0..self.compacted {
             self.decode_into(self.index[i], &mut ids);
             let isb = self.isb_at(i);
@@ -335,6 +421,109 @@ impl TableStorage for ColumnarTable {
                 + 2 * std::mem::size_of::<i64>()
                 + 2 * std::mem::size_of::<f64>())
     }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-path aggregation and screening
+// ---------------------------------------------------------------------------
+
+/// Columnar→columnar group-by-projection on the kernel layer: the
+/// source id column is pushed block-at-a-time through the fused
+/// per-dimension ancestor LUTs
+/// ([`Projector::block_projector`]), and the projected rows fold
+/// column-to-column ([`crate::kernel::fold_sorted_runs`] /
+/// [`fold_permuted_runs`](crate::kernel::fold_permuted_runs)) straight
+/// into the target's compacted region — no staging, no per-row binary
+/// search, no [`Isb`] round trips. Synthetic hierarchies project
+/// monotonically, so the sortedness check usually skips the sort too.
+///
+/// Returns `Some(rows_folded)` when the kernel path ran, `None` when
+/// it cannot apply (scalar-forced target, per-row hierarchy walks,
+/// row counts beyond `u32`) — the caller falls back to the generic
+/// [`aggregate_into`]. Bit-exact with that fallback by construction:
+/// same stable fold order, same f64 add order, same mismatch errors.
+///
+/// # Errors
+/// Measure merge failures (interval mismatches — impossible for tables
+/// built from one validated tuple window).
+fn aggregate_columnar_kernel(
+    schema: &CubeSchema,
+    source_cuboid: &CuboidSpec,
+    source: &ColumnarTable,
+    target_cuboid: &CuboidSpec,
+    target: &mut ColumnarTable,
+) -> Result<Option<u64>> {
+    debug_assert_eq!(source.compacted, source.index.len(), "finish() the source");
+    debug_assert!(
+        target.index.is_empty(),
+        "kernel aggregation fills a fresh table"
+    );
+    if !target.kernel.use_kernel() || source.compacted > u32::MAX as usize {
+        return Ok(None);
+    }
+    let projector = Projector::new(schema, source_cuboid, target_cuboid);
+    let Some(block) = projector.block_projector(source.codec(), target.codec()) else {
+        return Ok(None);
+    };
+    let n = source.compacted;
+    let mut projected = vec![0u64; n];
+    block.project_into(&source.index[..n], &mut projected);
+
+    let src = FoldColumns {
+        ids: &source.index[..n],
+        starts: &source.starts[..n],
+        ends: &source.ends[..n],
+        bases: &source.bases[..n],
+        slopes: &source.slopes[..n],
+    };
+    let mut out = FoldOutput::with_capacity(n.min(1 << 20));
+    if kernel::is_nondecreasing_u64(&projected) {
+        kernel::fold_sorted_runs(&projected, &src, &mut out)?;
+    } else {
+        let mut pairs: Vec<(u64, u32)> = projected
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        pairs.sort_by_key(|&(id, _)| id); // stable: source order on ties
+        kernel::fold_permuted_runs(&pairs, &src, &mut out)?;
+    }
+    target.index = out.ids;
+    target.starts = out.starts;
+    target.ends = out.ends;
+    target.bases = out.bases;
+    target.slopes = out.slopes;
+    target.compacted = target.index.len();
+    Ok(Some(n as u64))
+}
+
+/// The columnar exception screen: a chunked `|slope| >= threshold`
+/// scan over the slope column ([`crate::kernel::screen_ge_abs`]), then
+/// key decoding for the (sparse) hits only. Falls back to the generic
+/// [`collect_exceptions`] on scalar-forced tables. Bit-exact with the
+/// scalar screen: the same predicate per cell
+/// ([`ExceptionPolicy::is_exception`] resolves to one threshold per
+/// cuboid), with NaN scores never qualifying.
+fn collect_exceptions_columnar(
+    policy: &ExceptionPolicy,
+    cuboid: &CuboidSpec,
+    table: &ColumnarTable,
+) -> CuboidTable {
+    debug_assert_eq!(table.compacted, table.index.len(), "finish() before reads");
+    if !table.kernel.use_kernel() || table.compacted > u32::MAX as usize {
+        return collect_exceptions(policy, cuboid, table);
+    }
+    let threshold = policy.threshold_for(cuboid);
+    let mut hits: Vec<u32> = Vec::new();
+    kernel::screen_ge_abs(&table.slopes[..table.compacted], threshold, &mut hits);
+    let mut exc = CuboidTable::with_capacity_and_hasher(hits.len(), Default::default());
+    let mut ids = vec![0u32; table.codec.num_dims()];
+    for &i in &hits {
+        let i = i as usize;
+        table.decode_into(table.index[i], &mut ids);
+        exc.insert(CellKey::new(ids.clone()), table.isb_at(i));
+    }
+    exc
 }
 
 // ---------------------------------------------------------------------------
@@ -360,6 +549,7 @@ pub struct ColumnarCubingEngine {
     schema: Arc<CubeSchema>,
     layers: CriticalLayers,
     policy: ExceptionPolicy,
+    kernel: KernelMode,
     window: Option<(i64, i64)>,
     units_opened: u64,
     stats: RunStats,
@@ -371,7 +561,7 @@ impl ColumnarCubingEngine {
     /// Creates a columnar engine for the given layers and policy.
     ///
     /// # Errors
-    /// [`CoreError::BadInput`] when a cuboid of the lattice overflows
+    /// [`CoreError::BadInput`](crate::CoreError::BadInput) when a cuboid of the lattice overflows
     /// the dense 64-bit cell-id space (see [`ColumnarTable::new`]).
     pub fn new(
         schema: CubeSchema,
@@ -388,6 +578,7 @@ impl ColumnarCubingEngine {
             schema: Arc::new(schema),
             layers,
             policy,
+            kernel: KernelMode::from_env(),
             window: None,
             units_opened: 0,
             stats: RunStats::default(),
@@ -396,9 +587,45 @@ impl ColumnarCubingEngine {
         })
     }
 
+    /// Selects which implementation the engine's hot loops run — the
+    /// chunked [`crate::kernel`] layer (`Auto`, the default) or the
+    /// scalar fallback (`Scalar`). Both produce byte-identical cubes,
+    /// exceptions and deltas (the kernel-parity suite pins it); the
+    /// split is reported in
+    /// [`RunStats::rows_folded_simd`](crate::stats::RunStats::rows_folded_simd)
+    /// / `rows_folded_scalar`. The process default honors
+    /// `REGCUBE_SCALAR_KERNELS=1` (see [`KernelMode::from_env`]).
+    pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernel = mode;
+        self
+    }
+
+    /// The configured kernel mode.
+    #[inline]
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
+    }
+
     /// The critical layers the engine cubes for.
     pub fn layers(&self) -> &CriticalLayers {
         &self.layers
+    }
+
+    /// A fresh columnar table for `cuboid`, carrying the engine's
+    /// kernel mode.
+    fn new_table(&self, cuboid: &CuboidSpec) -> Result<ColumnarTable> {
+        Ok(ColumnarTable::new(&self.schema, cuboid)?.with_kernel_mode(self.kernel))
+    }
+
+    /// Attributes `rows` folded source rows to the kernel or scalar
+    /// dispatch counter (keeping `rows_folded` equal to their sum).
+    fn count_folded(&mut self, rows: u64, kernel_path: bool) {
+        self.stats.rows_folded += rows;
+        if kernel_path {
+            self.stats.rows_folded_simd += rows;
+        } else {
+            self.stats.rows_folded_scalar += rows;
+        }
     }
 
     /// Consumes the engine, returning the final cube result.
@@ -430,16 +657,35 @@ impl ColumnarCubingEngine {
                     .lattice()
                     .closest_computed_descendant(&cuboid, cache.keys())
                     .cloned();
-                let mut table = ColumnarTable::new(&self.schema, &cuboid)?;
-                let rows = match &source_spec {
-                    Some(spec) => {
-                        aggregate_into(&self.schema, spec, &cache[spec], &cuboid, &mut table, None)?
-                    }
-                    None => {
-                        aggregate_into(&self.schema, &m_spec, m_col, &cuboid, &mut table, None)?
-                    }
+                let mut table = self.new_table(&cuboid)?;
+                let (source_table, src_spec): (&ColumnarTable, &CuboidSpec) = match &source_spec {
+                    Some(spec) => (&cache[spec], spec),
+                    None => (m_col, &m_spec),
                 };
-                self.stats.rows_folded += rows;
+                // Block-projected kernel fold when the projector supports
+                // it; the generic per-row fold otherwise. Both are
+                // bit-exact; only the dispatch counter differs.
+                let (rows, kernel_path) = match aggregate_columnar_kernel(
+                    &self.schema,
+                    src_spec,
+                    source_table,
+                    &cuboid,
+                    &mut table,
+                )? {
+                    Some(rows) => (rows, true),
+                    None => (
+                        aggregate_into(
+                            &self.schema,
+                            src_spec,
+                            source_table,
+                            &cuboid,
+                            &mut table,
+                            None,
+                        )?,
+                        false,
+                    ),
+                };
+                self.count_folded(rows, kernel_path);
                 self.stats.cells_computed += table.len() as u64;
                 self.stats.cuboids_computed += 1;
                 self.mem.add(table.approx_bytes(dims));
@@ -450,7 +696,7 @@ impl ColumnarCubingEngine {
                     self.mem.remove(table.approx_bytes(dims));
                     continue;
                 }
-                let exc = collect_exceptions(&self.policy, &cuboid, &table);
+                let exc = collect_exceptions_columnar(&self.policy, &cuboid, &table);
                 if !exc.is_empty() {
                     self.mem.add(table_bytes(&exc, dims));
                     exceptions.insert(cuboid.clone(), exc);
@@ -477,13 +723,13 @@ impl ColumnarCubingEngine {
 
         // Step 1: fold the batch into the columnar m-layer. Duplicate
         // m-cells merge in arrival order, like the H-tree scan.
-        let mut m_col = ColumnarTable::new(&self.schema, &m_spec)?;
+        let mut m_col = self.new_table(&m_spec)?;
         for t in tuples {
             m_col.merge_row(t.ids(), t.isb())?;
         }
-        m_col.finish()?;
+        let kernel_path = m_col.finish_with_path()?;
         self.mem.add(m_col.approx_bytes(dims));
-        self.stats.rows_folded += tuples.len() as u64;
+        self.count_folded(tuples.len() as u64, kernel_path);
         self.stats.cells_computed += m_col.len() as u64;
         self.stats.cuboids_computed += 1;
 
@@ -518,13 +764,14 @@ impl ColumnarCubingEngine {
             fold_tuples_into(&self.schema, &m_spec, &m_spec, &mut m_table, tuples)?;
         self.mem
             .add(table_bytes(&m_table, dims).saturating_sub(m_bytes));
-        self.stats.rows_folded += tuples.len() as u64;
+        // Row-layout hash-map fold: always the scalar path.
+        self.count_folded(tuples.len() as u64, false);
         self.stats.cells_computed += created;
         delta.cells_touched += touched.len() as u64;
 
         // Rebuild the columnar m-layer (identity projection through the
         // shared aggregation path) and recompute the lattice.
-        let mut m_col = ColumnarTable::new(&self.schema, &m_spec)?;
+        let mut m_col = self.new_table(&m_spec)?;
         aggregate_into(&self.schema, &m_spec, &m_table, &m_spec, &mut m_col, None)?;
         self.mem.add(m_col.approx_bytes(dims));
         let (o_table, exceptions) = self.compute_uppers(&m_col)?;
@@ -620,7 +867,7 @@ impl CubingEngine for ColumnarCubingEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::MoCubingEngine;
+    use crate::{CoreError, MoCubingEngine};
     use regcube_regress::TimeSeries;
 
     fn isb(slope: f64, base: f64) -> Isb {

@@ -43,7 +43,9 @@
 //! worker-pool tier roll-up ([`pool`]), streaming exception consumers
 //! ([`alarm`]) and a choice of physical table layout — the row
 //! (hash-map) default or the struct-of-arrays [`columnar`] backend,
-//! selected via [`engine::Backend`]. The repository-level
+//! selected via [`engine::Backend`], whose hot fold/projection loops
+//! run on the chunked [`kernel`] layer (bit-exact SIMD-friendly
+//! kernels with a scalar fallback). The repository-level
 //! `ARCHITECTURE.md` maps every paper section to its module and
 //! documents how to add further backends.
 //!
@@ -84,6 +86,7 @@ pub mod engine;
 pub mod error;
 pub mod exception;
 pub mod history;
+pub mod kernel;
 pub mod layers;
 pub mod measure;
 pub mod mlr_cube;
@@ -103,6 +106,7 @@ pub use cube::RegressionCube;
 pub use engine::{Backend, CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
 pub use error::CoreError;
 pub use exception::{ExceptionPolicy, RefMode};
+pub use kernel::KernelMode;
 pub use layers::CriticalLayers;
 pub use measure::MTuple;
 pub use pool::WorkerPool;

@@ -382,6 +382,8 @@ impl<E: CubingEngine + Send + Sync + 'static> ShardedEngine<E> {
 
             let s = engine.stats();
             stats.rows_folded += s.rows_folded;
+            stats.rows_folded_simd += s.rows_folded_simd;
+            stats.rows_folded_scalar += s.rows_folded_scalar;
             stats.cells_computed += s.cells_computed;
             stats.cuboids_computed = stats.cuboids_computed.max(s.cuboids_computed);
             // Each shard drills its own partition's cube, so the

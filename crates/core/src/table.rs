@@ -32,7 +32,9 @@
 //! assert_eq!(out[&CellKey::new(vec![0, 0])].slope(), 0.75);
 //! ```
 
+use crate::error::CoreError;
 use crate::exception::ExceptionPolicy;
+use crate::kernel::{BlockDim, BlockProjector};
 use crate::measure::merge_sibling;
 use crate::Result;
 use regcube_olap::cell::CellKey;
@@ -140,6 +142,86 @@ pub fn table_bytes(table: &CuboidTable, num_dims: usize) -> usize {
     (table.len() * per_entry * 14) / 10
 }
 
+/// Dense mixed-radix cell-id codec of one cuboid: per-dimension
+/// cardinalities at the cuboid's levels plus the strides that map a
+/// member-id tuple onto a single `u64` (`id = Σ ids[d] · strides[d]`,
+/// last dimension fastest — ascending id order is ascending key order).
+///
+/// This is the shared key-compression layer of the dense backends: the
+/// [`crate::columnar::ColumnarTable`] indexes its component columns
+/// with it, and the [`crate::kernel::BlockProjector`] transforms these
+/// ids block-at-a-time without a decode → project → encode round trip.
+/// Construction applies the u64-overflow guard once, so every id the
+/// codec produces is valid.
+#[derive(Debug, Clone)]
+pub struct DenseCellCodec {
+    /// Per-dimension cardinality at the cuboid's levels.
+    radices: Box<[u32]>,
+    /// Mixed-radix strides, last dimension fastest.
+    strides: Box<[u64]>,
+}
+
+impl DenseCellCodec {
+    /// Builds the codec for one cuboid of `schema`.
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] when the cuboid's cell space does not fit
+    /// a dense 64-bit id (astronomical cardinalities only).
+    pub fn new(schema: &CubeSchema, cuboid: &CuboidSpec) -> Result<Self> {
+        let radices: Box<[u32]> = (0..schema.num_dims())
+            .map(|d| schema.dims()[d].hierarchy().cardinality(cuboid.level(d)))
+            .collect();
+        let mut strides = vec![0u64; radices.len()].into_boxed_slice();
+        let mut stride: u64 = 1;
+        for d in (0..radices.len()).rev() {
+            strides[d] = stride;
+            stride =
+                stride
+                    .checked_mul(u64::from(radices[d]))
+                    .ok_or_else(|| CoreError::BadInput {
+                        detail: format!("cuboid {cuboid} cell space overflows a dense 64-bit id"),
+                    })?;
+        }
+        Ok(DenseCellCodec { radices, strides })
+    }
+
+    /// The dense cell id of a key (mixed-radix over the cuboid levels).
+    #[inline]
+    pub fn encode(&self, ids: &[u32]) -> u64 {
+        ids.iter()
+            .zip(self.strides.iter())
+            .map(|(&id, &stride)| u64::from(id) * stride)
+            .sum()
+    }
+
+    /// Decodes a dense cell id into per-dimension member ids.
+    #[inline]
+    pub fn decode_into(&self, id: u64, out: &mut [u32]) {
+        for ((slot, &stride), &radix) in out.iter_mut().zip(self.strides.iter()).zip(&self.radices)
+        {
+            *slot = ((id / stride) % u64::from(radix)) as u32;
+        }
+    }
+
+    /// Per-dimension cardinalities at the cuboid's levels.
+    #[inline]
+    pub fn radices(&self) -> &[u32] {
+        &self.radices
+    }
+
+    /// Mixed-radix strides (last dimension fastest).
+    #[inline]
+    pub fn strides(&self) -> &[u64] {
+        &self.strides
+    }
+
+    /// Number of dimensions the codec spans.
+    #[inline]
+    pub fn num_dims(&self) -> usize {
+        self.radices.len()
+    }
+}
+
 /// The largest per-dimension cardinality [`Projector`] materializes as
 /// a lookup table; beyond it the projection falls back to per-row
 /// hierarchy walks (bounding the table at 4 MiB per dimension).
@@ -211,6 +293,49 @@ impl<'a> Projector<'a> {
                 } => hierarchy.ancestor_unchecked(*from, id, *to),
             };
         }
+    }
+
+    /// Lowers the per-dimension ancestor maps into a
+    /// [`BlockProjector`] over dense mixed-radix ids — the blocked form
+    /// the [`crate::kernel`] layer pushes id blocks through. The
+    /// per-dimension LUTs are fused with the target strides
+    /// (`flut[m] = ancestor(m) · tgt_stride`), dimensions the target
+    /// collapses to a single member drop their lookup entirely, and
+    /// same-level dimensions scale the digit straight across.
+    ///
+    /// Returns `None` when any dimension resolves ancestors by per-row
+    /// hierarchy walks (cardinality beyond the LUT bound) — callers
+    /// fall back to the scalar [`project_into`](Self::project_into)
+    /// path.
+    pub fn block_projector(
+        &self,
+        source: &DenseCellCodec,
+        target: &DenseCellCodec,
+    ) -> Option<BlockProjector> {
+        debug_assert_eq!(source.num_dims(), self.dims.len());
+        let mut dims = Vec::with_capacity(self.dims.len());
+        for (d, dim) in self.dims.iter().enumerate() {
+            let src_stride = source.strides()[d];
+            let tgt_stride = target.strides()[d];
+            dims.push(match dim {
+                DimProj::Identity => BlockDim::Scale {
+                    src_stride,
+                    tgt_stride,
+                },
+                DimProj::Lut(lut) => {
+                    if target.radices()[d] <= 1 {
+                        BlockDim::Collapse { src_stride }
+                    } else {
+                        BlockDim::Lut {
+                            src_stride,
+                            flut: lut.iter().map(|&a| u64::from(a) * tgt_stride).collect(),
+                        }
+                    }
+                }
+                DimProj::Walk { .. } => return None,
+            });
+        }
+        Some(BlockProjector::new(dims))
     }
 }
 
@@ -457,6 +582,53 @@ mod tests {
         assert_eq!(TableStorage::len(&t), 1);
         let m = t.get([1u32, 2].as_slice()).unwrap();
         assert!((m.slope() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn codec_round_trips_and_guards_overflow() {
+        let s = schema();
+        let codec = DenseCellCodec::new(&s, &CuboidSpec::new(vec![2, 1])).unwrap();
+        assert_eq!(codec.radices(), &[9, 3]);
+        assert_eq!(codec.strides(), &[3, 1]);
+        let mut out = vec![0u32; 2];
+        for a in 0..9u32 {
+            for b in 0..3u32 {
+                let id = codec.encode(&[a, b]);
+                codec.decode_into(id, &mut out);
+                assert_eq!(out, vec![a, b]);
+            }
+        }
+        // 6 dimensions with ~10^5 leaves each overflow u64.
+        let big = CubeSchema::synthetic(6, 2, 2048).unwrap();
+        assert!(DenseCellCodec::new(&big, &CuboidSpec::new(vec![2; 6])).is_err());
+    }
+
+    #[test]
+    fn block_projector_matches_scalar_projection() {
+        let s = schema();
+        let fine = CuboidSpec::new(vec![2, 2]);
+        let src = DenseCellCodec::new(&s, &fine).unwrap();
+        for coarse in [
+            CuboidSpec::new(vec![1, 0]),
+            CuboidSpec::new(vec![0, 1]),
+            CuboidSpec::new(vec![2, 1]),
+            CuboidSpec::new(vec![2, 2]),
+            CuboidSpec::new(vec![0, 0]),
+        ] {
+            let tgt = DenseCellCodec::new(&s, &coarse).unwrap();
+            let p = Projector::new(&s, &fine, &coarse);
+            let block = p.block_projector(&src, &tgt).expect("small cardinalities");
+            let ids: Vec<u64> = (0..81u64).collect();
+            let mut out = vec![0u64; ids.len()];
+            block.project_into(&ids, &mut out);
+            let mut key = vec![0u32; 2];
+            let mut projected = vec![0u32; 2];
+            for (&id, &got) in ids.iter().zip(&out) {
+                src.decode_into(id, &mut key);
+                p.project_into(&key, &mut projected);
+                assert_eq!(got, tgt.encode(&projected), "{coarse} id {id}");
+            }
+        }
     }
 
     #[test]

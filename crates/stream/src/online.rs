@@ -71,6 +71,18 @@ pub struct UnitReport {
     /// frontier-dirty replay saved. See
     /// [`RunStats::drill_skipped_cuboids`](regcube_core::RunStats).
     pub drill_skipped_cuboids: u64,
+    /// Source rows the unit's cubing folded through the chunked kernel
+    /// layer (blocked LUT projection + run folds), summed across
+    /// shards. Zero for row backends, empty units, and when the scalar
+    /// fallback is forced. See
+    /// [`RunStats::rows_folded_simd`](regcube_core::RunStats).
+    pub rows_folded_simd: u64,
+    /// Source rows the unit's cubing folded through the scalar per-row
+    /// path, summed across shards. For the columnar backend
+    /// `rows_folded_simd + rows_folded_scalar` equals the unit's total
+    /// folded rows. See
+    /// [`RunStats::rows_folded_scalar`](regcube_core::RunStats).
+    pub rows_folded_scalar: u64,
 }
 
 /// Configuration of an [`OnlineEngine`], built fluently:
@@ -532,6 +544,8 @@ impl<E: CubingEngine> OnlineEngine<E> {
                 sink_errors: Vec::new(),
                 drill_replayed_cuboids: 0,
                 drill_skipped_cuboids: 0,
+                rows_folded_simd: 0,
+                rows_folded_scalar: 0,
             });
         }
 
@@ -620,6 +634,8 @@ impl<E: CubingEngine> OnlineEngine<E> {
             sink_errors,
             drill_replayed_cuboids: drill_stats.drill_replayed_cuboids,
             drill_skipped_cuboids: drill_stats.drill_skipped_cuboids,
+            rows_folded_simd: drill_stats.rows_folded_simd,
+            rows_folded_scalar: drill_stats.rows_folded_scalar,
         })
     }
 

@@ -438,6 +438,66 @@ fn columnar_rollover_excludes_stale_shards() {
 }
 
 #[test]
+fn forced_scalar_fallback_survives_the_stale_shard_rollover() {
+    use regcube::core::columnar::ColumnarCubingEngine;
+    use regcube::core::KernelMode;
+    // Kernel dispatch is a pure perf decision: with the chunked kernels
+    // forced off (the REGCUBE_SCALAR_KERNELS=1 path, injected here
+    // programmatically so parallel tests stay race-free), the sharded
+    // columnar engine weathers the same stale-shard rollover with a
+    // bit-identical cube — and honestly reports zero kernel rows.
+    let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+    let layers = CriticalLayers::new(
+        &schema,
+        CuboidSpec::new(vec![0, 0]),
+        CuboidSpec::new(vec![2, 2]),
+    )
+    .unwrap();
+    let policy = ExceptionPolicy::slope_threshold(0.4);
+    let mut auto =
+        ShardedEngine::columnar(schema.clone(), layers.clone(), policy.clone(), 7).unwrap();
+    let mut scalar = ShardedEngine::with_factory(schema, layers, policy, 7, |s, l, p| {
+        ColumnarCubingEngine::new(s, l, p).map(|e| e.with_kernel_mode(KernelMode::Scalar))
+    })
+    .unwrap();
+
+    let mut first = Vec::new();
+    for a in 0..4u32 {
+        for b in 0..4u32 {
+            let z = TimeSeries::from_fn(0, 9, |t| 1.0 + (a + b) as f64 / 10.0 * t as f64).unwrap();
+            first.push(MTuple::new(vec![a, b], Isb::fit(&z).unwrap()));
+        }
+    }
+    let next = vec![MTuple::new(vec![1, 2], Isb::new(10, 19, 1.0, 0.7).unwrap())];
+    for batch in [&first, &next] {
+        let da = auto.ingest_unit(batch).unwrap();
+        let ds = scalar.ingest_unit(batch).unwrap();
+        assert_eq!(da.appeared, ds.appeared);
+        assert_eq!(da.cleared, ds.cleared);
+    }
+    assert_eq!(scalar.result().m_layer_cells(), 1, "old unit replaced");
+    for (table, other) in [
+        (auto.result().m_table(), scalar.result().m_table()),
+        (auto.result().o_table(), scalar.result().o_table()),
+    ] {
+        assert_eq!(table.len(), other.len());
+        for (key, m) in table {
+            let s = other.get(key).unwrap();
+            assert_eq!(m.slope().to_bits(), s.slope().to_bits(), "{key}");
+            assert_eq!(m.base().to_bits(), s.base().to_bits(), "{key}");
+        }
+    }
+    // Dispatch counters: the forced engine never touched the kernels,
+    // and both engines partition rows_folded across the two counters.
+    assert_eq!(scalar.stats().rows_folded_simd, 0);
+    assert!(scalar.stats().rows_folded_scalar > 0);
+    for engine in [&auto, &scalar] {
+        let s = engine.stats();
+        assert_eq!(s.rows_folded, s.rows_folded_simd + s.rows_folded_scalar);
+    }
+}
+
+#[test]
 fn zero_and_single_member_schemas_work_end_to_end() {
     // The smallest legal cube: one dimension, one level, fanout 1 —
     // exactly one m-cell, lattice of 2 cuboids (m and apex o).
