@@ -1,0 +1,356 @@
+//! Arena allocator-churn baseline: emit or check `BENCH_arena.json`.
+//!
+//! ```text
+//! # regenerate the committed baseline (repo root):
+//! cargo run --release -p regcube-bench --bin arena_baseline -- --quick --write BENCH_arena.json
+//! # CI regression gate:
+//! cargo run --release -p regcube-bench --bin arena_baseline -- --quick --check BENCH_arena.json
+//! ```
+//!
+//! Three properties of the arena backend are gated, each measured
+//! in-process so machine speed normalizes out:
+//!
+//! * **allocator churn** — the tier roll-up into epoch-reset arena
+//!   tables must perform at least 10x fewer allocator calls per unit
+//!   than the same roll-up into fresh row tables (hard in-process
+//!   gate), and the measured ratio must not drop more than the
+//!   tolerance below the committed figure;
+//! * **O(1) rollover** — across the three probe sizes (16x spread) the
+//!   arena's per-reset latency must stay flat (max/min ≤ 8, where an
+//!   O(N) reclamation would show ~16x) and must perform **zero**
+//!   `dealloc` calls, while the row table's drop demonstrably frees one
+//!   allocation per boxed key;
+//! * **ingest throughput** — the arena backend's end-to-end rows/sec
+//!   must not fall more than the tolerance below the row backend's,
+//!   measured back-to-back in this process.
+//!
+//! Deterministic counters (cells, rows folded, keys interned, epochs
+//! reclaimed, arena-layer allocations, row-drop dealloc counts) must
+//! match the baseline exactly — a mismatch means behavior changed, not
+//! speed. Tolerance defaults to 20%; override with
+//! `ARENA_BASELINE_TOLERANCE=0.3`. Absolute rows/sec figures are
+//! machine-dependent and advisory unless `ARENA_BASELINE_STRICT=1`.
+
+use regcube_bench::experiments::arena::{
+    run_ingest_phases, run_rollover_probe, run_rollup_phases, RolloverPoint,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: arena_baseline [--quick] (--write FILE | --check FILE)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let grab = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let (write, check) = (grab("--write"), grab("--check"));
+    if write.is_none() == check.is_none() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let tolerance: f64 = std::env::var("ARENA_BASELINE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    let mut failed = false;
+
+    // -- Phase 1: tier roll-up churn (the >=10x gate). ------------------
+    eprintln!(
+        "[arena_baseline] measuring tier roll-up phases ({}) ...",
+        if quick { "quick" } else { "full" }
+    );
+    let (row_rollup, arena_rollup) = run_rollup_phases(quick);
+    if row_rollup.cells != arena_rollup.cells || row_rollup.rows_folded != arena_rollup.rows_folded
+    {
+        eprintln!(
+            "FAIL roll-up phases diverged: row {} cells / {} rows vs arena {} cells / {} rows",
+            row_rollup.cells, row_rollup.rows_folded, arena_rollup.cells, arena_rollup.rows_folded
+        );
+        return ExitCode::FAILURE;
+    }
+    let alloc_call_ratio = row_rollup.calls_per_unit / arena_rollup.calls_per_unit.max(1.0);
+    if alloc_call_ratio < 10.0 {
+        eprintln!(
+            "FAIL arena roll-up saves only {alloc_call_ratio:.1}x allocator calls per unit \
+             (row {:.0} vs arena {:.0}; the backend exists to save >=10x)",
+            row_rollup.calls_per_unit, arena_rollup.calls_per_unit
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "[arena_baseline] roll-up churn: row {:.0} vs arena {:.0} calls/unit \
+             ({alloc_call_ratio:.0}x fewer) — ok",
+            row_rollup.calls_per_unit, arena_rollup.calls_per_unit
+        );
+    }
+
+    // -- Phase 2: O(1) rollover probe. ----------------------------------
+    eprintln!("[arena_baseline] probing rollover reclamation ...");
+    let rollover = run_rollover_probe();
+    let reset_nanos: Vec<f64> = rollover.iter().map(|p| p.arena_reset_nanos).collect();
+    let flat_max = reset_nanos.iter().cloned().fold(0.0f64, f64::max);
+    let flat_min = reset_nanos.iter().cloned().fold(f64::INFINITY, f64::min);
+    let rollover_flatness = flat_max / flat_min.max(1.0);
+    for p in &rollover {
+        if p.arena_reset_deallocs != 0 {
+            eprintln!(
+                "FAIL epoch reset at {} keys performed {} dealloc calls (must be 0)",
+                p.keys, p.arena_reset_deallocs
+            );
+            failed = true;
+        }
+        if p.row_drop_deallocs < p.keys {
+            eprintln!(
+                "FAIL row-drop contrast broken at {} keys: only {} deallocs",
+                p.keys, p.row_drop_deallocs
+            );
+            failed = true;
+        }
+    }
+    if rollover_flatness > 8.0 {
+        eprintln!(
+            "FAIL rollover latency is not flat across sizes: {:.1}ns..{:.1}ns per reset \
+             ({rollover_flatness:.1}x spread over a 16x size range; O(1) demands <=8x)",
+            flat_min, flat_max
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "[arena_baseline] rollover reclaim flat across {:?} keys: \
+             {:.0}ns..{:.0}ns per reset ({rollover_flatness:.1}x spread), 0 deallocs — ok",
+            rollover.iter().map(|p| p.keys).collect::<Vec<_>>(),
+            flat_min,
+            flat_max
+        );
+    }
+
+    // -- Phase 3: end-to-end ingest throughput. -------------------------
+    eprintln!("[arena_baseline] measuring ingest phases ...");
+    let (row_ingest, arena_ingest) = run_ingest_phases(quick);
+    if row_ingest.exception_cells != arena_ingest.exception_cells
+        || row_ingest.rows != arena_ingest.rows
+    {
+        eprintln!(
+            "FAIL ingest phases diverged: row {} exceptions / {} rows vs arena {} / {}",
+            row_ingest.exception_cells,
+            row_ingest.rows,
+            arena_ingest.exception_cells,
+            arena_ingest.rows
+        );
+        return ExitCode::FAILURE;
+    }
+    let ingest_ratio = arena_ingest.rows_per_sec / row_ingest.rows_per_sec.max(1e-9);
+    if ingest_ratio < 1.0 - tolerance {
+        eprintln!(
+            "FAIL arena ingest slower than the row backend: {:.0} vs {:.0} rows/s \
+             (ratio {ingest_ratio:.2}, floor {:.2})",
+            arena_ingest.rows_per_sec,
+            row_ingest.rows_per_sec,
+            1.0 - tolerance
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "[arena_baseline] ingest: arena {:.0} vs row {:.0} rows/s (ratio {ingest_ratio:.2}) — ok",
+            arena_ingest.rows_per_sec, row_ingest.rows_per_sec
+        );
+    }
+
+    let by_size =
+        |f: &dyn Fn(&RolloverPoint) -> String| -> Vec<String> { rollover.iter().map(f).collect() };
+    let drop_deallocs = by_size(&|p| p.row_drop_deallocs.to_string());
+    let reset_lat = by_size(&|p| format!("{:.1}", p.arena_reset_nanos));
+    let drop_lat = by_size(&|p| p.row_drop_nanos.to_string());
+    let max_reset_deallocs = rollover
+        .iter()
+        .map(|p| p.arena_reset_deallocs)
+        .max()
+        .unwrap_or(0);
+    let doc = format!(
+        "{{\n  \"mode\": \"{}\",\n  \"rollup_cells\": {},\n  \"rollup_rows_folded\": {},\n  \
+         \"rollup_row_calls_per_unit\": {:.1},\n  \"rollup_arena_calls_per_unit\": {:.1},\n  \
+         \"alloc_call_ratio\": {:.1},\n  \"rollover_flatness\": {:.2},\n  \
+         \"arena_reset_deallocs_max\": {},\n  \"row_drop_deallocs_small\": {},\n  \
+         \"row_drop_deallocs_mid\": {},\n  \"row_drop_deallocs_large\": {},\n  \
+         \"arena_reset_nanos_small\": {},\n  \"arena_reset_nanos_mid\": {},\n  \
+         \"arena_reset_nanos_large\": {},\n  \"row_drop_nanos_small\": {},\n  \
+         \"row_drop_nanos_mid\": {},\n  \"row_drop_nanos_large\": {},\n  \
+         \"ingest_rows_folded\": {},\n  \"ingest_exception_cells\": {},\n  \
+         \"keys_interned\": {},\n  \"epochs_reclaimed\": {},\n  \"arena_alloc_calls\": {},\n  \
+         \"ingest_ratio\": {:.3},\n  \"row_rows_per_sec\": {:.1},\n  \
+         \"arena_rows_per_sec\": {:.1}\n}}\n",
+        if quick { "quick" } else { "full" },
+        row_rollup.cells,
+        row_rollup.rows_folded,
+        row_rollup.calls_per_unit,
+        arena_rollup.calls_per_unit,
+        alloc_call_ratio,
+        rollover_flatness,
+        max_reset_deallocs,
+        drop_deallocs[0],
+        drop_deallocs[1],
+        drop_deallocs[2],
+        reset_lat[0],
+        reset_lat[1],
+        reset_lat[2],
+        drop_lat[0],
+        drop_lat[1],
+        drop_lat[2],
+        arena_ingest.rows,
+        arena_ingest.exception_cells,
+        arena_ingest.keys_interned,
+        arena_ingest.epochs_reclaimed,
+        arena_ingest.arena_alloc_calls,
+        ingest_ratio,
+        row_ingest.rows_per_sec,
+        arena_ingest.rows_per_sec,
+    );
+
+    if let Some(path) = write {
+        if failed {
+            eprintln!("refusing to write {path}: in-process gates failed");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[arena_baseline] wrote {path}");
+        print!("{doc}");
+        return ExitCode::SUCCESS;
+    }
+
+    let path = check.expect("checked above");
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e}; regenerate with --write");
+            return ExitCode::FAILURE;
+        }
+    };
+    let field = |name: &str| -> Option<f64> {
+        let tag = format!("\"{name}\":");
+        let rest = &baseline[baseline.find(&tag)? + tag.len()..];
+        rest.split([',', '}', '\n']).next()?.trim().parse().ok()
+    };
+    // Mode first: a quick baseline checked against a full run would fail
+    // every deterministic counter for an unrelated reason.
+    let mode = if quick { "quick" } else { "full" };
+    if !baseline.contains(&format!("\"mode\": \"{mode}\"")) {
+        eprintln!(
+            "FAIL baseline {path} was not recorded in {mode} mode — rerun \
+             with the matching --quick flag or regenerate with --write"
+        );
+        failed = true;
+    }
+    for (name, actual) in [
+        ("rollup_cells", row_rollup.cells as f64),
+        ("rollup_rows_folded", row_rollup.rows_folded as f64),
+        ("arena_reset_deallocs_max", max_reset_deallocs as f64),
+        (
+            "row_drop_deallocs_small",
+            rollover[0].row_drop_deallocs as f64,
+        ),
+        (
+            "row_drop_deallocs_mid",
+            rollover[1].row_drop_deallocs as f64,
+        ),
+        (
+            "row_drop_deallocs_large",
+            rollover[2].row_drop_deallocs as f64,
+        ),
+        ("ingest_rows_folded", arena_ingest.rows as f64),
+        (
+            "ingest_exception_cells",
+            arena_ingest.exception_cells as f64,
+        ),
+        ("keys_interned", arena_ingest.keys_interned as f64),
+        ("epochs_reclaimed", arena_ingest.epochs_reclaimed as f64),
+        ("arena_alloc_calls", arena_ingest.arena_alloc_calls as f64),
+    ] {
+        match field(name) {
+            Some(expected) if expected == actual => {}
+            Some(expected) => {
+                eprintln!(
+                    "FAIL {name}: baseline {expected} vs measured {actual} \
+                     (deterministic counter changed — intended? regenerate \
+                     the baseline with --write)"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL baseline {path} is missing field {name}");
+                failed = true;
+            }
+        }
+    }
+    // Ratio gates: both are measured in-process, so they transfer across
+    // machines; they fail when the win shrinks more than the tolerance
+    // below the committed figure.
+    for (name, measured) in [
+        ("alloc_call_ratio", alloc_call_ratio),
+        ("ingest_ratio", ingest_ratio),
+    ] {
+        match field(name) {
+            Some(expected) => {
+                let floor = expected * (1.0 - tolerance);
+                if measured < floor {
+                    eprintln!(
+                        "FAIL {name} regressed: {measured:.2} vs baseline {expected:.2} \
+                         (floor {floor:.2} at {:.0}% tolerance)",
+                        tolerance * 100.0
+                    );
+                    failed = true;
+                } else {
+                    eprintln!(
+                        "[arena_baseline] {name} {measured:.2} (baseline {expected:.2}, \
+                         floor {floor:.2}) — ok"
+                    );
+                }
+            }
+            None => {
+                eprintln!("FAIL baseline {path} is missing field {name}");
+                failed = true;
+            }
+        }
+    }
+    // Absolute rows/sec is machine-dependent: advisory unless strict.
+    let strict = std::env::var("ARENA_BASELINE_STRICT").is_ok_and(|v| v == "1");
+    match field("arena_rows_per_sec") {
+        Some(expected) => {
+            let floor = expected * (1.0 - tolerance);
+            if arena_ingest.rows_per_sec < floor {
+                eprintln!(
+                    "{} arena throughput below baseline: {:.1} rows/s vs {:.1} \
+                     (floor {:.1}; machine-dependent figure{})",
+                    if strict { "FAIL" } else { "WARN" },
+                    arena_ingest.rows_per_sec,
+                    expected,
+                    floor,
+                    if strict { "" } else { ", advisory" }
+                );
+                failed |= strict;
+            } else {
+                eprintln!(
+                    "[arena_baseline] arena ingest {:.1} rows/s (baseline {:.1}, \
+                     floor {:.1}) — ok",
+                    arena_ingest.rows_per_sec, expected, floor
+                );
+            }
+        }
+        None => {
+            eprintln!("FAIL baseline {path} is missing field arena_rows_per_sec");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("[arena_baseline] check passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -8,13 +8,13 @@
 //! ```
 
 use regcube_bench::experiments::{
-    alarm, columnar, dims, fig10, fig8, fig9, incremental, scaling, tilt,
+    alarm, arena, columnar, dims, fig10, fig8, fig9, incremental, scaling, tilt,
 };
 use regcube_bench::report::{tables_to_json, Table};
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: figures [all|fig8|fig9|fig10|dims|tilt|incremental|scaling|alarm|columnar]... [--quick] [--json FILE]
+    "usage: figures [all|fig8|fig9|fig10|dims|tilt|incremental|scaling|alarm|columnar|arena]... [--quick] [--json FILE]
 
   fig8         time & memory vs exception %        (D3L3C10T100K)
   fig9         time & memory vs m-layer size       (D3L3C10, 1% exceptions)
@@ -27,6 +27,8 @@ const USAGE: &str =
   alarm        delta-driven alarm sinks vs rescan consumer overhead
   columnar     struct-of-arrays vs hash-map layout on the tier roll-up,
                plus the kernel-dispatch vs scalar-fallback fold phases
+  arena        allocator churn of the window rollover: row tables vs
+               epoch-reclaimed arena tables, plus the O(1) rollover probe
   all          everything above
   --quick      shrunken datasets for smoke runs
   --json FILE  additionally write all tables as a JSON document";
@@ -65,6 +67,7 @@ fn main() -> ExitCode {
             "scaling",
             "alarm",
             "columnar",
+            "arena",
         ];
     }
 
@@ -119,6 +122,13 @@ fn main() -> ExitCode {
                 eprintln!("[figures] running columnar ...");
                 let points = columnar::run(quick);
                 all_tables.extend(columnar::print(&points));
+            }
+            "arena" => {
+                eprintln!("[figures] running arena ...");
+                let points = arena::run(quick);
+                let phases = arena::run_rollup_phases(quick);
+                let rollover = arena::run_rollover_probe();
+                all_tables.extend(arena::print(&points, &phases, &rollover));
             }
             other => {
                 eprintln!("unknown experiment: {other}\n{USAGE}");

@@ -1,6 +1,7 @@
 //! One module per figure of the paper's evaluation, plus shared plumbing.
 
 pub mod alarm;
+pub mod arena;
 pub mod columnar;
 pub mod dims;
 pub mod fig10;

@@ -14,9 +14,11 @@
 //!   incremental recomputation vs full recomputation);
 //!   plus post-paper scale-out experiments:
 //!   [`experiments::scaling`] (sharded cubing throughput),
-//!   [`experiments::alarm`] (delta-driven sinks vs rescans) and
+//!   [`experiments::alarm`] (delta-driven sinks vs rescans),
 //!   [`experiments::columnar`] (struct-of-arrays vs hash-map table
-//!   layout on the hot tier roll-up).
+//!   layout on the hot tier roll-up) and
+//!   [`experiments::arena`] (allocator churn of the window rollover:
+//!   fresh row tables vs epoch-reclaimed arena tables).
 //!
 //! Run everything with:
 //!

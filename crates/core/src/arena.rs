@@ -1,0 +1,1060 @@
+//! Bump-arena key interning and epoch-reclaimed cuboid tables.
+//!
+//! # Why an arena backend
+//!
+//! The row backend pays the global allocator twice per cell: once to box
+//! the `CellKey` when the cell first appears, and once to free it when
+//! the window rolls over and the table drops. A stream cube opens a new
+//! unit window forever (Framework 4.1), so that churn — `O(cells)`
+//! allocator calls per unit — is the steady-state cost of running the
+//! cube, and exactly the kind of unbounded per-window work the paper's
+//! bounded-memory design is meant to avoid.
+//!
+//! This module replaces both calls with arena arithmetic:
+//!
+//! * a [`KeyInterner`] hash-conses cell keys into fixed-size **chunks**
+//!   of `u32` member ids (the hashlife node-pool pattern: the open-
+//!   addressed index stores [`KeyId`] handles, and probing compares
+//!   slices read back out of the chunks — no boxed keys anywhere);
+//! * an [`ArenaTable`] pairs the interner with a measure column indexed
+//!   by [`KeyId`], implementing [`TableStorage`] so the shared
+//!   aggregation/exception code paths run over it unchanged;
+//! * window rollover is an **epoch reset**
+//!   ([`ArenaTable::reset_epoch`]): the epoch counter bumps, the live
+//!   lengths zero, and every chunk, index slot and measure slot is
+//!   reused by the next window in place — `O(1)` reclamation, zero
+//!   allocator calls;
+//! * tables that do drop return their chunks to a shared [`ChunkPool`]
+//!   free list, so even cross-table reclamation bypasses the allocator.
+//!
+//! [`ArenaCubingEngine`] is Algorithm 1 (m/o-cubing) with the whole tier
+//! roll-up running over a **retained working set** of arena tables — one
+//! per cuboid, reset and refilled each unit. After the first unit the
+//! steady state performs (almost) no allocator calls at all; the
+//! `arena` bench experiment and `BENCH_arena.json` gate the win in CI.
+//! Select it per [`Backend::Arena`](crate::engine::Backend::Arena):
+//!
+//! ```
+//! use regcube_core::engine::Backend;
+//! assert_ne!(Backend::Arena, Backend::Row);
+//! ```
+//!
+//! or construct the engine directly:
+//!
+//! ```
+//! use regcube_core::arena::ArenaCubingEngine;
+//! use regcube_core::engine::CubingEngine;
+//! use regcube_core::{CriticalLayers, ExceptionPolicy, MTuple};
+//! use regcube_olap::{CubeSchema, CuboidSpec};
+//! use regcube_regress::Isb;
+//!
+//! let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+//! let layers = CriticalLayers::new(
+//!     &schema,
+//!     CuboidSpec::new(vec![0, 0]),
+//!     CuboidSpec::new(vec![2, 2]),
+//! ).unwrap();
+//! let mut engine = ArenaCubingEngine::new(
+//!     schema,
+//!     layers,
+//!     ExceptionPolicy::slope_threshold(0.5),
+//! ).unwrap();
+//! let tuples = vec![
+//!     MTuple::new(vec![0, 0], Isb::new(0, 9, 1.0, 0.9).unwrap()),
+//!     MTuple::new(vec![3, 2], Isb::new(0, 9, 1.0, 0.1).unwrap()),
+//! ];
+//! let delta = engine.ingest_unit(&tuples).unwrap();
+//! assert!(delta.opened_unit);
+//! assert_eq!(engine.result().m_layer_cells(), 2);
+//! assert_eq!(engine.stats().keys_interned, engine.stats().cells_computed);
+//! ```
+
+use crate::engine::{
+    batch_window, depth_tiers, empty_result, exception_bytes, fold_tuples_into, CubingEngine,
+    UnitDelta,
+};
+use crate::exception::ExceptionPolicy;
+use crate::layers::CriticalLayers;
+use crate::measure::{merge_sibling, validate_tuples, MTuple};
+use crate::result::{Algorithm, CubeResult};
+use crate::stats::{MemoryAccountant, RunStats};
+use crate::table::{aggregate_into, collect_exceptions, table_bytes, CuboidTable, TableStorage};
+use crate::Result;
+use regcube_olap::cell::CellKey;
+use regcube_olap::fxhash::{FxHashMap, FxHashSet, FxHasher};
+use regcube_olap::{CubeSchema, CuboidSpec};
+use regcube_regress::Isb;
+use std::hash::Hasher as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// KeyId, ChunkPool
+// ---------------------------------------------------------------------------
+
+/// Handle of one interned cell key: a dense index into the interner's
+/// chunked key arena. Hash-consed — interning the same member ids twice
+/// returns the same `KeyId` for as long as the epoch lasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeyId(pub u32);
+
+impl KeyId {
+    /// The handle as a dense `usize` index (insertion order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Target chunk size in `u32` slots (16 KiB): large enough that chunk
+/// bookkeeping is negligible, small enough that a part-filled chunk
+/// wastes little.
+const CHUNK_SLOTS: usize = 4096;
+
+/// A free list of recycled key chunks, shared by every [`ArenaTable`] of
+/// one engine. Tables draw chunks here first and return them on drop, so
+/// chunk memory cycles between cuboids without touching the global
+/// allocator; [`alloc_calls`](ArenaCounters::alloc_calls) counts the
+/// times the pool actually had to allocate.
+#[derive(Debug, Default)]
+pub struct ChunkPool {
+    free: Vec<Vec<u32>>,
+    alloc_calls: u64,
+    recycled: u64,
+}
+
+/// A [`ChunkPool`] shared across the tables of one engine (tables live
+/// behind the engine, the pool behind an `Arc<Mutex<_>>` so engines stay
+/// `Send` for sharding).
+pub type SharedChunkPool = Arc<Mutex<ChunkPool>>;
+
+impl ChunkPool {
+    /// A fresh, empty, shareable pool.
+    pub fn shared() -> SharedChunkPool {
+        Arc::new(Mutex::new(ChunkPool::default()))
+    }
+
+    /// Takes a zeroed chunk of exactly `slots` `u32`s, preferring the
+    /// free list over the allocator.
+    fn take(&mut self, slots: usize) -> Vec<u32> {
+        match self.free.pop() {
+            Some(mut chunk) => {
+                self.recycled += 1;
+                if chunk.capacity() < slots {
+                    self.alloc_calls += 1;
+                }
+                chunk.clear();
+                chunk.resize(slots, 0);
+                chunk
+            }
+            None => {
+                self.alloc_calls += 1;
+                vec![0u32; slots]
+            }
+        }
+    }
+
+    /// Returns a chunk to the free list (O(1), no deallocation).
+    fn give(&mut self, chunk: Vec<u32>) {
+        self.free.push(chunk);
+    }
+
+    /// Bytes currently parked on the free list.
+    pub fn free_bytes(&self) -> usize {
+        self.free.iter().map(|c| c.capacity() * 4).sum()
+    }
+
+    /// Chunks currently parked on the free list.
+    pub fn free_chunks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Drains the pool's counters (allocations performed, free-list
+    /// hits) since the last drain.
+    fn drain_counters(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.alloc_calls),
+            std::mem::take(&mut self.recycled),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KeyInterner
+// ---------------------------------------------------------------------------
+
+/// Counter deltas one arena component accrued since the last drain —
+/// summed into [`RunStats`] by the engine so the arena's allocator
+/// behavior is observable per unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaCounters {
+    /// Fresh keys interned (cache misses; hits return an existing id).
+    pub keys_interned: u64,
+    /// Whole epochs reclaimed in O(1) by [`ArenaTable::reset_epoch`].
+    pub epochs_reclaimed: u64,
+    /// Heap allocations the arena layer performed (new chunks, index
+    /// growth, measure-column growth) — the figure the arena exists to
+    /// crush.
+    pub alloc_calls: u64,
+    /// Chunk requests served without the allocator: free-list hits plus
+    /// in-place reuse of a table's own chunks after an epoch reset.
+    pub chunks_recycled: u64,
+}
+
+impl ArenaCounters {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: ArenaCounters) {
+        self.keys_interned += other.keys_interned;
+        self.epochs_reclaimed += other.epochs_reclaimed;
+        self.alloc_calls += other.alloc_calls;
+        self.chunks_recycled += other.chunks_recycled;
+    }
+}
+
+/// A hash-consing interner of fixed-arity `u32` cell keys.
+///
+/// Keys live contiguously in pooled chunks; the open-addressed index
+/// stores `(epoch, KeyId)` pairs, so membership of a slot is "was it
+/// written this epoch" — which is what makes [`reset`](Self::reset)
+/// O(1): bumping the epoch invalidates every slot at once without
+/// touching one.
+#[derive(Debug, Clone)]
+pub struct KeyInterner {
+    arity: usize,
+    keys_per_chunk: usize,
+    /// Pooled chunks of `keys_per_chunk * arity` slots each, written by
+    /// index (always full length, so an epoch reset never re-zeroes).
+    chunks: Vec<Vec<u32>>,
+    /// Interned keys this epoch.
+    len: u32,
+    /// Open-addressed index: `epoch << 32 | KeyId`. A slot whose epoch
+    /// tag differs from the current epoch is empty.
+    slots: Vec<u64>,
+    epoch: u32,
+    pool: SharedChunkPool,
+    counters: ArenaCounters,
+}
+
+impl KeyInterner {
+    /// An empty interner for keys of `arity` member ids, drawing chunks
+    /// from `pool`.
+    pub fn new(arity: usize, pool: SharedChunkPool) -> Self {
+        debug_assert!(arity > 0, "cell keys have at least one dimension");
+        let arity = arity.max(1);
+        KeyInterner {
+            arity,
+            keys_per_chunk: (CHUNK_SLOTS / arity).max(1),
+            chunks: Vec::new(),
+            len: 0,
+            slots: Vec::new(),
+            epoch: 1,
+            pool,
+            counters: ArenaCounters::default(),
+        }
+    }
+
+    /// Number of keys interned this epoch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the current epoch has no keys.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Key arity (ids per key).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    #[inline]
+    fn hash_ids(ids: &[u32]) -> u64 {
+        let mut h = FxHasher::default();
+        for &v in ids {
+            h.write_u32(v);
+        }
+        h.finish()
+    }
+
+    /// The member ids of an interned key.
+    #[inline]
+    pub fn resolve(&self, id: KeyId) -> &[u32] {
+        debug_assert!(id.0 < self.len, "KeyId from a reclaimed epoch");
+        let chunk = id.index() / self.keys_per_chunk;
+        let off = (id.index() % self.keys_per_chunk) * self.arity;
+        &self.chunks[chunk][off..off + self.arity]
+    }
+
+    /// Interns `ids`, returning its handle and whether it was fresh.
+    /// Same ids ⇒ same [`KeyId`] for the whole epoch (hash-consing).
+    pub fn intern(&mut self, ids: &[u32]) -> (KeyId, bool) {
+        debug_assert_eq!(ids.len(), self.arity);
+        if (self.len as usize + 1) * 8 > self.slots.len() * 7 {
+            self.grow_index();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash_ids(ids) as usize & mask;
+        loop {
+            let slot = self.slots[i];
+            if (slot >> 32) as u32 != self.epoch {
+                let id = self.push_key(ids);
+                self.slots[i] = (u64::from(self.epoch) << 32) | u64::from(id.0);
+                return (id, true);
+            }
+            let id = KeyId(slot as u32);
+            if self.resolve(id) == ids {
+                return (id, false);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Appends `ids` to the chunk arena, pulling a chunk from the pool
+    /// (or reusing a retained one) at chunk boundaries.
+    fn push_key(&mut self, ids: &[u32]) -> KeyId {
+        let id = self.len;
+        let chunk = id as usize / self.keys_per_chunk;
+        if chunk == self.chunks.len() {
+            let slots = self.keys_per_chunk * self.arity;
+            self.chunks
+                .push(self.pool.lock().expect("pool lock").take(slots));
+        } else if id as usize % self.keys_per_chunk == 0 {
+            // Epoch-retained chunk reused in place: reclamation paid off.
+            self.counters.chunks_recycled += 1;
+        }
+        let off = (id as usize % self.keys_per_chunk) * self.arity;
+        self.chunks[chunk][off..off + self.arity].copy_from_slice(ids);
+        self.len += 1;
+        self.counters.keys_interned += 1;
+        KeyId(id)
+    }
+
+    /// Doubles (or seeds) the open-addressed index and rehashes every
+    /// live key. Amortized O(1) per intern; the only allocation the
+    /// index ever performs.
+    fn grow_index(&mut self) {
+        let new_len = (self.slots.len() * 2).max(16);
+        self.slots = vec![0u64; new_len];
+        self.counters.alloc_calls += 1;
+        let mask = new_len - 1;
+        for id in 0..self.len {
+            let key = {
+                let ids = self.resolve(KeyId(id));
+                Self::hash_ids(ids)
+            };
+            let mut i = key as usize & mask;
+            while (self.slots[i] >> 32) as u32 == self.epoch {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = (u64::from(self.epoch) << 32) | u64::from(id);
+        }
+    }
+
+    /// Reclaims the whole epoch in O(1): the epoch counter bumps (every
+    /// index slot becomes empty at once) and the key count zeroes, while
+    /// chunks and index capacity stay in place for the next epoch.
+    /// No [`KeyId`] handed out after the reset is ever invalidated by
+    /// the reset — only the (now unreachable) previous epoch's ids are.
+    pub fn reset(&mut self) {
+        if self.len > 0 || !self.chunks.is_empty() {
+            self.counters.epochs_reclaimed += 1;
+        }
+        self.len = 0;
+        if self.epoch == u32::MAX {
+            // Once per 2^32 windows: re-zero so epoch tags restart safely.
+            self.epoch = 1;
+            self.slots.fill(0);
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Bytes the interner holds across epochs (chunks + index).
+    pub fn retained_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.capacity() * 4).sum::<usize>()
+            + self.slots.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Drains the interner's counter deltas since the last drain.
+    pub fn take_counters(&mut self) -> ArenaCounters {
+        std::mem::take(&mut self.counters)
+    }
+}
+
+impl Drop for KeyInterner {
+    fn drop(&mut self) {
+        // Chunks outlive the table: back to the free list, not the
+        // allocator.
+        if let Ok(mut pool) = self.pool.lock() {
+            for chunk in self.chunks.drain(..) {
+                pool.give(chunk);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ArenaTable
+// ---------------------------------------------------------------------------
+
+/// One cuboid's cell store in the arena layout: interned keys plus a
+/// measure column indexed by [`KeyId`]. Implements [`TableStorage`], so
+/// the shared aggregation ([`aggregate_into`]) and exception screen
+/// ([`collect_exceptions`]) run over it unchanged; iteration order is
+/// insertion order (dense [`KeyId`] order).
+#[derive(Debug, Clone)]
+pub struct ArenaTable {
+    interner: KeyInterner,
+    measures: Vec<Isb>,
+    measure_allocs: u64,
+}
+
+impl ArenaTable {
+    /// An empty table for keys of `arity` ids, drawing chunks from
+    /// `pool`.
+    pub fn new(arity: usize, pool: SharedChunkPool) -> Self {
+        ArenaTable {
+            interner: KeyInterner::new(arity, pool),
+            measures: Vec::new(),
+            measure_allocs: 0,
+        }
+    }
+
+    /// The measure of the cell at `ids`, if interned this epoch.
+    pub fn get(&self, ids: &[u32]) -> Option<&Isb> {
+        // Probe without inserting: resolve-and-compare like intern does.
+        if self.interner.slots.is_empty() {
+            return None;
+        }
+        let mask = self.interner.slots.len() - 1;
+        let mut i = KeyInterner::hash_ids(ids) as usize & mask;
+        loop {
+            let slot = self.interner.slots[i];
+            if (slot >> 32) as u32 != self.interner.epoch {
+                return None;
+            }
+            let id = KeyId(slot as u32);
+            if self.interner.resolve(id) == ids {
+                return Some(&self.measures[id.index()]);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The member ids of an interned cell.
+    #[inline]
+    pub fn key(&self, id: KeyId) -> &[u32] {
+        self.interner.resolve(id)
+    }
+
+    /// Reclaims the table's epoch in O(1) — see [`KeyInterner::reset`].
+    /// The measure column keeps its capacity (`Isb` is `Copy`, so the
+    /// clear is a length store).
+    pub fn reset_epoch(&mut self) {
+        self.interner.reset();
+        self.measures.clear();
+    }
+
+    /// Bytes the table holds across epochs (chunks + index + measure
+    /// capacity) — what an epoch reset retains for the next window.
+    pub fn retained_bytes(&self) -> usize {
+        self.interner.retained_bytes() + self.measures.capacity() * std::mem::size_of::<Isb>()
+    }
+
+    /// Materializes the table in the row layout (for the retained
+    /// [`CubeResult`] every downstream consumer reads).
+    pub fn to_row_table(&self) -> CuboidTable {
+        let mut out =
+            CuboidTable::with_capacity_and_hasher(self.interner.len(), Default::default());
+        for id in 0..self.interner.len() as u32 {
+            let key = KeyId(id);
+            out.insert(
+                CellKey::new(self.interner.resolve(key).to_vec()),
+                self.measures[key.index()],
+            );
+        }
+        out
+    }
+
+    /// Drains the table's counter deltas since the last drain.
+    pub fn take_counters(&mut self) -> ArenaCounters {
+        let mut c = self.interner.take_counters();
+        c.alloc_calls += std::mem::take(&mut self.measure_allocs);
+        c
+    }
+}
+
+impl TableStorage for ArenaTable {
+    fn len(&self) -> usize {
+        self.interner.len()
+    }
+
+    fn merge_row(&mut self, ids: &[u32], isb: &Isb) -> Result<()> {
+        let (id, fresh) = self.interner.intern(ids);
+        if fresh {
+            let cap = self.measures.capacity();
+            self.measures.push(*isb);
+            if self.measures.capacity() != cap {
+                self.measure_allocs += 1;
+            }
+            Ok(())
+        } else {
+            merge_sibling(&mut self.measures[id.index()], isb)
+        }
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn try_for_each_cell<F: FnMut(&[u32], &Isb) -> Result<()>>(&self, mut f: F) -> Result<()> {
+        for id in 0..self.interner.len() as u32 {
+            let key = KeyId(id);
+            f(self.interner.resolve(key), &self.measures[key.index()])?;
+        }
+        Ok(())
+    }
+
+    fn approx_bytes(&self, _num_dims: usize) -> usize {
+        // The arena's truth is its retained capacity: chunks, index and
+        // measure column persist across epochs by design.
+        self.retained_bytes()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ArenaCubingEngine
+// ---------------------------------------------------------------------------
+
+/// Algorithm 1 (m/o-cubing) over a retained working set of arena tables
+/// — see the module docs for the design and
+/// [`Backend::Arena`](crate::engine::Backend::Arena) for the
+/// configuration seam.
+///
+/// Semantically a drop-in for a transient-mode [`crate::MoCubingEngine`]:
+/// identical cube, exception set and [`UnitDelta`] stream (the contract
+/// tests pin it, the golden suite end to end). It keeps no between-layer
+/// row tables across batches
+/// ([`full_between_tables`](CubingEngine::full_between_tables) answers
+/// `None`), so a [`crate::shard::ShardedEngine`] composes with it
+/// through the always-retain fallback, exactly like the columnar and
+/// popular-path engines. What it *does* keep is capacity: one arena
+/// table per cuboid, epoch-reset at every rollover, so the steady state
+/// recycles instead of reallocating.
+#[derive(Debug)]
+pub struct ArenaCubingEngine {
+    schema: Arc<CubeSchema>,
+    layers: CriticalLayers,
+    policy: ExceptionPolicy,
+    pool: SharedChunkPool,
+    /// The retained working set: one arena table per cuboid of the
+    /// lattice (m-layer included), reused across windows.
+    working: FxHashMap<CuboidSpec, ArenaTable>,
+    window: Option<(i64, i64)>,
+    units_opened: u64,
+    stats: RunStats,
+    mem: MemoryAccountant,
+    result: CubeResult,
+}
+
+impl ArenaCubingEngine {
+    /// Creates an arena engine for the given layers and policy.
+    ///
+    /// # Errors
+    /// None today; the `Result` keeps the constructor signature uniform
+    /// with the other backends (factory seams take fallible makers).
+    pub fn new(
+        schema: CubeSchema,
+        layers: CriticalLayers,
+        policy: ExceptionPolicy,
+    ) -> Result<Self> {
+        let result = empty_result(&layers, &policy, Algorithm::MoCubing);
+        Ok(ArenaCubingEngine {
+            schema: Arc::new(schema),
+            layers,
+            policy,
+            pool: ChunkPool::shared(),
+            working: FxHashMap::default(),
+            window: None,
+            units_opened: 0,
+            stats: RunStats::default(),
+            mem: MemoryAccountant::new(),
+            result,
+        })
+    }
+
+    /// The critical layers the engine cubes for.
+    pub fn layers(&self) -> &CriticalLayers {
+        &self.layers
+    }
+
+    /// The engine's shared chunk pool (observability / tests).
+    pub fn pool(&self) -> &SharedChunkPool {
+        &self.pool
+    }
+
+    /// Consumes the engine, returning the final cube result.
+    pub fn into_result(self) -> CubeResult {
+        self.result
+    }
+
+    /// Takes `cuboid`'s working table out of the set (creating it on
+    /// first use) with its epoch reset — ready to refill for the current
+    /// window. Taking it out lets the caller hold `&mut` target while
+    /// reading sibling tables as sources.
+    fn take_working(&mut self, cuboid: &CuboidSpec) -> ArenaTable {
+        let mut table = self
+            .working
+            .remove(cuboid)
+            .unwrap_or_else(|| ArenaTable::new(self.schema.num_dims(), Arc::clone(&self.pool)));
+        table.reset_epoch();
+        table
+    }
+
+    /// Bottom-up tier roll-up over the retained arena working set. Each
+    /// cuboid aggregates from its closest computed descendant (the
+    /// previous tier, falling back to the m-layer). Returns the o-layer
+    /// and the exception stores in the row layout.
+    fn compute_uppers(&mut self) -> Result<(CuboidTable, FxHashMap<CuboidSpec, CuboidTable>)> {
+        let dims = self.schema.num_dims();
+        let m_spec = self.layers.lattice().m_layer().clone();
+        let o_spec = self.layers.lattice().o_layer().clone();
+
+        let mut o_table = CuboidTable::default();
+        let mut exceptions: FxHashMap<CuboidSpec, CuboidTable> = FxHashMap::default();
+        let mut prev_tier: Vec<CuboidSpec> = Vec::new();
+        for tier in depth_tiers(&self.layers) {
+            let mut next_prev: Vec<CuboidSpec> = Vec::with_capacity(tier.len());
+            for cuboid in tier {
+                let source_spec: CuboidSpec = self
+                    .layers
+                    .lattice()
+                    .closest_computed_descendant(&cuboid, prev_tier.iter())
+                    .cloned()
+                    .unwrap_or_else(|| m_spec.clone());
+                let mut table = self.take_working(&cuboid);
+                let source = &self.working[&source_spec];
+                let rows = aggregate_into(
+                    &self.schema,
+                    &source_spec,
+                    source,
+                    &cuboid,
+                    &mut table,
+                    None,
+                )?;
+                self.stats.rows_folded += rows;
+                self.stats.cells_computed += table.len() as u64;
+                self.stats.cuboids_computed += 1;
+                self.mem.add(table.approx_bytes(dims));
+
+                if cuboid == o_spec {
+                    o_table = table.to_row_table();
+                    self.mem.add(table_bytes(&o_table, dims));
+                } else {
+                    let exc = collect_exceptions(&self.policy, &cuboid, &table);
+                    if !exc.is_empty() {
+                        self.mem.add(table_bytes(&exc, dims));
+                        exceptions.insert(cuboid.clone(), exc);
+                    }
+                }
+                self.working.insert(cuboid.clone(), table);
+                next_prev.push(cuboid);
+            }
+            prev_tier = next_prev;
+        }
+        Ok((o_table, exceptions))
+    }
+
+    /// Full recomputation for a new unit window: every working table is
+    /// epoch-reset (O(1) each) and refilled in place.
+    fn open_unit(&mut self, tuples: &[MTuple]) -> Result<()> {
+        let dims = self.schema.num_dims();
+        let m_spec = self.layers.lattice().m_layer().clone();
+        self.stats = RunStats::default();
+        self.mem = MemoryAccountant::new();
+
+        // Step 1: fold the batch into the arena m-layer. Duplicate
+        // m-cells merge in arrival order, like the H-tree scan.
+        let mut m_table = self.take_working(&m_spec);
+        for t in tuples {
+            m_table.merge_row(t.ids(), t.isb())?;
+        }
+        m_table.finish()?;
+        self.mem.add(m_table.approx_bytes(dims));
+        self.stats.rows_folded += tuples.len() as u64;
+        self.stats.cells_computed += m_table.len() as u64;
+        self.stats.cuboids_computed += 1;
+        self.working.insert(m_spec.clone(), m_table);
+
+        // Step 2: the rest of the lattice, tier by tier over the
+        // retained working set.
+        let (o_table, exceptions) = self.compute_uppers()?;
+        let m_row = self.working[&m_spec].to_row_table();
+        self.mem.add(table_bytes(&m_row, dims));
+        self.result = CubeResult::new(
+            self.layers.clone(),
+            self.policy.clone(),
+            Algorithm::MoCubing,
+            m_row,
+            o_table,
+            exceptions,
+            FxHashMap::default(),
+            self.stats,
+        );
+        Ok(())
+    }
+
+    /// Same-window batch: fold into the retained row m-layer, rebuild
+    /// the arena m-layer working table and recompute everything above it
+    /// (epoch resets make the replay allocation-free).
+    fn merge_batch(&mut self, tuples: &[MTuple], delta: &mut UnitDelta) -> Result<()> {
+        let dims = self.schema.num_dims();
+        let m_spec = self.layers.lattice().m_layer().clone();
+        let mut m_row = std::mem::take(self.result.m_table_mut());
+
+        let m_bytes = table_bytes(&m_row, dims);
+        let (touched, created) =
+            fold_tuples_into(&self.schema, &m_spec, &m_spec, &mut m_row, tuples)?;
+        self.mem
+            .add(table_bytes(&m_row, dims).saturating_sub(m_bytes));
+        self.stats.rows_folded += tuples.len() as u64;
+        self.stats.cells_computed += created;
+        delta.cells_touched += touched.len() as u64;
+
+        // Rebuild the arena m-layer (identity projection through the
+        // shared aggregation path) and recompute the lattice.
+        let mut m_table = self.take_working(&m_spec);
+        aggregate_into(&self.schema, &m_spec, &m_row, &m_spec, &mut m_table, None)?;
+        self.mem.add(m_table.approx_bytes(dims));
+        self.working.insert(m_spec, m_table);
+        let (o_table, exceptions) = self.compute_uppers()?;
+
+        // The replaced o-table and exception stores die with the old
+        // result; release their analytical bytes.
+        self.mem
+            .remove(table_bytes(self.result.o_table(), dims) + exception_bytes(&self.result, dims));
+        self.result = CubeResult::new(
+            self.layers.clone(),
+            self.policy.clone(),
+            Algorithm::MoCubing,
+            m_row,
+            o_table,
+            exceptions,
+            FxHashMap::default(),
+            self.stats,
+        );
+        Ok(())
+    }
+
+    /// Drains the arena counters out of every working table and the
+    /// pool into the unit's [`RunStats`].
+    fn drain_arena_counters(&mut self) {
+        let mut c = ArenaCounters::default();
+        for table in self.working.values_mut() {
+            c.absorb(table.take_counters());
+        }
+        let (allocs, recycled) = self.pool.lock().expect("pool lock").drain_counters();
+        c.alloc_calls += allocs;
+        c.chunks_recycled += recycled;
+        self.stats.keys_interned += c.keys_interned;
+        self.stats.epochs_reclaimed += c.epochs_reclaimed;
+        self.stats.arena_alloc_calls += c.alloc_calls;
+        self.stats.arena_chunks_recycled += c.chunks_recycled;
+    }
+
+    /// Refreshes the retention statistics and publishes them into the
+    /// exposed result.
+    fn refresh_stats(&mut self) {
+        let dims = self.schema.num_dims();
+        self.stats.arena_bytes_retained = self
+            .working
+            .values()
+            .map(ArenaTable::retained_bytes)
+            .sum::<usize>()
+            + self.pool.lock().expect("pool lock").free_bytes();
+        let result = &self.result;
+        self.stats.exception_cells = result.total_exception_cells();
+        self.stats.cells_retained = result.m_layer_cells() as u64
+            + result.o_layer_cells() as u64
+            + self.stats.exception_cells;
+        self.stats.retained_bytes = table_bytes(result.m_table(), dims)
+            + table_bytes(result.o_table(), dims)
+            + exception_bytes(result, dims);
+        self.stats.peak_bytes = self.mem.peak();
+        self.result.set_stats(self.stats);
+    }
+
+    /// All retained between-layer exception cells as owned pairs.
+    fn exception_cells(&self) -> FxHashSet<(CuboidSpec, CellKey)> {
+        self.result
+            .iter_exceptions()
+            .map(|(c, k, _)| (c.clone(), k.clone()))
+            .collect()
+    }
+}
+
+impl CubingEngine for ArenaCubingEngine {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::MoCubing
+    }
+
+    fn ingest_unit(&mut self, tuples: &[MTuple]) -> Result<UnitDelta> {
+        validate_tuples(&self.schema, self.layers.lattice().m_layer(), tuples)?;
+        let started = Instant::now();
+        let window = batch_window(tuples);
+        let opened_unit = self.window != Some(window);
+        // Diffed against the post-batch state below; on a rollover this
+        // reports the closed window's lapsed exceptions as cleared.
+        let before = self.exception_cells();
+        let mut delta = UnitDelta::for_batch(window, opened_unit, tuples.len());
+        if opened_unit {
+            // Commit the window only after a successful rollover (the
+            // trait's "no half-open window" contract).
+            self.window = None;
+            self.open_unit(tuples)?;
+            self.window = Some(window);
+            self.units_opened += 1;
+            delta.cells_touched = self.stats.cells_computed;
+        } else {
+            self.merge_batch(tuples, &mut delta)?;
+        }
+        delta.unit = self.units_opened.saturating_sub(1);
+        let after = self.exception_cells();
+        delta.appeared = after.difference(&before).cloned().collect();
+        delta.cleared = before.difference(&after).cloned().collect();
+        delta.sort_cells();
+        debug_assert!(delta.is_sorted());
+        self.drain_arena_counters();
+        self.stats.elapsed += started.elapsed();
+        self.refresh_stats();
+        Ok(delta)
+    }
+
+    fn result(&self) -> &CubeResult {
+        &self.result
+    }
+
+    fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MoCubingEngine;
+    use regcube_regress::TimeSeries;
+
+    fn isb(slope: f64, base: f64) -> Isb {
+        let z = TimeSeries::from_fn(0, 9, |t| base + slope * t as f64).unwrap();
+        Isb::fit(&z).unwrap()
+    }
+
+    fn setup() -> (CubeSchema, CriticalLayers, ExceptionPolicy) {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let layers = CriticalLayers::new(
+            &schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .unwrap();
+        (schema, layers, ExceptionPolicy::slope_threshold(0.4))
+    }
+
+    fn dense_tuples() -> Vec<MTuple> {
+        let mut tuples = Vec::new();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                tuples.push(MTuple::new(vec![a, b], isb((a + b) as f64 / 10.0, 1.0)));
+            }
+        }
+        tuples
+    }
+
+    fn tables_approx_eq(label: &str, a: &CuboidTable, b: &CuboidTable) {
+        assert_eq!(a.len(), b.len(), "{label}: cell counts differ");
+        for (key, m) in a {
+            let other = b
+                .get(key)
+                .unwrap_or_else(|| panic!("{label}: cell {key} missing"));
+            assert!(m.approx_eq(other, 1e-9), "{label} {key}: {m} vs {other}");
+        }
+    }
+
+    #[test]
+    fn interner_hash_conses_and_resolves() {
+        let pool = ChunkPool::shared();
+        let mut i = KeyInterner::new(3, pool);
+        let (a, fresh_a) = i.intern(&[1, 2, 3]);
+        let (b, fresh_b) = i.intern(&[4, 5, 6]);
+        let (a2, fresh_a2) = i.intern(&[1, 2, 3]);
+        assert!(fresh_a && fresh_b && !fresh_a2);
+        assert_eq!(a, a2, "same ids, same KeyId");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), &[1, 2, 3]);
+        assert_eq!(i.resolve(b), &[4, 5, 6]);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn epoch_reset_is_o1_and_reuses_capacity() {
+        let pool = ChunkPool::shared();
+        let mut i = KeyInterner::new(2, Arc::clone(&pool));
+        for v in 0..500u32 {
+            i.intern(&[v, v + 1]);
+        }
+        let retained = i.retained_bytes();
+        let c = i.take_counters();
+        assert_eq!(c.keys_interned, 500);
+        assert!(c.alloc_calls > 0, "first epoch had to allocate");
+
+        i.reset();
+        assert_eq!(i.len(), 0);
+        assert_eq!(i.retained_bytes(), retained, "reset frees nothing");
+        // Refilling the same keys performs zero allocations: chunks and
+        // index are reused in place.
+        for v in 0..500u32 {
+            let (_, fresh) = i.intern(&[v, v + 1]);
+            assert!(fresh, "reset emptied the epoch");
+        }
+        let c = i.take_counters();
+        assert_eq!(c.alloc_calls, 0, "steady-state epoch is allocation-free");
+        assert_eq!(c.epochs_reclaimed, 1);
+        assert!(c.chunks_recycled > 0);
+        assert_eq!(
+            pool.lock().unwrap().free_chunks(),
+            0,
+            "chunks stayed in the table"
+        );
+    }
+
+    #[test]
+    fn dropped_tables_return_chunks_to_the_pool() {
+        let pool = ChunkPool::shared();
+        {
+            let mut t = ArenaTable::new(2, Arc::clone(&pool));
+            for v in 0..100u32 {
+                t.merge_row(&[v, v], &isb(0.1, 1.0)).unwrap();
+            }
+        }
+        let free = pool.lock().unwrap().free_chunks();
+        assert!(free > 0, "drop recycles chunks instead of freeing them");
+        // A fresh table draws those chunks back out of the free list.
+        let mut t = ArenaTable::new(2, Arc::clone(&pool));
+        for v in 0..100u32 {
+            t.merge_row(&[v, v], &isb(0.1, 1.0)).unwrap();
+        }
+        assert!(pool.lock().unwrap().free_chunks() < free);
+        let (_, recycled) = pool.lock().unwrap().drain_counters();
+        assert!(recycled > 0, "free-list hit counted in the pool");
+    }
+
+    #[test]
+    fn arena_table_merges_like_the_row_table() {
+        let pool = ChunkPool::shared();
+        let mut arena = ArenaTable::new(2, pool);
+        let mut row = CuboidTable::default();
+        for (ids, slope) in [([0u32, 0u32], 0.2), ([3, 1], -0.7), ([0, 0], 0.05)] {
+            let m = isb(slope, 2.0);
+            arena.merge_row(&ids, &m).unwrap();
+            row.merge_row(&ids, &m).unwrap();
+        }
+        arena.finish().unwrap();
+        assert_eq!(TableStorage::len(&arena), 2);
+        tables_approx_eq("arena vs row", &arena.to_row_table(), &row);
+        assert!(arena.get(&[3, 1]).is_some());
+        assert!(arena.get(&[9, 9]).is_none());
+    }
+
+    #[test]
+    fn arena_engine_matches_row_engine_per_unit() {
+        let (schema, layers, policy) = setup();
+        let mut row =
+            MoCubingEngine::transient(schema.clone(), layers.clone(), policy.clone()).unwrap();
+        let mut arena = ArenaCubingEngine::new(schema, layers, policy).unwrap();
+        let tuples = dense_tuples();
+        // Unit 0 in two same-window chunks, then a rollover unit.
+        for batch in [&tuples[..10], &tuples[10..]] {
+            let dr = row.ingest_unit(batch).unwrap();
+            let da = arena.ingest_unit(batch).unwrap();
+            assert_eq!(dr.opened_unit, da.opened_unit);
+            assert_eq!(dr.appeared, da.appeared);
+            assert_eq!(dr.cleared, da.cleared);
+        }
+        let next: Vec<MTuple> = (0..3u32)
+            .map(|a| MTuple::new(vec![a, a], Isb::new(10, 19, 1.0, 0.9).unwrap()))
+            .collect();
+        let dr = row.ingest_unit(&next).unwrap();
+        let da = arena.ingest_unit(&next).unwrap();
+        assert!(dr.opened_unit && da.opened_unit);
+        assert_eq!(dr.unit, da.unit);
+        assert_eq!(dr.appeared, da.appeared);
+        assert_eq!(dr.cleared, da.cleared);
+        let (a, b) = (arena.result(), row.result());
+        tables_approx_eq("m", a.m_table(), b.m_table());
+        tables_approx_eq("o", a.o_table(), b.o_table());
+        assert_eq!(a.total_exception_cells(), b.total_exception_cells());
+        assert_eq!(arena.stats().cells_computed, row.stats().cells_computed);
+        assert_eq!(arena.stats().rows_folded, row.stats().rows_folded);
+    }
+
+    #[test]
+    fn steady_state_rollovers_recycle_instead_of_allocating() {
+        let (schema, layers, policy) = setup();
+        let mut e = ArenaCubingEngine::new(schema, layers, policy).unwrap();
+        let mut arena_allocs = Vec::new();
+        for unit in 0..4i64 {
+            let start = unit * 16;
+            let batch: Vec<MTuple> = dense_tuples()
+                .iter()
+                .map(|t| {
+                    let m = t.isb();
+                    MTuple::new(
+                        t.ids().to_vec(),
+                        Isb::new(start, start + 9, m.base(), m.slope()).unwrap(),
+                    )
+                })
+                .collect();
+            e.ingest_unit(&batch).unwrap();
+            arena_allocs.push(e.stats().arena_alloc_calls);
+        }
+        assert!(arena_allocs[0] > 0, "first unit builds the working set");
+        for (unit, &allocs) in arena_allocs.iter().enumerate().skip(1) {
+            assert_eq!(
+                allocs, 0,
+                "unit {unit}: steady-state rollover must be allocation-free in the arena layer"
+            );
+        }
+        // Every unit after the first reclaims one epoch per cuboid.
+        let s = e.stats();
+        assert!(s.epochs_reclaimed > 0);
+        assert_eq!(s.keys_interned, s.cells_computed);
+        assert!(s.arena_bytes_retained > 0);
+    }
+
+    #[test]
+    fn failed_rollover_does_not_poison_the_engine() {
+        let (schema, layers, policy) = setup();
+        let mut e = ArenaCubingEngine::new(schema, layers, policy).unwrap();
+        e.ingest_unit(&dense_tuples()).unwrap();
+        let bad = vec![MTuple::new(vec![0], isb(0.1, 0.0))];
+        assert!(e.ingest_unit(&bad).is_err());
+        let next: Vec<MTuple> = (0..3u32)
+            .map(|a| MTuple::new(vec![a, a], Isb::new(10, 19, 1.0, 0.2).unwrap()))
+            .collect();
+        let delta = e.ingest_unit(&next).unwrap();
+        assert!(delta.opened_unit);
+        assert_eq!(e.result().m_layer_cells(), 3);
+    }
+
+    #[test]
+    fn empty_batches_are_rejected() {
+        let (schema, layers, policy) = setup();
+        let mut e = ArenaCubingEngine::new(schema, layers, policy).unwrap();
+        assert!(e.ingest_unit(&[]).is_err());
+    }
+}

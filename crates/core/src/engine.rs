@@ -63,11 +63,11 @@ use std::time::Instant;
 /// The physical layout a cube's cell tables are computed over —
 /// selected per engine, orthogonal to the [`Algorithm`].
 ///
-/// Both backends produce the same cube (the contract and golden suites
+/// Every backend produces the same cube (the contract and golden suites
 /// pin it at shard counts 1, 2, 3 and 7); they differ in how the hot
-/// roll-up path touches memory. See `ARCHITECTURE.md` ("Choosing a
-/// backend") for trade-offs and the `columnar` bench experiment for
-/// measured numbers.
+/// roll-up path touches memory. See `ARCHITECTURE.md` ("Memory
+/// management" / "Choosing a backend") for trade-offs and the
+/// `columnar` / `arena` bench experiments for measured numbers.
 ///
 /// ```
 /// use regcube_core::engine::Backend;
@@ -88,6 +88,27 @@ pub enum Backend {
     /// cache-friendly choice for the full-table tier roll-up
     /// ([`crate::columnar::ColumnarCubingEngine`]).
     Columnar,
+    /// Interned-key arena layout
+    /// ([`ArenaTable`](crate::arena::ArenaTable)): cell keys are
+    /// hash-consed into pooled chunks as [`KeyId`](crate::arena::KeyId)
+    /// handles and window rollover reclaims whole epochs in O(1). The
+    /// allocation-free steady state for long-running streams
+    /// ([`crate::arena::ArenaCubingEngine`]).
+    Arena,
+}
+
+impl Backend {
+    /// The backend the process environment selects:
+    /// [`Backend::Arena`] when `REGCUBE_ARENA_BACKEND=1`, otherwise the
+    /// default row layout. This is how CI forces a full workspace test
+    /// pass through the arena path without touching any call site.
+    pub fn from_env() -> Self {
+        if std::env::var("REGCUBE_ARENA_BACKEND").is_ok_and(|v| v == "1") {
+            Backend::Arena
+        } else {
+            Backend::Row
+        }
+    }
 }
 
 /// What one [`CubingEngine::ingest_unit`] call changed.

@@ -79,6 +79,7 @@
 #![forbid(unsafe_code)]
 
 pub mod alarm;
+pub mod arena;
 pub mod columnar;
 pub mod cube;
 pub mod drill;
@@ -101,6 +102,7 @@ pub mod stats;
 pub mod table;
 
 pub use alarm::{AlarmContext, AlarmLog, AlarmSink, DashboardSummary, SinkSet, ThresholdEscalator};
+pub use arena::{ArenaCubingEngine, ArenaTable, ChunkPool, KeyId, KeyInterner};
 pub use columnar::{ColumnarCubingEngine, ColumnarTable};
 pub use cube::RegressionCube;
 pub use engine::{Backend, CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
@@ -124,6 +126,7 @@ pub mod prelude {
         AlarmContext, AlarmLog, AlarmSink, DashboardSummary, Episode, Escalation, SinkSet,
         ThresholdEscalator,
     };
+    pub use crate::arena::ArenaCubingEngine;
     pub use crate::columnar::ColumnarCubingEngine;
     pub use crate::cube::RegressionCube;
     pub use crate::engine::{Backend, CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};

@@ -134,12 +134,21 @@ impl TableStorage for CuboidTable {
 /// Approximate retained bytes of a row table (keys + measures + map
 /// overhead), used by the analytical memory accounting in
 /// [`crate::stats`].
+///
+/// Layout-aware rather than a flat slack factor: the hash map's bucket
+/// array is sized from the table's reported *capacity* (a power of two
+/// holding the capacity at ≤ 7/8 load, one `(CellKey, Isb)` slot plus
+/// one control byte per bucket — the SwissTable layout `std::HashMap`
+/// uses), and each occupied entry additionally owns its boxed key ids
+/// on the heap. The bench suite checks this analytical figure against
+/// real allocator measurements within a tolerance band.
 pub fn table_bytes(table: &CuboidTable, num_dims: usize) -> usize {
-    // CellKey: boxed slice header + ids; Isb: 4 scalars; ~1.4x map slack.
-    let per_entry = std::mem::size_of::<CellKey>()
-        + num_dims * std::mem::size_of::<u32>()
-        + std::mem::size_of::<Isb>();
-    (table.len() * per_entry * 14) / 10
+    if table.capacity() == 0 {
+        return 0;
+    }
+    let buckets = ((table.capacity() * 8).div_ceil(7)).next_power_of_two();
+    let slot = std::mem::size_of::<(CellKey, Isb)>() + 1;
+    buckets * slot + table.len() * num_dims * std::mem::size_of::<u32>()
 }
 
 /// Dense mixed-radix cell-id codec of one cuboid: per-dimension
@@ -418,10 +427,12 @@ pub fn aggregate_from(
 /// a from-scratch step-3 replay would compute now, as long as its
 /// qualifying source region is unchanged.
 ///
-/// The scan itself is allocation-free per row (the PR-4 [`Projector`]
-/// LUTs project into one scratch buffer and `qualify` receives the
-/// projected slice); only *qualifying* rows — proportional to the
-/// drilled region, not the cube — allocate their sort entry.
+/// The whole pass is allocation-free per row: the PR-4 [`Projector`]
+/// LUTs project into one scratch buffer, qualifying rows append their
+/// projected ids to one flat scratch vector, and the fold order is
+/// established by sorting *indices* over that scratch — the only
+/// per-cell allocation left is the one `CellKey` each distinct target
+/// cell inserts into the output table.
 ///
 /// Returns the new table and the number of qualifying source rows
 /// folded.
@@ -437,25 +448,43 @@ pub fn drill_aggregate(
     qualify: impl Fn(&[u32]) -> bool,
 ) -> Result<(CuboidTable, u64)> {
     let projector = Projector::new(schema, source_cuboid, target_cuboid);
-    let mut projected = vec![0u32; schema.num_dims()];
-    // (target ids, source key, measure) of every qualifying source row.
-    let mut rows: Vec<(Box<[u32]>, &CellKey, &Isb)> = Vec::new();
+    let dims = schema.num_dims();
+    let mut projected = vec![0u32; dims];
+    // Projected target ids of every qualifying source row, flattened
+    // into one scratch buffer (row i owns scratch[i*dims..][..dims]),
+    // alongside the source row itself.
+    let mut scratch: Vec<u32> = Vec::new();
+    let mut rows: Vec<(&CellKey, &Isb)> = Vec::new();
     for (key, isb) in source {
         projector.project_into(key.ids(), &mut projected);
         if qualify(&projected) {
-            rows.push((projected.clone().into_boxed_slice(), key, isb));
+            scratch.extend_from_slice(&projected);
+            rows.push((key, isb));
         }
     }
     let folded = rows.len() as u64;
-    rows.sort_unstable_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    let target_ids = |i: usize| &scratch[i * dims..(i + 1) * dims];
+    // Sort row *indices* into ascending (target key, source key) order
+    // instead of boxing a key per row.
+    let mut order: Vec<u32> = (0..rows.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        target_ids(a as usize)
+            .cmp(target_ids(b as usize))
+            .then_with(|| rows[a as usize].0.cmp(rows[b as usize].0))
+    });
     let mut out = CuboidTable::default();
-    for (target_ids, _, isb) in rows {
-        match out.get_mut(target_ids.as_ref()) {
-            Some(acc) => merge_sibling(acc, isb)?,
-            None => {
-                out.insert(CellKey::new(target_ids), *isb);
-            }
+    let mut i = 0;
+    while i < order.len() {
+        // One run of equal target keys = one output cell, folded
+        // left-to-right in the sorted order.
+        let target = target_ids(order[i] as usize);
+        let mut acc = *rows[order[i] as usize].1;
+        i += 1;
+        while i < order.len() && target_ids(order[i] as usize) == target {
+            merge_sibling(&mut acc, rows[order[i] as usize].1)?;
+            i += 1;
         }
+        out.insert(CellKey::new(target.to_vec()), acc);
     }
     Ok((out, folded))
 }
@@ -544,13 +573,31 @@ mod tests {
     }
 
     #[test]
-    fn byte_accounting_scales_with_entries() {
+    fn byte_accounting_tracks_layout() {
         let mut t = CuboidTable::default();
-        assert_eq!(table_bytes(&t, 3), 0);
+        assert_eq!(table_bytes(&t, 3), 0, "no capacity, no bytes");
         t.insert(CellKey::new(vec![0, 0, 0]), isb(0.0));
         let one = table_bytes(&t, 3);
-        t.insert(CellKey::new(vec![1, 1, 1]), isb(0.0));
-        assert_eq!(table_bytes(&t, 3), 2 * one);
+        assert!(one > 0);
+        // Growth is monotone in entries (capacity never shrinks on
+        // insert) and the estimate stays within the physical layout's
+        // ballpark: between the tight packed size and a generous upper
+        // bound that covers a freshly-doubled, half-empty bucket array.
+        let mut prev = one;
+        for v in 1..=512u32 {
+            t.insert(CellKey::new(vec![v, v, v]), isb(0.0));
+            let now = table_bytes(&t, 3);
+            assert!(now >= prev, "estimate shrank at {v} entries");
+            prev = now;
+        }
+        let n = t.len();
+        let packed =
+            n * (std::mem::size_of::<(CellKey, Isb)>() + 1 + 3 * std::mem::size_of::<u32>());
+        assert!(prev >= packed, "estimate below the packed minimum");
+        assert!(
+            prev <= packed * 3,
+            "estimate above 3x the packed size: {prev} vs {packed}"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use regcube_core::arena::ArenaCubingEngine;
 use regcube_core::columnar::ColumnarCubingEngine;
 use regcube_core::engine::{CubingEngine, MoCubingEngine, PopularPathEngine};
 use regcube_core::shard::ShardedEngine;
@@ -234,6 +235,95 @@ fn columnar_rollover_matches_row() {
 }
 
 #[test]
+fn arena_engine_incremental_ingestion_matches_batch_compute() {
+    // Law 1 for the arena backend: interned keys and epoch recycling are
+    // a drop-in for Algorithm 1 under every batching.
+    for (seed, chunk) in [(7u64, 1usize), (8, 7), (9, 50)] {
+        let (schema, layers, tuples) = random_dataset(seed, 120);
+        let policy = ExceptionPolicy::slope_threshold(0.3);
+        let reference = mo_cubing::compute(&schema, &layers, &policy, &tuples).unwrap();
+        let engine = ArenaCubingEngine::new(schema, layers, policy).unwrap();
+        assert_incremental_matches_batch(
+            &format!("arena seed {seed} chunk {chunk}"),
+            engine,
+            &tuples,
+            chunk,
+            &reference,
+        );
+    }
+}
+
+#[test]
+fn arena_matches_row_at_every_shard_count() {
+    // The layout pin: sharded arena cubing equals the unsharded row
+    // reference at n ∈ {1, 2, 3, 7} — full cube and sorted deltas.
+    let (schema, layers, tuples) = random_dataset(70, 150);
+    let policy = ExceptionPolicy::slope_threshold(0.3);
+    let mut reference =
+        MoCubingEngine::transient(schema.clone(), layers.clone(), policy.clone()).unwrap();
+    let ref_delta = reference.ingest_unit(&tuples).unwrap();
+    for shards in [1usize, 2, 3, 7] {
+        let mut engine =
+            ShardedEngine::arena(schema.clone(), layers.clone(), policy.clone(), shards).unwrap();
+        let delta = engine.ingest_unit(&tuples).unwrap();
+        results_approx_eq(
+            &format!("arena n={shards}"),
+            engine.result(),
+            reference.result(),
+        );
+        // Deltas are sorted by contract, so they compare directly.
+        assert_eq!(delta.appeared, ref_delta.appeared, "n={shards}");
+        assert_eq!(delta.cleared, ref_delta.cleared, "n={shards}");
+        assert_eq!(engine.result().algorithm(), reference.result().algorithm());
+    }
+}
+
+#[test]
+fn arena_rollover_matches_row() {
+    // Window rollovers through the arena backend (sharded and not):
+    // after every unit — including the epoch-reset recomputations — the
+    // cube and the delta stream must agree with the row reference.
+    let (schema, layers, tuples) = random_dataset(71, 90);
+    let policy = ExceptionPolicy::slope_threshold(0.3);
+    let mut arena = ArenaCubingEngine::new(schema.clone(), layers.clone(), policy.clone()).unwrap();
+    let mut sharded =
+        ShardedEngine::arena(schema.clone(), layers.clone(), policy.clone(), 3).unwrap();
+    let mut single = MoCubingEngine::transient(schema, layers, policy).unwrap();
+    for unit in 0..3usize {
+        let take = [90usize, 30, 4][unit];
+        let start = unit as i64 * 16;
+        let batch: Vec<MTuple> = tuples[..take]
+            .iter()
+            .map(|t| {
+                let isb = t.isb();
+                MTuple::new(
+                    t.ids().to_vec(),
+                    Isb::new(start, start + 15, isb.base(), isb.slope()).unwrap(),
+                )
+            })
+            .collect();
+        let da = arena.ingest_unit(&batch).unwrap();
+        let ds = sharded.ingest_unit(&batch).unwrap();
+        let du = single.ingest_unit(&batch).unwrap();
+        for (label, delta, engine) in [
+            ("arena", &da, arena.result()),
+            ("arena x3", &ds, sharded.result()),
+        ] {
+            assert_eq!(delta.unit, du.unit, "unit {unit} {label}");
+            results_approx_eq(&format!("unit {unit} {label}"), engine, single.result());
+            assert_eq!(delta.appeared, du.appeared, "unit {unit} {label} appeared");
+            assert_eq!(delta.cleared, du.cleared, "unit {unit} {label} cleared");
+        }
+        if unit > 0 {
+            assert!(
+                arena.stats().epochs_reclaimed > 0,
+                "unit {unit}: rollover reclaims epochs"
+            );
+        }
+    }
+}
+
+#[test]
 fn sharded_engine_incremental_ingestion_matches_batch_compute() {
     // Law 1 for the sharded backend at n = 1, 2, 3, 7: hash-partitioned
     // parallel cubing + Theorem 3.2 merge equals the unsharded batch
@@ -362,10 +452,12 @@ fn engines_are_send() {
     assert_send::<MoCubingEngine>();
     assert_send::<PopularPathEngine>();
     assert_send::<ColumnarCubingEngine>();
+    assert_send::<ArenaCubingEngine>();
     assert_send::<Box<dyn CubingEngine + Send>>();
     assert_send::<ShardedEngine<MoCubingEngine>>();
     assert_send::<ShardedEngine<PopularPathEngine>>();
     assert_send::<ShardedEngine<ColumnarCubingEngine>>();
+    assert_send::<ShardedEngine<ArenaCubingEngine>>();
 }
 
 /// Law 2, enforced through the trait with type-erased engines so any

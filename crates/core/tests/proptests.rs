@@ -3,9 +3,10 @@
 //! regardless of data, threshold or schema shape.
 
 use proptest::prelude::*;
+use regcube_core::arena::{ChunkPool, KeyId, KeyInterner};
 use regcube_core::prelude::*;
 use regcube_core::query;
-use regcube_core::table::aggregate_from;
+use regcube_core::table::{aggregate_from, DenseCellCodec};
 use regcube_olap::cell::CellKey;
 use regcube_olap::{CubeSchema, CuboidSpec};
 use regcube_regress::Isb;
@@ -191,6 +192,113 @@ proptest! {
                 let got = cube.exceptions_in(cuboid).and_then(|t| t.get(key));
                 prop_assert!(got.is_some(), "shards {}: missing {}{}", shards, cuboid, key);
                 prop_assert!(got.unwrap().approx_eq(m, 1e-6));
+            }
+        }
+    }
+
+    /// Dense cell-id codec round-trips right up against the u64
+    /// overflow guard: the largest radix combinations whose cell space
+    /// still fits a u64 encode/decode exactly, and the first ones past
+    /// the boundary are rejected at construction.
+    ///
+    /// `floor(u64::MAX^(1/3)) = 2642245` (three dims at depth 1, radix =
+    /// fanout) and `floor(u64::MAX^(1/6)) = 1625` (three dims at depth
+    /// 2, radix = fanout²) are the exact guard edges these strategies
+    /// straddle.
+    #[test]
+    fn codec_round_trips_adjacent_to_the_overflow_guard(
+        kind in 0usize..4,
+        offset in 0u32..50,
+        fractions in prop::collection::vec(0.0..1.0f64, 3),
+    ) {
+        // (dims, depth, fanout, fits): up to 50 radix steps on each
+        // side of both guard boundaries.
+        let (dims, depth, fanout, fits) = match kind {
+            0 => (3usize, 1u8, 2_642_245 - offset, true),
+            1 => (3, 1, 2_642_246 + offset, false),
+            2 => (3, 2, 1_625 - offset.min(800), true),
+            _ => (3, 2, 1_626 + offset, false),
+        };
+        let schema = CubeSchema::synthetic(dims, depth, fanout).unwrap();
+        let finest = CuboidSpec::new(vec![depth; dims]);
+        let codec = DenseCellCodec::new(&schema, &finest);
+        if !fits {
+            prop_assert!(codec.is_err(), "radix^{dims} past u64 must be rejected");
+            return Ok(());
+        }
+        let codec = codec.unwrap();
+        let card = u64::from(fanout).pow(u32::from(depth));
+        // Member ids spread across the full radix range, including the
+        // extremes of every dimension.
+        let mut keys: Vec<Vec<u32>> = vec![
+            vec![0; dims],
+            vec![(card - 1) as u32; dims],
+        ];
+        keys.push(
+            (0..dims)
+                .map(|d| ((fractions[d % fractions.len()] * card as f64) as u64).min(card - 1) as u32)
+                .collect(),
+        );
+        let mut out = vec![0u32; dims];
+        for ids in &keys {
+            let id = codec.encode(ids);
+            codec.decode_into(id, &mut out);
+            prop_assert_eq!(&out, ids, "round trip at radix {}", fanout);
+        }
+        // The extreme cell encodes to exactly card^dims - 1: the codec
+        // uses the whole dense range and nothing outside it.
+        prop_assert_eq!(codec.encode(&keys[1]), card.pow(dims as u32) - 1);
+    }
+
+    /// Arena interner laws: interning is a pure function of the id
+    /// slice within an epoch (same ids ⇒ same `KeyId`, distinct ids ⇒
+    /// distinct `KeyId`s, resolve is the inverse), and an epoch reset
+    /// invalidates nothing still reachable — every handle issued after
+    /// the reset keeps resolving correctly no matter how much more is
+    /// interned on top.
+    #[test]
+    fn interner_laws_hold(
+        arity in 1usize..=4,
+        first in prop::collection::vec(prop::collection::vec(0u32..40, 4), 1..50),
+        second in prop::collection::vec(prop::collection::vec(0u32..40, 4), 1..50),
+    ) {
+        let mut interner = KeyInterner::new(arity, ChunkPool::shared());
+        let mut seen: Vec<(Vec<u32>, KeyId)> = Vec::new();
+        for key in &first {
+            let ids = &key[..arity];
+            let (id, fresh) = interner.intern(ids);
+            let known = seen.iter().find(|(k, _)| k == ids).map(|&(_, id)| id);
+            match known {
+                Some(prior) => {
+                    prop_assert!(!fresh, "duplicate ids reported fresh");
+                    prop_assert_eq!(id, prior, "same ids must yield the same KeyId");
+                }
+                None => {
+                    prop_assert!(fresh, "new ids reported stale");
+                    seen.push((ids.to_vec(), id));
+                }
+            }
+        }
+        // Every issued handle still resolves to exactly its ids.
+        for (ids, id) in &seen {
+            prop_assert_eq!(interner.resolve(*id), &ids[..]);
+        }
+        prop_assert_eq!(interner.len(), seen.len());
+
+        // Epoch reset: the new epoch starts empty, and handles issued
+        // after the reset stay valid while the epoch fills up.
+        interner.reset();
+        prop_assert!(interner.is_empty());
+        let mut reissued: Vec<(Vec<u32>, KeyId)> = Vec::new();
+        for key in &second {
+            let ids = &key[..arity];
+            let (id, _) = interner.intern(ids);
+            if !reissued.iter().any(|(k, _)| k == ids) {
+                reissued.push((ids.to_vec(), id));
+            }
+            // Nothing reachable was invalidated by interning more.
+            for (prior_ids, prior_id) in &reissued {
+                prop_assert_eq!(interner.resolve(*prior_id), &prior_ids[..]);
             }
         }
     }

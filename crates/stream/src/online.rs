@@ -6,6 +6,7 @@ use crate::ingest::Ingestor;
 use crate::record::RawRecord;
 use crate::Result;
 use regcube_core::alarm::{AlarmContext, SharedSink, SinkError, SinkSet};
+use regcube_core::arena::ArenaCubingEngine;
 use regcube_core::columnar::ColumnarCubingEngine;
 use regcube_core::drill::{drill_children, drill_descendants, DrillHit};
 use regcube_core::engine::{Backend, CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
@@ -83,6 +84,23 @@ pub struct UnitReport {
     /// folded rows. See
     /// [`RunStats::rows_folded_scalar`](regcube_core::RunStats).
     pub rows_folded_scalar: u64,
+    /// Cell keys the arena backend interned for the unit, summed across
+    /// shards. Zero for the row and columnar backends and for empty
+    /// units. See [`RunStats::keys_interned`](regcube_core::RunStats).
+    pub keys_interned: u64,
+    /// Whole arena epochs the unit reclaimed in O(1), summed across
+    /// shards (arena backend only). See
+    /// [`RunStats::epochs_reclaimed`](regcube_core::RunStats).
+    pub epochs_reclaimed: u64,
+    /// Heap allocations the arena layer performed for the unit, summed
+    /// across shards — zero in steady state once the working set is
+    /// built. See
+    /// [`RunStats::arena_alloc_calls`](regcube_core::RunStats).
+    pub arena_alloc_calls: u64,
+    /// Bytes the arena working set retains across windows, summed
+    /// across shards (arena backend only). See
+    /// [`RunStats::arena_bytes_retained`](regcube_core::RunStats).
+    pub arena_bytes_retained: usize,
 }
 
 /// Configuration of an [`OnlineEngine`], built fluently:
@@ -122,10 +140,14 @@ pub struct EngineConfig {
     pub ticks_per_unit: usize,
     /// Cubing algorithm; defaults to m/o-cubing.
     pub algorithm: Algorithm,
-    /// Physical table layout of the cubing backend; defaults to the
-    /// row (hash-map) layout. [`Backend::Columnar`] selects the
-    /// struct-of-arrays roll-up of
-    /// [`regcube_core::columnar`] (Algorithm 1 only).
+    /// Physical table layout of the cubing backend; defaults to the row
+    /// (hash-map) layout. [`Backend::Columnar`] selects the
+    /// struct-of-arrays roll-up of [`regcube_core::columnar`] and
+    /// [`Backend::Arena`] the interned-key arena tables of
+    /// [`regcube_core::arena`] (both Algorithm 1 only). A row-default
+    /// configuration running Algorithm 1 is upgraded at
+    /// [`build`](Self::build) time by [`Backend::from_env`]
+    /// (`REGCUBE_ARENA_BACKEND=1` — CI's whole-workspace arena pass).
     pub backend: Backend,
     /// Number of cubing shards (m-layer hash partitions cubed in
     /// parallel and merged via Theorem 3.2); defaults to 1 (unsharded).
@@ -191,10 +213,11 @@ impl EngineConfig {
     }
 
     /// Sets the physical table layout of the cubing backend. The
-    /// columnar backend implements Algorithm 1 (m/o-cubing) only;
-    /// [`build`](Self::build) rejects `Columnar` together with
-    /// [`Algorithm::PopularPath`]. Every backend produces the same cube
-    /// at every shard count — see the README's "Choosing a backend".
+    /// columnar and arena backends implement Algorithm 1 (m/o-cubing)
+    /// only; [`build`](Self::build) rejects `Columnar` or `Arena`
+    /// together with [`Algorithm::PopularPath`]. Every backend produces
+    /// the same cube at every shard count — see the README's "Choosing
+    /// a backend".
     ///
     /// ```
     /// use regcube_stream::online::EngineConfig;
@@ -271,23 +294,33 @@ impl EngineConfig {
 
     /// Builds the engine, selecting the cubing strategy at runtime from
     /// [`algorithm`](Self::algorithm) and [`backend`](Self::backend)
-    /// (type-erased behind [`BoxedEngine`]); [`shards`](Self::shards)
-    /// > 1 wraps the strategy in a [`ShardedEngine`].
+    /// (type-erased behind [`BoxedEngine`]); a [`shards`](Self::shards)
+    /// count above 1 wraps the strategy in a [`ShardedEngine`].
+    /// Row-default Algorithm 1 configurations honor
+    /// [`Backend::from_env`] (`REGCUBE_ARENA_BACKEND=1` forces the
+    /// arena layout process-wide).
     ///
     /// # Errors
-    /// [`StreamError::BadConfig`] for [`Backend::Columnar`] combined
-    /// with [`Algorithm::PopularPath`] (the columnar backend implements
-    /// Algorithm 1 only); otherwise configuration validation from the
-    /// ingestor and cube substrates.
+    /// [`StreamError::BadConfig`] for [`Backend::Columnar`] or
+    /// [`Backend::Arena`] combined with [`Algorithm::PopularPath`]
+    /// (those backends implement Algorithm 1 only); otherwise
+    /// configuration validation from the ingestor and cube substrates.
     pub fn build(self) -> Result<OnlineEngine<BoxedEngine>> {
         let algorithm = self.algorithm;
-        let backend = self.backend;
+        let mut backend = self.backend;
         let shards = self.shards;
-        if algorithm == Algorithm::PopularPath && backend == Backend::Columnar {
+        // The env override upgrades row-default Algorithm 1 configs only:
+        // explicit backend choices and popular-path runs keep their
+        // layout (the arena implements Algorithm 1, not drilling).
+        if backend == Backend::Row && algorithm == Algorithm::MoCubing {
+            backend = Backend::from_env();
+        }
+        if algorithm == Algorithm::PopularPath && backend != Backend::Row {
             return Err(StreamError::BadConfig {
-                detail: "the columnar backend implements Algorithm 1 (MoCubing) only; \
-                         use Backend::Row with Algorithm::PopularPath"
-                    .into(),
+                detail: format!(
+                    "the {backend:?} backend implements Algorithm 1 (MoCubing) only; \
+                     use Backend::Row with Algorithm::PopularPath"
+                ),
             });
         }
         self.build_with(
@@ -306,6 +339,14 @@ impl EngineConfig {
                 }
                 (Algorithm::MoCubing, Backend::Columnar, n) => {
                     ShardedEngine::columnar(schema, layers, policy, n)
+                        .map(|e| Box::new(e) as BoxedEngine)
+                }
+                (Algorithm::MoCubing, Backend::Arena, 1) => {
+                    ArenaCubingEngine::new(schema, layers, policy)
+                        .map(|e| Box::new(e) as BoxedEngine)
+                }
+                (Algorithm::MoCubing, Backend::Arena, n) => {
+                    ShardedEngine::arena(schema, layers, policy, n)
                         .map(|e| Box::new(e) as BoxedEngine)
                 }
                 (Algorithm::PopularPath, _, 1) => {
@@ -330,6 +371,19 @@ impl EngineConfig {
         let shards = self.shards;
         self.build_with(move |schema, layers, policy| {
             ShardedEngine::columnar(schema, layers, policy, shards)
+        })
+    }
+
+    /// Builds a statically-typed engine running the arena backend
+    /// ([`ArenaCubingEngine`]) across [`shards`](Self::shards)
+    /// partitions (a single shard is an exact passthrough).
+    ///
+    /// # Errors
+    /// Configuration validation from the ingestor and cube substrates.
+    pub fn build_arena(self) -> Result<OnlineEngine<ShardedEngine<ArenaCubingEngine>>> {
+        let shards = self.shards;
+        self.build_with(move |schema, layers, policy| {
+            ShardedEngine::arena(schema, layers, policy, shards)
         })
     }
 
@@ -546,6 +600,10 @@ impl<E: CubingEngine> OnlineEngine<E> {
                 drill_skipped_cuboids: 0,
                 rows_folded_simd: 0,
                 rows_folded_scalar: 0,
+                keys_interned: 0,
+                epochs_reclaimed: 0,
+                arena_alloc_calls: 0,
+                arena_bytes_retained: 0,
             });
         }
 
@@ -636,6 +694,10 @@ impl<E: CubingEngine> OnlineEngine<E> {
             drill_skipped_cuboids: drill_stats.drill_skipped_cuboids,
             rows_folded_simd: drill_stats.rows_folded_simd,
             rows_folded_scalar: drill_stats.rows_folded_scalar,
+            keys_interned: drill_stats.keys_interned,
+            epochs_reclaimed: drill_stats.epochs_reclaimed,
+            arena_alloc_calls: drill_stats.arena_alloc_calls,
+            arena_bytes_retained: drill_stats.arena_bytes_retained,
         })
     }
 

@@ -231,12 +231,14 @@ fn pipeline_matches_golden_snapshot() {
     let actual = run_pipeline(1, Backend::Row);
 
     // The identical pipeline through 3 shards, and through the columnar
-    // backend at both shard counts, must serialize byte-for-byte the
-    // same — merged deltas, episodes and all.
+    // and arena backends at both shard counts, must serialize
+    // byte-for-byte the same — merged deltas, episodes and all.
     for (label, shards, backend) in [
         ("shards=3", 3, Backend::Row),
         ("columnar", 1, Backend::Columnar),
         ("columnar shards=3", 3, Backend::Columnar),
+        ("arena", 1, Backend::Arena),
+        ("arena shards=3", 3, Backend::Arena),
     ] {
         let other = run_pipeline(shards, backend);
         assert!(
