@@ -8,13 +8,13 @@
 //! ```
 
 use regcube_bench::experiments::{
-    alarm, arena, columnar, dims, fig10, fig8, fig9, incremental, scaling, tilt,
+    alarm, arena, columnar, dims, fig10, fig8, fig9, incremental, lateness, scaling, tilt,
 };
 use regcube_bench::report::{tables_to_json, Table};
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: figures [all|fig8|fig9|fig10|dims|tilt|incremental|scaling|alarm|columnar|arena]... [--quick] [--json FILE]
+    "usage: figures [all|fig8|fig9|fig10|dims|tilt|incremental|scaling|alarm|columnar|arena|lateness]... [--quick] [--json FILE]
 
   fig8         time & memory vs exception %        (D3L3C10T100K)
   fig9         time & memory vs m-layer size       (D3L3C10, 1% exceptions)
@@ -29,6 +29,8 @@ const USAGE: &str =
                plus the kernel-dispatch vs scalar-fallback fold phases
   arena        allocator churn of the window rollover: row tables vs
                epoch-reclaimed arena tables, plus the O(1) rollover probe
+  lateness     watermark reordering: sorted vs bounded-shuffle vs
+               straggler streams (amendment + drop accounting)
   all          everything above
   --quick      shrunken datasets for smoke runs
   --json FILE  additionally write all tables as a JSON document";
@@ -68,6 +70,7 @@ fn main() -> ExitCode {
             "alarm",
             "columnar",
             "arena",
+            "lateness",
         ];
     }
 
@@ -129,6 +132,11 @@ fn main() -> ExitCode {
                 let phases = arena::run_rollup_phases(quick);
                 let rollover = arena::run_rollover_probe();
                 all_tables.extend(arena::print(&points, &phases, &rollover));
+            }
+            "lateness" => {
+                eprintln!("[figures] running lateness ...");
+                let points = lateness::run(quick);
+                all_tables.extend(lateness::print(&points));
             }
             other => {
                 eprintln!("unknown experiment: {other}\n{USAGE}");

@@ -8,6 +8,7 @@ pub mod fig10;
 pub mod fig8;
 pub mod fig9;
 pub mod incremental;
+pub mod lateness;
 pub mod scaling;
 pub mod tilt;
 

@@ -191,6 +191,57 @@ pub trait AlarmSink: Send {
     /// Implementation-defined; see the trait docs for how dispatchers
     /// handle failures.
     fn on_unit(&mut self, delta: &UnitDelta, ctx: &AlarmContext<'_>) -> Result<()>;
+
+    /// Consumes the late-record corrections applied since the previous
+    /// batch (watermark-based out-of-order ingestion only; see
+    /// [`LateAmendment`]). The default implementation ignores them —
+    /// sinks that only track exception transitions need not care that
+    /// warehoused history was corrected.
+    ///
+    /// # Errors
+    /// Implementation-defined, handled like [`on_unit`](Self::on_unit).
+    fn on_late_amendments(&mut self, amendments: &[LateAmendment]) -> Result<()> {
+        let _ = amendments;
+        Ok(())
+    }
+}
+
+/// One late-record correction applied to a cell's warehoused tilt-frame
+/// history.
+///
+/// When a record arrives for a unit that has already closed but is still
+/// newer than the low watermark, the stream layer amends the affected
+/// m-layer and o-layer tilt-frame slots in place (exact by linearity of
+/// the LSE fit — `Isb::amend_tick`) instead of dropping the record. Each
+/// such correction is reported so downstream consumers see *corrections
+/// rather than silence*: dashboards can re-render the amended span,
+/// auditors can log it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LateAmendment {
+    /// The m-layer cell whose history absorbed the record.
+    pub m_cell: CellKey,
+    /// The o-layer projection of that cell, amended alongside.
+    pub o_cell: CellKey,
+    /// The (already closed) stream unit the record belonged to.
+    pub unit: u64,
+    /// The record's tick.
+    pub tick: i64,
+    /// The record's value — the delta folded into the warehoused fits.
+    pub delta: f64,
+    /// Tilt level of the m-cell frame slot that absorbed the amendment.
+    pub m_level: usize,
+    /// Tilt level of the o-cell frame slot that absorbed the amendment.
+    pub o_level: usize,
+}
+
+impl fmt::Display for LateAmendment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "late {} @ tick {} (unit {}): m-cell {} level {}, o-cell {} level {}",
+            self.delta, self.tick, self.unit, self.m_cell, self.m_level, self.o_cell, self.o_level
+        )
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -797,6 +848,26 @@ impl SinkSet {
         for sink in &self.sinks {
             let mut guard = sink.lock().unwrap_or_else(PoisonError::into_inner);
             if let Err(e) = guard.on_unit(delta, ctx) {
+                errors.push(SinkError {
+                    sink: guard.name(),
+                    message: e.to_string(),
+                });
+            }
+        }
+        errors
+    }
+
+    /// Delivers a batch of late-record corrections to every sink, with
+    /// the same error isolation as [`dispatch`](Self::dispatch). An
+    /// empty batch is a no-op (sinks are not called).
+    pub fn dispatch_amendments(&self, amendments: &[LateAmendment]) -> Vec<SinkError> {
+        let mut errors = Vec::new();
+        if amendments.is_empty() {
+            return errors;
+        }
+        for sink in &self.sinks {
+            let mut guard = sink.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Err(e) = guard.on_late_amendments(amendments) {
                 errors.push(SinkError {
                     sink: guard.name(),
                     message: e.to_string(),

@@ -101,7 +101,9 @@ pub mod shard;
 pub mod stats;
 pub mod table;
 
-pub use alarm::{AlarmContext, AlarmLog, AlarmSink, DashboardSummary, SinkSet, ThresholdEscalator};
+pub use alarm::{
+    AlarmContext, AlarmLog, AlarmSink, DashboardSummary, LateAmendment, SinkSet, ThresholdEscalator,
+};
 pub use arena::{ArenaCubingEngine, ArenaTable, ChunkPool, KeyId, KeyInterner};
 pub use columnar::{ColumnarCubingEngine, ColumnarTable};
 pub use cube::RegressionCube;

@@ -426,6 +426,7 @@ impl<E: CubingEngine + Send + Sync + 'static> ShardedEngine<E> {
             stats.epochs_reclaimed += s.epochs_reclaimed;
             stats.arena_alloc_calls += s.arena_alloc_calls;
             stats.arena_chunks_recycled += s.arena_chunks_recycled;
+            stats.late_dropped += s.late_dropped;
             stats.arena_bytes_retained += s.arena_bytes_retained;
             // Upper bound of the concurrent high-water mark: every shard
             // could hit its peak at the same instant.

@@ -77,6 +77,11 @@ pub struct RunStats {
     /// this capacity is what makes steady-state rollovers
     /// allocation-free. Arena backend only.
     pub arena_bytes_retained: usize,
+    /// Stream records that arrived **beyond the allowed lateness** and
+    /// were dropped — deterministically counted, never silently lost.
+    /// Only the stream layer's watermark path increments this; batch
+    /// engines leave it zero.
+    pub late_dropped: u64,
     /// Wall-clock time of the computation.
     pub elapsed: Duration,
     /// Peak analytical bytes (retained + transient) during the run.

@@ -149,6 +149,48 @@ impl Isb {
         }
     }
 
+    /// Re-fits this ISB as if `delta` had been added to the observed value
+    /// at tick `t`, without access to the original series.
+    ///
+    /// The LSE coefficients are *linear* in the observed values over a
+    /// fixed dense tick design, so the correction is exact:
+    ///
+    /// ```text
+    /// Δβ̂ = δ·(t − t̄) / SVS(n)      Δα̂ = δ/n − Δβ̂·t̄
+    /// ```
+    ///
+    /// with the [`crate::ols::LinearFit`] single-tick convention (`n = 1`
+    /// keeps slope `0` and absorbs `δ` into the base). This is what lets a
+    /// late-arriving stream record amend an already-warehoused cell fit in
+    /// O(1), instead of replaying the unit's series.
+    ///
+    /// # Errors
+    /// [`RegressError::InvalidParameter`] when `t` lies outside
+    /// `[t_b, t_e]` — an amendment cannot extend the fitted interval.
+    pub fn amend_tick(&self, t: i64, delta: f64) -> Result<Self> {
+        if t < self.start || t > self.end {
+            return Err(RegressError::InvalidParameter {
+                name: "amend_tick",
+                detail: format!(
+                    "tick {t} outside fitted interval [{}, {}]",
+                    self.start, self.end
+                ),
+            });
+        }
+        let n = self.n();
+        if n == 1 {
+            return Isb::new(self.start, self.end, self.base + delta, self.slope);
+        }
+        let d_slope = delta * (t as f64 - self.mean_t()) / svs(n);
+        let d_base = delta / n as f64 - d_slope * self.mean_t();
+        Isb::new(
+            self.start,
+            self.end,
+            self.base + d_base,
+            self.slope + d_slope,
+        )
+    }
+
     /// `true` when the two ISBs cover the same interval.
     #[inline]
     pub fn same_interval(&self, other: &Isb) -> bool {
@@ -318,6 +360,38 @@ mod tests {
         assert_eq!(format!("{isb}"), "([0, 19], 0.540995, 0.031838)");
         let iv = IntVal::new(0, 1, 1.0, 2.0).unwrap();
         assert!(format!("{iv}").starts_with("([0, 1]"));
+    }
+
+    #[test]
+    fn amend_tick_matches_a_refit_of_the_amended_series() {
+        let values = vec![2.0, 7.0, 1.0, 4.0, 9.0, -3.0];
+        for t in 3..9 {
+            let delta = 2.75;
+            let z = TimeSeries::new(3, values.clone()).unwrap();
+            let amended = Isb::fit(&z).unwrap().amend_tick(t, delta).unwrap();
+            let mut patched = values.clone();
+            patched[(t - 3) as usize] += delta;
+            let refit = Isb::fit(&TimeSeries::new(3, patched).unwrap()).unwrap();
+            assert!(
+                amended.approx_eq(&refit, 1e-12),
+                "t={t}: {amended} vs refit {refit}"
+            );
+        }
+    }
+
+    #[test]
+    fn amend_tick_single_tick_absorbs_delta_into_base() {
+        let isb = Isb::new(5, 5, 3.0, 0.0).unwrap();
+        let amended = isb.amend_tick(5, -1.5).unwrap();
+        assert_eq!(amended.base(), 1.5);
+        assert_eq!(amended.slope(), 0.0);
+    }
+
+    #[test]
+    fn amend_tick_rejects_out_of_interval_ticks() {
+        let isb = Isb::new(5, 9, 1.0, 0.5).unwrap();
+        assert!(isb.amend_tick(4, 1.0).is_err());
+        assert!(isb.amend_tick(10, 1.0).is_err());
     }
 
     #[test]

@@ -26,6 +26,13 @@ pub enum StreamError {
         /// Description of the violation.
         detail: String,
     },
+    /// The bounded reordering buffer cannot admit another future unit.
+    ReorderOverflow {
+        /// The configured capacity in buffered units.
+        capacity: usize,
+        /// The unit the rejected record belongs to.
+        unit: i64,
+    },
     /// Substrate failure: cube core.
     Core(CoreError),
     /// Substrate failure: OLAP structures.
@@ -46,6 +53,11 @@ impl fmt::Display for StreamError {
             ),
             StreamError::BadRecord { detail } => write!(f, "bad record: {detail}"),
             StreamError::BadConfig { detail } => write!(f, "bad engine config: {detail}"),
+            StreamError::ReorderOverflow { capacity, unit } => write!(
+                f,
+                "reordering buffer full ({capacity} units): cannot buffer unit {unit}; \
+                 close ready units or raise the capacity"
+            ),
             StreamError::Core(e) => write!(f, "cube error: {e}"),
             StreamError::Olap(e) => write!(f, "structure error: {e}"),
             StreamError::Regress(e) => write!(f, "regression error: {e}"),
@@ -104,6 +116,10 @@ mod tests {
             },
             StreamError::BadRecord { detail: "x".into() },
             StreamError::BadConfig { detail: "y".into() },
+            StreamError::ReorderOverflow {
+                capacity: 4,
+                unit: 9,
+            },
             CoreError::BadInput { detail: "z".into() }.into(),
             OlapError::ArityMismatch {
                 got: 1,
@@ -116,7 +132,8 @@ mod tests {
         for c in &cases {
             assert!(!c.to_string().is_empty());
         }
-        assert!(cases[3].source().is_some());
+        assert!(cases[4].source().is_some());
         assert!(cases[0].source().is_none());
+        assert!(cases[3].source().is_none());
     }
 }

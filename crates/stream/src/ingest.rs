@@ -89,20 +89,15 @@ impl Ingestor {
         self.buffers.len()
     }
 
-    /// Ingests one raw record into the open unit.
+    /// Validates a record's coordinates against the primitive layer
+    /// (arity and member range) without touching the open window — the
+    /// check the reordering buffer runs *before* admitting a record, so
+    /// a malformed record is rejected at arrival time rather than units
+    /// later when its buffer drains.
     ///
     /// # Errors
-    /// * [`StreamError::OutOfWindow`] when the record's tick is outside
-    ///   the open unit (close the unit first).
-    /// * [`StreamError::BadRecord`] for arity/member violations.
-    pub fn ingest(&mut self, record: &RawRecord) -> Result<()> {
-        let window = self.open_window();
-        if record.tick < window.0 || record.tick > window.1 {
-            return Err(StreamError::OutOfWindow {
-                tick: record.tick,
-                window,
-            });
-        }
+    /// [`StreamError::BadRecord`] for arity/member violations.
+    pub fn validate(&self, record: &RawRecord) -> Result<()> {
         if record.ids.len() != self.schema.num_dims() {
             return Err(StreamError::BadRecord {
                 detail: format!(
@@ -122,6 +117,34 @@ impl Ingestor {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Projects a primitive record's coordinates to its m-layer cell.
+    pub(crate) fn project_to_m(&self, ids: &[u32]) -> CellKey {
+        CellKey::new(project_key(
+            &self.schema,
+            &self.primitive,
+            ids,
+            &self.m_layer,
+        ))
+    }
+
+    /// Ingests one raw record into the open unit.
+    ///
+    /// # Errors
+    /// * [`StreamError::OutOfWindow`] when the record's tick is outside
+    ///   the open unit (close the unit first).
+    /// * [`StreamError::BadRecord`] for arity/member violations.
+    pub fn ingest(&mut self, record: &RawRecord) -> Result<()> {
+        let window = self.open_window();
+        if record.tick < window.0 || record.tick > window.1 {
+            return Err(StreamError::OutOfWindow {
+                tick: record.tick,
+                window,
+            });
+        }
+        self.validate(record)?;
         let m_ids = project_key(&self.schema, &self.primitive, &record.ids, &self.m_layer);
         let offset = (record.tick - window.0) as usize;
         let ticks = self.ticks_per_unit;
@@ -138,18 +161,26 @@ impl Ingestor {
     /// unit's ticks, advances to the next unit, and returns the tuples
     /// (sorted by key for determinism).
     ///
+    /// The close is **error-atomic**: the output is built completely
+    /// before any state is mutated, so a failed close leaves the
+    /// buffers and the open unit exactly as they were (an earlier
+    /// version drained the buffers while fitting — a mid-drain error
+    /// discarded the remaining cells and left `open_unit` un-advanced,
+    /// corrupting the stream state).
+    ///
     /// # Errors
     /// Propagates fit errors (cannot occur for a positive unit width).
     pub fn close_unit(&mut self) -> Result<(i64, Vec<(CellKey, Isb)>)> {
         let (first, _) = self.open_window();
         let unit = self.open_unit;
         let mut out: Vec<(CellKey, Isb)> = Vec::with_capacity(self.buffers.len());
-        for (key, values) in self.buffers.drain() {
-            let series = TimeSeries::new(first, values).map_err(StreamError::from)?;
+        for (key, values) in self.buffers.iter() {
+            let series = TimeSeries::new(first, values.clone()).map_err(StreamError::from)?;
             let isb = Isb::fit(&series).map_err(StreamError::from)?;
-            out.push((key, isb));
+            out.push((key.clone(), isb));
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
+        self.buffers.clear();
         self.open_unit += 1;
         Ok((unit, out))
     }

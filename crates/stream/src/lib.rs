@@ -25,6 +25,14 @@
 //!   [`AlarmSink`](regcube_core::alarm::AlarmSink)s
 //!   ([`online::EngineConfig::with_sinks`]) so consumers react to
 //!   exception transitions without rescanning any layer;
+//! * [`reorder`] — the bounded reordering buffer and low-watermark state
+//!   behind [`online::EngineConfig::with_reordering`]: out-of-order
+//!   records within the allowed lateness ingest bit-identically to
+//!   sorted replay, records for already-closed units amend the
+//!   warehoused tilt frames exactly (OLS linearity), and
+//!   beyond-lateness records are counted in
+//!   [`RunStats::late_dropped`](regcube_core::RunStats) — never
+//!   silently lost;
 //! * [`source`] — replay and mpsc-channel event sources for driving an
 //!   engine from another thread.
 
@@ -35,12 +43,14 @@ pub mod error;
 pub mod ingest;
 pub mod online;
 pub mod record;
+pub mod reorder;
 pub mod source;
 
 pub use error::StreamError;
 pub use ingest::Ingestor;
-pub use online::{Alarm, BoxedEngine, EngineConfig, OnlineEngine, UnitReport};
+pub use online::{Alarm, BoxedEngine, EngineConfig, OnlineEngine, TiltHit, UnitReport};
 pub use record::RawRecord;
+pub use reorder::{ReorderConfig, ReorderState};
 pub use source::{run_engine, ReplaySource, StreamEvent};
 
 /// Crate-wide result alias.

@@ -4,8 +4,9 @@
 use crate::error::StreamError;
 use crate::ingest::Ingestor;
 use crate::record::RawRecord;
+use crate::reorder::{ReorderConfig, ReorderState};
 use crate::Result;
-use regcube_core::alarm::{AlarmContext, SharedSink, SinkError, SinkSet};
+use regcube_core::alarm::{AlarmContext, LateAmendment, SharedSink, SinkError, SinkSet};
 use regcube_core::arena::ArenaCubingEngine;
 use regcube_core::columnar::ColumnarCubingEngine;
 use regcube_core::drill::{drill_children, drill_descendants, DrillHit};
@@ -13,12 +14,12 @@ use regcube_core::engine::{Backend, CubingEngine, MoCubingEngine, PopularPathEng
 use regcube_core::history::{CubeHistory, ExceptionDiff};
 use regcube_core::result::Algorithm;
 use regcube_core::shard::ShardedEngine;
-use regcube_core::{CoreError, CriticalLayers, CubeResult, ExceptionPolicy};
-use regcube_olap::cell::CellKey;
+use regcube_core::{CoreError, CriticalLayers, CubeResult, ExceptionPolicy, RunStats};
+use regcube_olap::cell::{project_key, CellKey};
 use regcube_olap::fxhash::FxHashMap;
 use regcube_olap::{CubeSchema, CuboidSpec};
 use regcube_regress::Isb;
-use regcube_tilt::{TiltFrame, TiltSpec};
+use regcube_tilt::{AmendOutcome, TiltError, TiltFrame, TiltSpec};
 use std::time::{Duration, Instant};
 
 /// The type-erased cubing engine [`EngineConfig::build`] selects at
@@ -101,6 +102,18 @@ pub struct UnitReport {
     /// across shards (arena backend only). See
     /// [`RunStats::arena_bytes_retained`](regcube_core::RunStats).
     pub arena_bytes_retained: usize,
+    /// Late-record corrections applied to the warehoused tilt frames
+    /// since the previous report (watermark mode only — see
+    /// [`EngineConfig::with_reordering`]). Also fanned out to the alarm
+    /// sinks via
+    /// [`AlarmSink::on_late_amendments`](regcube_core::alarm::AlarmSink::on_late_amendments).
+    pub late_amendments: Vec<LateAmendment>,
+    /// Records that arrived beyond the allowed lateness since the
+    /// previous report — deterministically counted and dropped, never
+    /// silently lost. Cumulative figure:
+    /// [`OnlineEngine::late_dropped`] /
+    /// [`RunStats::late_dropped`](regcube_core::RunStats).
+    pub late_dropped: u64,
 }
 
 /// Configuration of an [`OnlineEngine`], built fluently:
@@ -157,6 +170,16 @@ pub struct EngineConfig {
     /// none. Sinks are shared (`Arc<Mutex<_>>`), so cloning the config
     /// shares them.
     pub sinks: SinkSet,
+    /// Retained depth of the per-window exception history
+    /// ([`CubeHistory`]); defaults to 16 windows. Must be at least 1.
+    pub history_depth: usize,
+    /// Out-of-order handling: `None` (the default) consults
+    /// [`ReorderConfig::from_env`] at [`build`](Self::build) time
+    /// (`REGCUBE_REORDER_CAP` / `REGCUBE_REORDER_LATENESS`); an explicit
+    /// [`with_reordering`](Self::with_reordering) choice always wins.
+    /// Disabled reordering leaves the ingest path byte-identical to the
+    /// strictly-ordered engine.
+    pub reordering: Option<ReorderConfig>,
 }
 
 impl EngineConfig {
@@ -174,7 +197,38 @@ impl EngineConfig {
             backend: Backend::Row,
             shards: 1,
             sinks: SinkSet::new(),
+            history_depth: 16,
+            reordering: None,
         }
+    }
+
+    /// Sets the retained depth of the per-window exception history
+    /// (diffs and chronic-exception tracking keep the last `depth`
+    /// windows). [`build`](Self::build) rejects `0`.
+    #[must_use]
+    pub fn with_history_depth(mut self, depth: usize) -> Self {
+        self.history_depth = depth;
+        self
+    }
+
+    /// Enables watermark-based out-of-order ingestion: records may
+    /// arrive in any order as long as they land within `lateness` units
+    /// of the maximum observed tick. The engine buffers up to
+    /// `capacity` distinct units (the open one plus future ones),
+    /// re-sorts each unit into a canonical order at close — so any
+    /// in-lateness arrival order is **bit-identical** to sorted replay —
+    /// and turns records for already-closed units into exact tilt-frame
+    /// amendments via the OLS linearity of Theorem 3.3 mergeability
+    /// (see [`TiltFrame::amend_slot`] and
+    /// [`Isb::amend_tick`](regcube_regress::Isb::amend_tick)). Records
+    /// older than the allowed lateness are counted in
+    /// [`RunStats::late_dropped`](regcube_core::RunStats) — never
+    /// silently lost. `capacity == 0` disables reordering explicitly
+    /// (overriding any `REGCUBE_REORDER_CAP` environment default).
+    #[must_use]
+    pub fn with_reordering(mut self, capacity: usize, lateness: i64) -> Self {
+        self.reordering = Some(ReorderConfig::new(capacity, lateness));
+        self
     }
 
     /// Sets the primitive layer raw records arrive at.
@@ -436,10 +490,22 @@ impl EngineConfig {
             backend: _,
             shards: _,
             sinks,
+            history_depth,
+            reordering,
         } = self;
+        if history_depth == 0 {
+            return Err(StreamError::BadConfig {
+                detail: "history_depth must be at least 1".into(),
+            });
+        }
+        // An explicit reordering choice wins; otherwise the environment
+        // fills the default (CI's REGCUBE_REORDER_CAP=0 pass pins the
+        // watermark-off path without disturbing tests that opt in).
+        let reorder_cfg = reordering.unwrap_or_else(ReorderConfig::from_env);
         let ingestor = Ingestor::new(schema.clone(), primitive, m_layer.clone(), ticks_per_unit)?;
-        let layers = CriticalLayers::new(&schema, o_layer, m_layer).map_err(StreamError::from)?;
-        let cubing = make(schema.clone(), layers, policy).map_err(StreamError::from)?;
+        let layers = CriticalLayers::new(&schema, o_layer.clone(), m_layer.clone())
+            .map_err(StreamError::from)?;
+        let cubing = make(schema.clone(), layers, policy.clone()).map_err(StreamError::from)?;
         Ok(OnlineEngine {
             ingestor,
             schema,
@@ -449,10 +515,17 @@ impl EngineConfig {
             frames: FxHashMap::default(),
             o_frames: FxHashMap::default(),
             prev_o_layer: FxHashMap::default(),
-            history: CubeHistory::new(16),
+            history: CubeHistory::new(history_depth),
             ticks_per_unit,
             units_closed: 0,
             sinks,
+            m_layer,
+            o_layer,
+            policy,
+            reorder: reorder_cfg
+                .enabled()
+                .then(|| ReorderState::new(reorder_cfg)),
+            pending_amendments: Vec::new(),
         })
     }
 }
@@ -495,6 +568,18 @@ pub struct OnlineEngine<E: CubingEngine = BoxedEngine> {
     units_closed: u64,
     /// Alarm sinks receiving the merged, sorted per-unit delta.
     sinks: SinkSet,
+    /// The m-layer spec (for projecting late records to their o-cell).
+    m_layer: CuboidSpec,
+    /// The o-layer spec (late-amendment projection and drill scoring).
+    o_layer: CuboidSpec,
+    /// The exception policy (time-travel drill scoring).
+    policy: ExceptionPolicy,
+    /// Bounded reordering + watermark state; `None` when disabled (the
+    /// strictly-ordered ingest path, byte-identical to the pre-watermark
+    /// engine).
+    reorder: Option<ReorderState>,
+    /// Late-record tilt amendments applied since the last unit report.
+    pending_amendments: Vec<LateAmendment>,
 }
 
 impl OnlineEngine {
@@ -508,12 +593,107 @@ impl OnlineEngine {
 }
 
 impl<E: CubingEngine> OnlineEngine<E> {
-    /// Ingests one raw record into the open unit.
+    /// Ingests one raw record.
+    ///
+    /// With reordering disabled (the default) the record must belong to
+    /// the open unit. With [`EngineConfig::with_reordering`] the record
+    /// may arrive out of order: open-or-future units are buffered
+    /// (canonically re-sorted at close), units within the allowed
+    /// lateness of the open one amend the warehoused tilt frames
+    /// exactly, and older records are counted in
+    /// [`late_dropped`](Self::late_dropped) and dropped.
     ///
     /// # Errors
-    /// See [`Ingestor::ingest`].
+    /// * [`StreamError::OutOfWindow`] — reordering disabled and the
+    ///   tick is outside the open unit.
+    /// * [`StreamError::ReorderOverflow`] — the bounded buffer cannot
+    ///   admit another future unit (close ready units first, e.g. via
+    ///   [`drain_ready`](Self::drain_ready)).
+    /// * [`StreamError::BadRecord`] for arity/member violations.
     pub fn ingest(&mut self, record: &RawRecord) -> Result<()> {
-        self.ingestor.ingest(record)
+        if self.reorder.is_none() {
+            return self.ingestor.ingest(record);
+        }
+        self.ingestor.validate(record)?;
+        let unit = record.tick.div_euclid(self.ticks_per_unit as i64);
+        let open = self.ingestor.open_unit();
+        let st = self.reorder.as_mut().expect("reorder enabled");
+        st.observe(unit);
+        if unit >= open {
+            return st.buffer(unit, record.clone());
+        }
+        if unit < 0 || unit < open - st.config().lateness {
+            st.count_drop();
+            return Ok(());
+        }
+        self.amend_late(unit, record)
+    }
+
+    /// Applies an in-lateness record for an already-closed unit as an
+    /// exact amendment of the affected m- and o-layer tilt frames: the
+    /// fitted slot holding the record's unit absorbs the value delta via
+    /// OLS linearity ([`Isb::amend_tick`](regcube_regress::Isb::amend_tick)),
+    /// which is the same ISB a refit of the corrected series would
+    /// produce (Theorem 3.3 mergeability keeps coarser slots exact too,
+    /// because the amendment lands *before* promotion or is applied to
+    /// the promoted slot directly). The amendment is reported through
+    /// the next [`UnitReport::late_amendments`] and fanned out to the
+    /// alarm sinks.
+    fn amend_late(&mut self, unit: i64, record: &RawRecord) -> Result<()> {
+        let m_key = self.ingestor.project_to_m(&record.ids);
+        let o_key = CellKey::new(project_key(
+            &self.schema,
+            &self.m_layer,
+            m_key.ids(),
+            &self.o_layer,
+        ));
+        let (tick, delta) = (record.tick, record.value);
+        let amend = |m: &Isb| m.amend_tick(tick, delta).map_err(TiltError::Merge);
+        let m_frame = ensure_backfilled_frame(
+            &mut self.frames,
+            &self.tilt_spec,
+            &m_key,
+            self.units_closed,
+            self.ticks_per_unit,
+        )?;
+        let m_level = match m_frame
+            .amend_slot(unit as u64, amend)
+            .map_err(StreamError::from)?
+        {
+            AmendOutcome::Amended { level, .. } => level,
+            AmendOutcome::Expired => {
+                // The unit already rolled off the coarsest tilt level:
+                // deterministic drop, same accounting as beyond-lateness.
+                self.reorder.as_mut().expect("reorder enabled").count_drop();
+                return Ok(());
+            }
+        };
+        let o_frame = ensure_backfilled_frame(
+            &mut self.o_frames,
+            &self.tilt_spec,
+            &o_key,
+            self.units_closed,
+            self.ticks_per_unit,
+        )?;
+        let o_level = match o_frame
+            .amend_slot(unit as u64, amend)
+            .map_err(StreamError::from)?
+        {
+            AmendOutcome::Amended { level, .. } => level,
+            // Same spec, same clock: if the m-frame still holds the
+            // unit, so does the o-frame.
+            AmendOutcome::Expired => m_level,
+        };
+        self.pending_amendments.push(LateAmendment {
+            m_cell: m_key,
+            o_cell: o_key,
+            unit: unit as u64,
+            tick,
+            delta,
+            m_level,
+            o_level,
+        });
+        Ok(())
     }
 
     /// The currently open unit index.
@@ -571,6 +751,16 @@ impl<E: CubingEngine> OnlineEngine<E> {
     /// Propagates substrate failures; an empty unit (no records at all)
     /// yields a report with no alarms and leaves the cube untouched.
     pub fn close_unit(&mut self) -> Result<UnitReport> {
+        // Watermark mode: drain the open unit's buffered records into
+        // the ingestor in canonical order — the same order every arrival
+        // permutation produces, so the fitted ISBs are bit-identical to
+        // sorted replay.
+        if let Some(st) = self.reorder.as_mut() {
+            let open = self.ingestor.open_unit();
+            for record in st.take_unit(open) {
+                self.ingestor.ingest(&record)?;
+            }
+        }
         let (unit, window) = (self.ingestor.open_unit(), self.ingestor.open_window());
         let (_, cells) = self.ingestor.close_unit()?;
         self.units_closed += 1;
@@ -587,6 +777,24 @@ impl<E: CubingEngine> OnlineEngine<E> {
         )?;
 
         if cells.is_empty() {
+            // O-layer frames must stay contiguous with the global clock
+            // through empty units too: skipping the zero fill here left
+            // a gap that failed the next non-empty unit's o-frame push
+            // with a spurious out-of-order error.
+            push_unit_into_frames(
+                &mut self.o_frames,
+                &self.tilt_spec,
+                &[],
+                unit,
+                window,
+                self.ticks_per_unit,
+            )?;
+            let late_amendments = std::mem::take(&mut self.pending_amendments);
+            let late_dropped = self
+                .reorder
+                .as_mut()
+                .map_or(0, ReorderState::take_dropped_since_report);
+            let sink_errors = self.sinks.dispatch_amendments(&late_amendments);
             return Ok(UnitReport {
                 unit,
                 m_cells: 0,
@@ -595,7 +803,7 @@ impl<E: CubingEngine> OnlineEngine<E> {
                 recompute_time: Duration::ZERO,
                 diff: None,
                 cube_delta: None,
-                sink_errors: Vec::new(),
+                sink_errors,
                 drill_replayed_cuboids: 0,
                 drill_skipped_cuboids: 0,
                 rows_folded_simd: 0,
@@ -604,6 +812,8 @@ impl<E: CubingEngine> OnlineEngine<E> {
                 epochs_reclaimed: 0,
                 arena_alloc_calls: 0,
                 arena_bytes_retained: 0,
+                late_amendments,
+                late_dropped,
             });
         }
 
@@ -654,15 +864,18 @@ impl<E: CubingEngine> OnlineEngine<E> {
 
         let diff = self.history.record(result);
 
-        // Fan the unit's delta out to the alarm sinks. Sinks see the
+        // Fan the unit's late amendments (corrections to earlier units)
+        // and then its delta out to the alarm sinks. Sinks see the
         // post-batch cube; their failures are collected, never allowed
         // to fail the unit (the cube is already updated).
-        let sink_errors = if self.sinks.is_empty() {
-            Vec::new()
-        } else {
-            self.sinks
-                .dispatch(&delta, &AlarmContext::new(result, &delta))
-        };
+        let late_amendments = std::mem::take(&mut self.pending_amendments);
+        let mut sink_errors = self.sinks.dispatch_amendments(&late_amendments);
+        if !self.sinks.is_empty() {
+            sink_errors.extend(
+                self.sinks
+                    .dispatch(&delta, &AlarmContext::new(result, &delta)),
+            );
+        }
 
         // O-layer tilt frames: the observation deck at every granularity.
         let o_cells: Vec<(CellKey, Isb)> = result
@@ -680,6 +893,10 @@ impl<E: CubingEngine> OnlineEngine<E> {
             self.ticks_per_unit,
         )?;
 
+        let late_dropped = self
+            .reorder
+            .as_mut()
+            .map_or(0, ReorderState::take_dropped_since_report);
         let drill_stats = self.cubing.stats();
         Ok(UnitReport {
             unit,
@@ -698,7 +915,94 @@ impl<E: CubingEngine> OnlineEngine<E> {
             epochs_reclaimed: drill_stats.epochs_reclaimed,
             arena_alloc_calls: drill_stats.arena_alloc_calls,
             arena_bytes_retained: drill_stats.arena_bytes_retained,
+            late_amendments,
+            late_dropped,
         })
+    }
+
+    /// The low watermark in units: everything strictly below it is
+    /// final (no in-lateness record can change it any more). With
+    /// reordering disabled this is simply the open unit.
+    pub fn watermark_unit(&self) -> i64 {
+        match &self.reorder {
+            Some(st) => self.ingestor.open_unit() - st.config().lateness,
+            None => self.ingestor.open_unit(),
+        }
+    }
+
+    /// Whether the watermark guarantees the open unit is complete —
+    /// every record within the allowed lateness of the maximum observed
+    /// tick has either been buffered or would arrive as an amendment.
+    /// Always `false` with reordering disabled (the caller's clock
+    /// decides there).
+    pub fn close_ready(&self) -> bool {
+        self.reorder
+            .as_ref()
+            .is_some_and(|st| st.close_ready(self.ingestor.open_unit()))
+    }
+
+    /// Closes every unit the watermark has sealed (see
+    /// [`close_ready`](Self::close_ready)) and returns their reports —
+    /// the watermark-driven replacement for calling
+    /// [`close_unit`](Self::close_unit) on an external clock.
+    ///
+    /// # Errors
+    /// Propagates the first failing close.
+    pub fn drain_ready(&mut self) -> Result<Vec<UnitReport>> {
+        let mut reports = Vec::new();
+        while self.close_ready() {
+            reports.push(self.close_unit()?);
+        }
+        Ok(reports)
+    }
+
+    /// Closes units until nothing is left: no buffered records, no open
+    /// accumulation, no unreported amendments (end-of-stream flush —
+    /// the watermark never seals the trailing units on its own).
+    ///
+    /// # Errors
+    /// Propagates the first failing close.
+    pub fn flush(&mut self) -> Result<Vec<UnitReport>> {
+        let mut reports = Vec::new();
+        loop {
+            let open = self.ingestor.open_unit();
+            let buffered = self
+                .reorder
+                .as_ref()
+                .and_then(ReorderState::max_buffered_unit)
+                .is_some_and(|u| u >= open);
+            if !buffered && self.ingestor.open_cells() == 0 && self.pending_amendments.is_empty() {
+                break;
+            }
+            reports.push(self.close_unit()?);
+        }
+        Ok(reports)
+    }
+
+    /// The reordering configuration, if the watermark stage is enabled.
+    pub fn reordering(&self) -> Option<&ReorderConfig> {
+        self.reorder.as_ref().map(ReorderState::config)
+    }
+
+    /// Records dropped for arriving beyond the allowed lateness since
+    /// construction (0 with reordering disabled).
+    pub fn late_dropped(&self) -> u64 {
+        self.reorder.as_ref().map_or(0, ReorderState::dropped_total)
+    }
+
+    /// Records currently held in the reordering buffer.
+    pub fn buffered_records(&self) -> usize {
+        self.reorder
+            .as_ref()
+            .map_or(0, ReorderState::buffered_records)
+    }
+
+    /// The cubing strategy's run statistics with the stream layer's
+    /// [`late_dropped`](RunStats::late_dropped) figure filled in.
+    pub fn stats(&self) -> RunStats {
+        let mut stats = *self.cubing.stats();
+        stats.late_dropped = self.late_dropped();
+        stats
     }
 
     /// Drills one step down from a retained cell of the current cube
@@ -730,6 +1034,85 @@ impl<E: CubingEngine> OnlineEngine<E> {
     pub fn o_layer_frame(&self, key: &CellKey) -> Option<&TiltFrame<Isb>> {
         self.o_frames.get(key)
     }
+
+    /// Time-travel drill: the retained history of one cell at one tilt
+    /// granularity, scored with the engine's exception policy against
+    /// each slot's predecessor — "was this cell exceptional three hours
+    /// ago?" long after the cube moved on. The cell is looked up in the
+    /// m-layer frames first, then the o-layer frames; a cell with no
+    /// warehoused history yields an empty list. Slots are returned
+    /// oldest first; amendments from late records
+    /// ([`EngineConfig::with_reordering`]) are visible here immediately.
+    ///
+    /// # Errors
+    /// [`StreamError::Tilt`] for a level the tilt spec does not define.
+    pub fn drill_at(&self, level: usize, key: &CellKey) -> Result<Vec<TiltHit>> {
+        let (frame, cuboid) = match (self.frames.get(key), self.o_frames.get(key)) {
+            (Some(f), _) => (f, &self.m_layer),
+            (None, Some(f)) => (f, &self.o_layer),
+            (None, None) => {
+                // Validate the level anyway so typos don't read as
+                // "no history".
+                self.tilt_spec
+                    .finest_units_per(level)
+                    .map_err(StreamError::from)?;
+                return Ok(Vec::new());
+            }
+        };
+        let threshold = self.policy.threshold_for(cuboid);
+        let slots = frame.slots(level).map_err(StreamError::from)?;
+        let level_name = frame.spec().levels()[level].name.clone();
+        let mut prev: Option<Isb> = None;
+        let mut out = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let score = self.policy.ref_mode().score(&slot.measure, prev.as_ref());
+            out.push(TiltHit {
+                level,
+                level_name: level_name.clone(),
+                slot_unit: slot.unit,
+                measure: slot.measure,
+                score,
+                exceptional: score >= threshold,
+            });
+            prev = Some(slot.measure);
+        }
+        Ok(out)
+    }
+
+    /// Time-travel drill across the whole ladder: every retained slot of
+    /// the cell from the coarsest granularity down to the finest, each
+    /// level scored as in [`drill_at`](Self::drill_at). The
+    /// concatenation reads as the cell's full warehoused timeline.
+    ///
+    /// # Errors
+    /// Propagates [`drill_at`](Self::drill_at) failures.
+    pub fn drill_history(&self, key: &CellKey) -> Result<Vec<TiltHit>> {
+        let mut out = Vec::new();
+        for level in (0..self.tilt_spec.num_levels()).rev() {
+            out.extend(self.drill_at(level, key)?);
+        }
+        Ok(out)
+    }
+}
+
+/// One slot of a time-travel drill ([`OnlineEngine::drill_at`]): a
+/// warehoused regression with its exception verdict re-derived from the
+/// engine's policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiltHit {
+    /// Tilt level the slot lives at (0 = finest).
+    pub level: usize,
+    /// The level's name from the [`TiltSpec`] (e.g. `"hour"`).
+    pub level_name: String,
+    /// The slot's index in level granularity (promoted slots cover
+    /// `finest_units_per(level)` fine units each).
+    pub slot_unit: u64,
+    /// The warehoused regression of the slot's span.
+    pub measure: Isb,
+    /// The policy score against the previous slot at the same level.
+    pub score: f64,
+    /// Whether the score passes the layer's threshold.
+    pub exceptional: bool,
 }
 
 /// Pushes one closed unit into a family of per-cell tilt frames: active
@@ -764,12 +1147,52 @@ fn push_unit_into_frames(
         }
         frame.push(*isb).map_err(StreamError::from)?;
     }
+    let mut retired: Vec<CellKey> = Vec::new();
     for (key, frame) in frames.iter_mut() {
         if !active.contains(key) {
             frame.push(zero_fill).map_err(StreamError::from)?;
+            // A ladder that is zero-usage end to end carries nothing the
+            // epoch backfill cannot reproduce: retire the frame so
+            // transient cells don't pin memory forever. If the cell
+            // returns, the recreated frame's replayed zero history
+            // expires and promotes identically — the same ladder.
+            if frame
+                .timeline()
+                .iter()
+                .all(|(_, slot)| slot.measure.base() == 0.0 && slot.measure.slope() == 0.0)
+            {
+                retired.push(key.clone());
+            }
         }
     }
+    for key in retired {
+        frames.remove(&key);
+    }
     Ok(())
+}
+
+/// Looks up (or recreates, zero-backfilled from the epoch) the tilt
+/// frame of `key` so a late amendment always has a slot to land in. A
+/// frame retired by [`push_unit_into_frames`] had an all-zero ladder, so
+/// replaying `units_closed` zero fills reproduces it exactly.
+fn ensure_backfilled_frame<'a>(
+    frames: &'a mut FxHashMap<CellKey, TiltFrame<Isb>>,
+    spec: &TiltSpec,
+    key: &CellKey,
+    units_closed: u64,
+    ticks_per_unit: usize,
+) -> Result<&'a mut TiltFrame<Isb>> {
+    if !frames.contains_key(key) {
+        let mut frame = TiltFrame::new(spec.clone());
+        for u in 0..units_closed as i64 {
+            let s = u * ticks_per_unit as i64;
+            let fill =
+                Isb::new(s, s + ticks_per_unit as i64 - 1, 0.0, 0.0).map_err(StreamError::from)?;
+            frame.push(fill).map_err(StreamError::from)?;
+        }
+        frames.insert(key.clone(), frame);
+    }
+    Ok(frames.get_mut(key).expect("present or just inserted"))
 }
 
 #[cfg(test)]
@@ -1270,6 +1693,334 @@ mod tests {
         let r1 = e.close_unit().unwrap();
         assert_eq!(r1.sink_errors.len(), 1);
         assert!(e.cube().is_ok());
+    }
+
+    /// The reorder-enabled twin of [`engine`].
+    fn reorder_engine(cap: usize, lateness: i64) -> OnlineEngine {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        EngineConfig::new(
+            schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .with_policy(ExceptionPolicy::slope_threshold(1.0))
+        .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
+        .with_ticks_per_unit(4)
+        .with_reordering(cap, lateness)
+        .build()
+        .unwrap()
+    }
+
+    /// The sorted 6-unit stream the watermark tests permute: two cells
+    /// per tick, unit 3 hot.
+    fn sorted_stream() -> Vec<RawRecord> {
+        let mut records = Vec::new();
+        for unit in 0..6i64 {
+            let slope = if unit == 3 { 2.0 } else { 0.1 };
+            let t0 = unit * 4;
+            for t in t0..t0 + 4 {
+                records.push(RawRecord::new(vec![0, 0], t, slope * (t - t0) as f64));
+                records.push(RawRecord::new(vec![3, 2], t, 1.0));
+            }
+        }
+        records
+    }
+
+    #[test]
+    fn watermark_reordered_stream_is_bit_identical_to_sorted_replay() {
+        // Baseline: the strictly-ordered engine on the sorted stream
+        // with explicit unit-boundary closes.
+        let mut sorted = engine(ExceptionPolicy::slope_threshold(1.0));
+        let mut sorted_reports = Vec::new();
+        for (i, r) in sorted_stream().iter().enumerate() {
+            if i > 0 && i % 8 == 0 {
+                sorted_reports.push(sorted.close_unit().unwrap());
+            }
+            sorted.ingest(r).unwrap();
+        }
+        sorted_reports.push(sorted.close_unit().unwrap());
+
+        // Out-of-order run: reverse each 2-unit chunk (displacement of
+        // up to 2 units — within the allowed lateness), watermark-driven
+        // closes plus a final flush.
+        let mut shuffled = sorted_stream();
+        for chunk in shuffled.chunks_mut(16) {
+            chunk.reverse();
+        }
+        let mut e = reorder_engine(4, 2);
+        let mut reports = Vec::new();
+        for r in &shuffled {
+            e.ingest(r).unwrap();
+            reports.extend(e.drain_ready().unwrap());
+        }
+        reports.extend(e.flush().unwrap());
+        assert_eq!(e.buffered_records(), 0);
+        assert_eq!(e.late_dropped(), 0, "everything was within lateness");
+
+        assert_eq!(reports.len(), sorted_reports.len());
+        for (a, b) in reports.iter().zip(&sorted_reports) {
+            assert_eq!(a.unit, b.unit);
+            assert_eq!(a.m_cells, b.m_cells, "unit {}", a.unit);
+            assert_eq!(a.alarms, b.alarms, "unit {}", a.unit);
+            assert!(a.late_amendments.is_empty());
+            let (da, db) = (a.cube_delta.as_ref(), b.cube_delta.as_ref());
+            assert_eq!(da.unwrap().appeared, db.unwrap().appeared);
+            assert_eq!(da.unwrap().cleared, db.unwrap().cleared);
+        }
+        // The warehoused frames are bitwise equal, cell by cell.
+        for key in [CellKey::new(vec![0, 0]), CellKey::new(vec![3, 2])] {
+            let (fa, fb) = (
+                e.tilt_frame(&key).unwrap(),
+                sorted.tilt_frame(&key).unwrap(),
+            );
+            assert_eq!(fa.timeline(), fb.timeline(), "cell {key}");
+        }
+        // And so is the cube's o-layer.
+        let (ca, cb) = (e.cube().unwrap(), sorted.cube().unwrap());
+        assert_eq!(ca.o_table().len(), cb.o_table().len());
+        for (key, m) in ca.o_table() {
+            assert_eq!(cb.o_table().get(key), Some(m), "o-cell {key}");
+        }
+    }
+
+    #[test]
+    fn late_records_amend_closed_units_exactly() {
+        let mut e = reorder_engine(4, 2);
+        feed_unit(&mut e, 0, 0.5);
+        e.close_unit().unwrap();
+        feed_unit(&mut e, 1, 0.5);
+        e.close_unit().unwrap();
+
+        // A record for closed unit 0 (tick 1) within the lateness of 2.
+        e.ingest(&RawRecord::new(vec![0, 0], 1, 8.0)).unwrap();
+        feed_unit(&mut e, 2, 0.5);
+        let report = e.close_unit().unwrap();
+        assert_eq!(report.late_amendments.len(), 1);
+        let am = &report.late_amendments[0];
+        assert_eq!((am.unit, am.tick, am.delta), (0, 1, 8.0));
+        assert_eq!(am.m_cell.ids(), &[0, 0]);
+        assert_eq!(am.o_cell.ids(), &[0, 0], "apex o-layer");
+        assert_eq!(report.late_dropped, 0);
+
+        // The amended slot is the exact refit of the corrected series:
+        // compare against a sorted replay that had the record on time.
+        let mut oracle = reorder_engine(4, 2);
+        feed_unit(&mut oracle, 0, 0.5);
+        oracle.ingest(&RawRecord::new(vec![0, 0], 1, 8.0)).unwrap();
+        oracle.close_unit().unwrap();
+        feed_unit(&mut oracle, 1, 0.5);
+        oracle.close_unit().unwrap();
+        feed_unit(&mut oracle, 2, 0.5);
+        oracle.close_unit().unwrap();
+        for key in [CellKey::new(vec![0, 0]), CellKey::new(vec![3, 2])] {
+            let (fa, fb) = (
+                e.tilt_frame(&key).unwrap(),
+                oracle.tilt_frame(&key).unwrap(),
+            );
+            let (ta, tb) = (fa.timeline(), fb.timeline());
+            assert_eq!(ta.len(), tb.len(), "cell {key}");
+            for ((la, sa), (lb, sb)) in ta.iter().zip(&tb) {
+                assert_eq!((la, sa.unit), (lb, sb.unit));
+                assert!(
+                    sa.measure.approx_eq(&sb.measure, 1e-9),
+                    "cell {key}: {:?} vs {:?}",
+                    sa.measure,
+                    sb.measure
+                );
+            }
+        }
+        let (oa, ob) = (
+            e.o_layer_frame(&CellKey::new(vec![0, 0])).unwrap(),
+            oracle.o_layer_frame(&CellKey::new(vec![0, 0])).unwrap(),
+        );
+        for ((_, sa), (_, sb)) in oa.timeline().iter().zip(&ob.timeline()) {
+            assert!(sa.measure.approx_eq(&sb.measure, 1e-9));
+        }
+    }
+
+    #[test]
+    fn beyond_lateness_records_are_counted_never_silent() {
+        let mut e = reorder_engine(4, 1);
+        for unit in 0..3 {
+            feed_unit(&mut e, unit, 0.5);
+            e.close_unit().unwrap();
+        }
+        // Open unit is 3, lateness 1: unit 1 and older are beyond.
+        e.ingest(&RawRecord::new(vec![0, 0], 4, 1.0)).unwrap(); // unit 1
+        e.ingest(&RawRecord::new(vec![0, 0], 0, 1.0)).unwrap(); // unit 0
+        e.ingest(&RawRecord::new(vec![0, 0], -5, 1.0)).unwrap(); // pre-epoch
+        assert_eq!(e.late_dropped(), 3);
+        feed_unit(&mut e, 3, 0.5);
+        let report = e.close_unit().unwrap();
+        assert_eq!(report.late_dropped, 3);
+        assert!(report.late_amendments.is_empty());
+        assert_eq!(e.stats().late_dropped, 3);
+        // The next report starts a fresh per-report count.
+        feed_unit(&mut e, 4, 0.5);
+        assert_eq!(e.close_unit().unwrap().late_dropped, 0);
+        assert_eq!(e.late_dropped(), 3, "the cumulative figure persists");
+    }
+
+    #[test]
+    fn reorder_buffer_overflow_is_an_error_not_a_loss() {
+        let mut e = reorder_engine(2, 1);
+        e.ingest(&RawRecord::new(vec![0, 0], 0, 1.0)).unwrap(); // unit 0
+        e.ingest(&RawRecord::new(vec![0, 0], 5, 1.0)).unwrap(); // unit 1
+        let err = e.ingest(&RawRecord::new(vec![0, 0], 9, 1.0)).unwrap_err();
+        assert!(matches!(err, StreamError::ReorderOverflow { .. }), "{err}");
+        // Draining the ready unit frees a slot.
+        e.drain_ready().unwrap();
+        e.ingest(&RawRecord::new(vec![0, 0], 9, 1.0)).unwrap();
+    }
+
+    #[test]
+    fn all_zero_frames_are_retired_and_recreated_identically() {
+        let mut e = engine(ExceptionPolicy::never());
+        // Unit 0: cell (0,0) has usage; cell (3,2) exists but is all
+        // zero (its records carry value 0).
+        for t in 0..4 {
+            e.ingest(&RawRecord::new(vec![0, 0], t, 1.0)).unwrap();
+            e.ingest(&RawRecord::new(vec![3, 2], t, 0.0)).unwrap();
+        }
+        e.close_unit().unwrap();
+        assert!(e.tilt_frame(&CellKey::new(vec![3, 2])).is_some());
+        // Unit 1: (3,2) goes silent -> its all-zero ladder is retired.
+        for t in 4..8 {
+            e.ingest(&RawRecord::new(vec![0, 0], t, 1.0)).unwrap();
+        }
+        e.close_unit().unwrap();
+        assert!(
+            e.tilt_frame(&CellKey::new(vec![3, 2])).is_none(),
+            "all-zero ladder reclaimed"
+        );
+        assert!(
+            e.tilt_frame(&CellKey::new(vec![0, 0])).is_some(),
+            "cells with history stay"
+        );
+        // Unit 2: the cell returns; its recreated frame spans the epoch.
+        for t in 8..12 {
+            e.ingest(&RawRecord::new(vec![0, 0], t, 1.0)).unwrap();
+            e.ingest(&RawRecord::new(vec![3, 2], t, 2.0)).unwrap();
+        }
+        e.close_unit().unwrap();
+        let f = e.tilt_frame(&CellKey::new(vec![3, 2])).unwrap();
+        assert_eq!(f.next_unit(), 3);
+        assert_eq!(f.merge_all().unwrap().unwrap().interval(), (0, 11));
+    }
+
+    #[test]
+    fn o_frames_stay_contiguous_through_empty_units() {
+        let mut e = engine(ExceptionPolicy::never());
+        feed_unit(&mut e, 0, 0.5);
+        e.close_unit().unwrap();
+        // An empty unit used to skip the o-frame zero fill, making this
+        // close fail with a tilt out-of-order error.
+        e.close_unit().unwrap();
+        feed_unit(&mut e, 2, 0.5);
+        e.close_unit().unwrap();
+        let apex = CellKey::new(vec![0, 0]);
+        let frame = e.o_layer_frame(&apex).expect("o-frame survives");
+        assert_eq!(frame.next_unit(), 3);
+        assert_eq!(frame.merge_all().unwrap().unwrap().interval(), (0, 11));
+    }
+
+    #[test]
+    fn history_depth_is_validated_and_honored() {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let bad = EngineConfig::new(
+            schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .with_history_depth(0)
+        .build();
+        assert!(matches!(bad, Err(StreamError::BadConfig { .. })));
+
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let mut e = EngineConfig::new(
+            schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
+        .with_ticks_per_unit(4)
+        .with_history_depth(2)
+        .build()
+        .unwrap();
+        for unit in 0..4 {
+            feed_unit(&mut e, unit, 0.5);
+            e.close_unit().unwrap();
+        }
+        assert_eq!(e.history().len(), 2, "depth bounds the retained windows");
+    }
+
+    #[test]
+    fn drill_at_time_travels_through_the_ladder() {
+        let mut e = reorder_engine(4, 2);
+        for unit in 0..3 {
+            feed_unit(&mut e, unit, if unit == 1 { 2.0 } else { 0.1 });
+            e.close_unit().unwrap();
+        }
+        // Cell (0,0) resolves to the m-layer frame (m before o). Three
+        // units in, nothing has promoted: all three sit at the fine
+        // level.
+        let key = CellKey::new(vec![0, 0]);
+        let fine = e.drill_at(0, &key).unwrap();
+        assert_eq!(fine.len(), 3);
+        assert_eq!(fine[0].level, 0);
+        assert_eq!(fine[0].level_name, "unit");
+        assert!(fine.windows(2).all(|w| w[0].slot_unit < w[1].slot_unit));
+        // The hot unit is still visible — and still exceptional — after
+        // the cube moved on.
+        let hot = fine.iter().find(|h| h.slot_unit == 1).expect("unit 1");
+        assert!(hot.exceptional, "score {}", hot.score);
+        assert!(fine
+            .iter()
+            .filter(|h| h.slot_unit != 1)
+            .all(|h| !h.exceptional));
+        // Two more units promote the oldest four into a coarse slot:
+        // the hot unit's history now lives one level up.
+        for unit in 3..5 {
+            feed_unit(&mut e, unit, 0.1);
+            e.close_unit().unwrap();
+        }
+        let coarse = e.drill_at(1, &key).unwrap();
+        assert_eq!(coarse.len(), 1);
+        assert_eq!(coarse[0].level_name, "coarse");
+        assert_eq!(coarse[0].slot_unit, 0, "units 0-3 promoted");
+        // The full ladder reads coarsest-to-finest and covers every slot.
+        let frame = e.tilt_frame(&key).unwrap();
+        let all = e.drill_history(&key).unwrap();
+        assert_eq!(all.len(), frame.retained_slots());
+        // Unknown cells have no history; unknown levels are an error.
+        assert!(e.drill_at(0, &CellKey::new(vec![1, 1])).unwrap().is_empty());
+        assert!(e.drill_at(9, &key).is_err());
+        assert!(e.drill_at(9, &CellKey::new(vec![1, 1])).is_err());
+    }
+
+    #[test]
+    fn watermark_accessors_reflect_the_configuration() {
+        let e = engine(ExceptionPolicy::never());
+        assert!(e.reordering().is_none());
+        assert_eq!(e.watermark_unit(), 0);
+        assert!(!e.close_ready());
+
+        let mut e = reorder_engine(3, 2);
+        assert_eq!(e.reordering().unwrap().capacity, 3);
+        assert_eq!(e.watermark_unit(), -2);
+        assert!(!e.close_ready());
+        e.ingest(&RawRecord::new(vec![0, 0], 13, 1.0)).unwrap(); // unit 3
+        assert!(e.close_ready(), "unit 3 seen, lateness 2: unit 0 sealed");
+        let reports = e.drain_ready().unwrap();
+        assert_eq!(reports.len(), 1, "only unit 0 is sealed");
+        assert_eq!(e.open_unit(), 1);
+        let tail = e.flush().unwrap();
+        assert_eq!(
+            tail.last().unwrap().unit,
+            3,
+            "flush closes through the data"
+        );
+        assert_eq!(e.buffered_records(), 0);
     }
 
     #[test]

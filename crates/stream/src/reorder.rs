@@ -1,0 +1,289 @@
+//! Bounded reordering buffer and watermark state for out-of-order
+//! streams.
+//!
+//! The paper's streaming model (Section 4.5) assumes tuples arrive in
+//! tick order; real deployments do not deliver that. This module holds
+//! the machinery the [`OnlineEngine`](crate::online::OnlineEngine) puts
+//! in front of its [`Ingestor`](crate::ingest::Ingestor) when
+//! [`EngineConfig::with_reordering`](crate::online::EngineConfig::with_reordering)
+//! is set:
+//!
+//! * a **bounded buffer** holding the records of the open unit and up to
+//!   [`ReorderConfig::capacity`] future units — records inside one unit
+//!   may arrive in any order, because the buffer re-sorts them into a
+//!   canonical order before the unit closes;
+//! * a **low watermark** advanced by the maximum observed tick: a unit
+//!   is [ready to close](ReorderState::close_ready) once the watermark
+//!   guarantees no in-lateness record for it can still arrive;
+//! * deterministic **drop accounting** for records older than the
+//!   watermark allows ([`ReorderState::count_drop`]) — they surface in
+//!   `RunStats::late_dropped`, never silently.
+//!
+//! The canonical per-unit order — `(tick, ids, value bits)` — is what
+//! makes out-of-order ingestion *bit-identical* to sorted replay:
+//! floating-point accumulation is order-sensitive, so the buffer imposes
+//! one order regardless of arrival order.
+
+use crate::error::StreamError;
+use crate::record::RawRecord;
+use crate::Result;
+use std::collections::BTreeMap;
+
+/// Configuration of the bounded reordering stage.
+///
+/// Reordering is **enabled** when `capacity > 0`; the default
+/// configuration is disabled, which leaves the engine's ingest path
+/// byte-identical to the strictly-ordered behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReorderConfig {
+    /// Maximum number of distinct stream units the buffer may hold (the
+    /// open unit plus future units). `0` disables reordering entirely.
+    pub capacity: usize,
+    /// Allowed lateness in units: a record for a closed unit within
+    /// `lateness` units of the open one amends the warehoused tilt
+    /// frames; older records are counted and dropped.
+    pub lateness: i64,
+}
+
+impl ReorderConfig {
+    /// Creates a configuration (negative lateness clamps to 0).
+    pub fn new(capacity: usize, lateness: i64) -> Self {
+        ReorderConfig {
+            capacity,
+            lateness: lateness.max(0),
+        }
+    }
+
+    /// The disabled configuration: strictly-ordered ingestion.
+    pub fn disabled() -> Self {
+        ReorderConfig {
+            capacity: 0,
+            lateness: 0,
+        }
+    }
+
+    /// Whether the reordering stage is active.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Reads the process-wide default from `REGCUBE_REORDER_CAP` and
+    /// `REGCUBE_REORDER_LATENESS` (used only when the configuration does
+    /// not set reordering explicitly — CI's `REGCUBE_REORDER_CAP=0` pass
+    /// pins the watermark-off path without disturbing tests that opt
+    /// in). Unset or unparsable variables mean disabled.
+    pub fn from_env() -> Self {
+        let parse = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<i64>().ok())
+        };
+        let capacity = parse("REGCUBE_REORDER_CAP").unwrap_or(0).max(0) as usize;
+        let lateness = parse("REGCUBE_REORDER_LATENESS").unwrap_or(1);
+        ReorderConfig::new(capacity, lateness)
+    }
+}
+
+impl Default for ReorderConfig {
+    fn default() -> Self {
+        ReorderConfig::disabled()
+    }
+}
+
+/// The runtime state of the reordering stage: per-unit record buffers,
+/// the observed-tick watermark, and drop accounting.
+#[derive(Debug, Clone)]
+pub struct ReorderState {
+    config: ReorderConfig,
+    /// Buffered records per unit (the open unit and future units).
+    units: BTreeMap<i64, Vec<RawRecord>>,
+    /// Largest unit any observed tick belonged to.
+    max_seen_unit: Option<i64>,
+    /// Beyond-lateness records dropped since construction.
+    dropped_total: u64,
+    /// Beyond-lateness records dropped since the last unit report.
+    dropped_since_report: u64,
+}
+
+impl ReorderState {
+    /// Creates an empty state for `config`.
+    pub fn new(config: ReorderConfig) -> Self {
+        ReorderState {
+            config,
+            units: BTreeMap::new(),
+            max_seen_unit: None,
+            dropped_total: 0,
+            dropped_since_report: 0,
+        }
+    }
+
+    /// The stage's configuration.
+    #[inline]
+    pub fn config(&self) -> &ReorderConfig {
+        &self.config
+    }
+
+    /// Advances the watermark clock with an observed record's unit.
+    pub fn observe(&mut self, unit: i64) {
+        self.max_seen_unit = Some(self.max_seen_unit.map_or(unit, |m| m.max(unit)));
+    }
+
+    /// The largest unit observed so far (from any record, buffered,
+    /// amended or dropped).
+    #[inline]
+    pub fn max_seen_unit(&self) -> Option<i64> {
+        self.max_seen_unit
+    }
+
+    /// Whether the watermark guarantees `open_unit` is complete: every
+    /// record within the allowed lateness of the maximum observed unit
+    /// has either arrived or would arrive as an amendment.
+    pub fn close_ready(&self, open_unit: i64) -> bool {
+        self.max_seen_unit
+            .is_some_and(|m| m - self.config.lateness > open_unit)
+    }
+
+    /// Buffers a record for `unit` (the open unit or a future one).
+    ///
+    /// # Errors
+    /// [`StreamError::ReorderOverflow`] when admitting the record would
+    /// exceed the capacity in distinct buffered units.
+    pub fn buffer(&mut self, unit: i64, record: RawRecord) -> Result<()> {
+        if let Some(bucket) = self.units.get_mut(&unit) {
+            bucket.push(record);
+            return Ok(());
+        }
+        if self.units.len() >= self.config.capacity {
+            return Err(StreamError::ReorderOverflow {
+                capacity: self.config.capacity,
+                unit,
+            });
+        }
+        self.units.insert(unit, vec![record]);
+        Ok(())
+    }
+
+    /// Removes and returns `unit`'s records in the canonical order
+    /// `(tick, ids, value bits)` — identical for every arrival order of
+    /// the same multiset, which is what makes reordered ingestion
+    /// bit-identical to sorted replay.
+    pub fn take_unit(&mut self, unit: i64) -> Vec<RawRecord> {
+        let mut records = self.units.remove(&unit).unwrap_or_default();
+        records.sort_by(|a, b| {
+            (a.tick, &a.ids, a.value.to_bits()).cmp(&(b.tick, &b.ids, b.value.to_bits()))
+        });
+        records
+    }
+
+    /// The largest unit with buffered records, if any.
+    pub fn max_buffered_unit(&self) -> Option<i64> {
+        self.units.keys().next_back().copied()
+    }
+
+    /// Total records currently buffered.
+    pub fn buffered_records(&self) -> usize {
+        self.units.values().map(Vec::len).sum()
+    }
+
+    /// Distinct units currently buffered.
+    pub fn buffered_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Counts one beyond-lateness drop.
+    pub fn count_drop(&mut self) {
+        self.dropped_total += 1;
+        self.dropped_since_report += 1;
+    }
+
+    /// Beyond-lateness records dropped since construction.
+    #[inline]
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total
+    }
+
+    /// Takes the drop count accumulated since the previous call (the
+    /// per-unit-report figure).
+    pub fn take_dropped_since_report(&mut self) -> u64 {
+        std::mem::take(&mut self.dropped_since_report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tick: i64, value: f64) -> RawRecord {
+        RawRecord::new(vec![0, 0], tick, value)
+    }
+
+    #[test]
+    fn config_enablement_and_env_default() {
+        assert!(!ReorderConfig::disabled().enabled());
+        assert!(!ReorderConfig::default().enabled());
+        assert!(ReorderConfig::new(4, 2).enabled());
+        assert_eq!(ReorderConfig::new(4, -3).lateness, 0, "clamped");
+        // No env vars set in the test environment: disabled.
+        if std::env::var("REGCUBE_REORDER_CAP").is_err() {
+            assert!(!ReorderConfig::from_env().enabled());
+        }
+    }
+
+    #[test]
+    fn watermark_advances_monotonically() {
+        let mut st = ReorderState::new(ReorderConfig::new(4, 2));
+        assert_eq!(st.max_seen_unit(), None);
+        assert!(!st.close_ready(0));
+        st.observe(3);
+        st.observe(1); // regressions never pull the watermark back
+        assert_eq!(st.max_seen_unit(), Some(3));
+        // Lateness 2: unit 0 is complete once unit 3 has been seen.
+        assert!(st.close_ready(0));
+        assert!(!st.close_ready(1));
+    }
+
+    #[test]
+    fn buffer_caps_distinct_units_not_records() {
+        let mut st = ReorderState::new(ReorderConfig::new(2, 1));
+        st.buffer(0, rec(0, 1.0)).unwrap();
+        st.buffer(0, rec(1, 2.0)).unwrap();
+        st.buffer(1, rec(4, 3.0)).unwrap();
+        assert_eq!(st.buffered_units(), 2);
+        assert_eq!(st.buffered_records(), 3);
+        // A third distinct unit overflows...
+        let err = st.buffer(2, rec(8, 4.0)).unwrap_err();
+        assert!(matches!(err, StreamError::ReorderOverflow { .. }));
+        // ...but existing units keep admitting records.
+        st.buffer(1, rec(5, 5.0)).unwrap();
+        assert_eq!(st.max_buffered_unit(), Some(1));
+    }
+
+    #[test]
+    fn take_unit_is_canonically_ordered() {
+        let mut a = ReorderState::new(ReorderConfig::new(2, 1));
+        let mut b = ReorderState::new(ReorderConfig::new(2, 1));
+        let records = vec![rec(2, 1.0), rec(0, 5.0), rec(1, -2.0), rec(0, 3.0)];
+        for r in &records {
+            a.buffer(0, r.clone()).unwrap();
+        }
+        for r in records.iter().rev() {
+            b.buffer(0, r.clone()).unwrap();
+        }
+        let (ra, rb) = (a.take_unit(0), b.take_unit(0));
+        assert_eq!(ra, rb, "arrival order must not matter");
+        assert!(ra.windows(2).all(|w| w[0].tick <= w[1].tick));
+        assert!(a.take_unit(0).is_empty(), "taking twice is empty");
+    }
+
+    #[test]
+    fn drop_accounting() {
+        let mut st = ReorderState::new(ReorderConfig::new(2, 1));
+        st.count_drop();
+        st.count_drop();
+        assert_eq!(st.dropped_total(), 2);
+        assert_eq!(st.take_dropped_since_report(), 2);
+        assert_eq!(st.take_dropped_since_report(), 0, "report counter resets");
+        assert_eq!(st.dropped_total(), 2, "the total does not");
+    }
+}

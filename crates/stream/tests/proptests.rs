@@ -1,10 +1,46 @@
 //! Property tests for ingestion: hierarchy projection and per-unit OLS
-//! must conserve the stream's mass and match direct fits.
+//! must conserve the stream's mass and match direct fits; watermark
+//! reordering must be bit-identical to sorted replay and account for
+//! every beyond-lateness drop.
 
 use proptest::prelude::*;
+use regcube_core::ExceptionPolicy;
+use regcube_olap::cell::CellKey;
 use regcube_olap::{CubeSchema, CuboidSpec};
 use regcube_regress::{Isb, TimeSeries};
-use regcube_stream::{Ingestor, RawRecord};
+use regcube_stream::{EngineConfig, Ingestor, OnlineEngine, RawRecord, UnitReport};
+use regcube_tilt::TiltSpec;
+
+const TPU: usize = 4;
+
+/// A reorder-enabled engine over the synthetic 2x2x2 schema (o-layer =
+/// apex, m-layer = primitive = leaves, 4 ticks per unit).
+fn reorder_engine(capacity: usize, lateness: i64) -> OnlineEngine {
+    let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+    EngineConfig::new(
+        schema,
+        CuboidSpec::new(vec![0, 0]),
+        CuboidSpec::new(vec![2, 2]),
+    )
+    .with_policy(ExceptionPolicy::slope_threshold(1.0))
+    .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
+    .with_ticks_per_unit(TPU)
+    .with_reordering(capacity, lateness)
+    .build()
+    .unwrap()
+}
+
+/// Drives an engine record-by-record with watermark closes and a final
+/// flush; returns every report in order.
+fn drive(e: &mut OnlineEngine, records: &[RawRecord]) -> Vec<UnitReport> {
+    let mut reports = Vec::new();
+    for r in records {
+        e.ingest(r).unwrap();
+        reports.extend(e.drain_ready().unwrap());
+    }
+    reports.extend(e.flush().unwrap());
+    reports
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -57,6 +93,136 @@ proptest! {
         prop_assert_eq!(cells.len(), 1);
         let direct = Isb::fit(&TimeSeries::new(0, values.clone()).unwrap()).unwrap();
         prop_assert!(cells[0].1.approx_eq(&direct, 1e-9));
+    }
+
+    /// Any arrival order whose displacement stays within the allowed
+    /// lateness is **bit-identical** to sorted replay: same reports,
+    /// same alarms, same warehoused tilt frames, same o-layer — with no
+    /// amendments and no drops. Duplicate `(cell, tick)` records (the
+    /// generator produces them freely) accumulate identically on both
+    /// sides.
+    #[test]
+    fn bounded_reordering_is_bit_identical_to_sorted_replay(
+        records in prop::collection::vec(
+            (prop::collection::vec(0u32..4, 2), 0i64..24, -10.0..10.0f64),
+            1..160,
+        ),
+        jitters in prop::collection::vec(0i64..(2 * TPU as i64), 160),
+    ) {
+        let lateness = 2i64;
+        // The sorted stream: canonical (tick, ids, value-bits) order.
+        let mut sorted: Vec<RawRecord> = records
+            .iter()
+            .map(|(ids, tick, value)| RawRecord::new(ids.clone(), *tick, *value))
+            .collect();
+        sorted.sort_by(|a, b| {
+            (a.tick, &a.ids, a.value.to_bits()).cmp(&(b.tick, &b.ids, b.value.to_bits()))
+        });
+        // The shuffled stream: stable-sort by jittered tick, so every
+        // record's displacement is under `lateness` units.
+        let mut shuffled: Vec<(i64, RawRecord)> = sorted
+            .iter()
+            .zip(&jitters)
+            .map(|(r, j)| (r.tick + j, r.clone()))
+            .collect();
+        shuffled.sort_by_key(|(k, _)| *k);
+        let shuffled: Vec<RawRecord> = shuffled.into_iter().map(|(_, r)| r).collect();
+
+        let mut a = reorder_engine(12, lateness);
+        let mut b = reorder_engine(12, lateness);
+        let ra = drive(&mut a, &sorted);
+        let rb = drive(&mut b, &shuffled);
+
+        prop_assert_eq!(a.late_dropped(), 0);
+        prop_assert_eq!(b.late_dropped(), 0, "in-lateness records never drop");
+        prop_assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(&rb) {
+            prop_assert_eq!(x.unit, y.unit);
+            prop_assert_eq!(x.m_cells, y.m_cells, "unit {}", x.unit);
+            prop_assert_eq!(&x.alarms, &y.alarms, "unit {}", x.unit);
+            prop_assert!(y.late_amendments.is_empty(), "buffered, not amended");
+            match (&x.cube_delta, &y.cube_delta) {
+                (Some(dx), Some(dy)) => {
+                    prop_assert_eq!(&dx.appeared, &dy.appeared);
+                    prop_assert_eq!(&dx.cleared, &dy.cleared);
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "unit {} emptiness mismatch", x.unit),
+            }
+        }
+        // Every warehoused m-frame is bitwise equal.
+        for (ids, _, _) in &records {
+            let key = CellKey::new(ids.clone());
+            match (a.tilt_frame(&key), b.tilt_frame(&key)) {
+                (Some(fa), Some(fb)) => prop_assert_eq!(fa.timeline(), fb.timeline()),
+                (None, None) => {}
+                _ => prop_assert!(false, "frame presence mismatch for {}", key),
+            }
+        }
+        // And the cube's o-layer (both streams are non-empty).
+        let (ca, cb) = (a.cube().unwrap(), b.cube().unwrap());
+        prop_assert_eq!(ca.o_table().len(), cb.o_table().len());
+        for (key, m) in ca.o_table() {
+            prop_assert_eq!(cb.o_table().get(key), Some(m), "o-cell {}", key);
+        }
+    }
+
+    /// Failure injection: records beyond the allowed lateness are
+    /// counted in `late_dropped` — exactly, never silently, never as a
+    /// panic — while in-lateness stragglers (including duplicates of
+    /// ticks already fitted) become amendments reported through the
+    /// unit reports.
+    #[test]
+    fn beyond_lateness_drops_and_duplicates_are_fully_accounted(
+        units in 3i64..6,
+        stale in prop::collection::vec((prop::collection::vec(0u32..4, 2), -8i64..8, -5.0..5.0f64), 1..12),
+        dups in prop::collection::vec((0i64..4, -5.0..5.0f64), 1..6),
+    ) {
+        let lateness = 1i64;
+        let mut e = reorder_engine(4, lateness);
+        // Advance the stream `units` units with explicit closes.
+        for u in 0..units {
+            for t in u * TPU as i64..(u + 1) * TPU as i64 {
+                e.ingest(&RawRecord::new(vec![0, 0], t, 1.0)).unwrap();
+            }
+            e.close_unit().unwrap();
+        }
+        let open = e.open_unit();
+        prop_assert_eq!(open, units);
+
+        // Stale records: every tick below the amendable window (unit <
+        // open - lateness), including pre-epoch ticks, must be counted.
+        let horizon = (open - lateness) * TPU as i64;
+        let mut expected_drops = 0u64;
+        for (ids, tick, value) in &stale {
+            let t = tick - 8; // range [-16, 0): always below unit 0 ... or early units
+            if t < horizon {
+                e.ingest(&RawRecord::new(ids.clone(), t, *value)).unwrap();
+                expected_drops += 1;
+            }
+        }
+        prop_assert_eq!(e.late_dropped(), expected_drops);
+
+        // Duplicate ticks inside the amendable window become exact
+        // amendments of the already-fitted slot.
+        let amend_unit = open - lateness;
+        for (off, value) in &dups {
+            let t = amend_unit * TPU as i64 + off;
+            e.ingest(&RawRecord::new(vec![0, 0], t, *value)).unwrap();
+        }
+        for t in open * TPU as i64..(open + 1) * TPU as i64 {
+            e.ingest(&RawRecord::new(vec![0, 0], t, 1.0)).unwrap();
+        }
+        let report = e.close_unit().unwrap();
+        prop_assert_eq!(report.late_dropped, expected_drops);
+        prop_assert_eq!(report.late_amendments.len(), dups.len());
+        for (am, (off, value)) in report.late_amendments.iter().zip(&dups) {
+            prop_assert_eq!(am.unit, amend_unit as u64);
+            prop_assert_eq!(am.tick, amend_unit * TPU as i64 + off);
+            prop_assert_eq!(am.delta, *value);
+        }
+        prop_assert_eq!(e.stats().late_dropped, expected_drops);
+        prop_assert_eq!(e.late_dropped(), expected_drops, "amendments are not drops");
     }
 
     /// Unit windows tile the timeline: closing `u` units leaves the open

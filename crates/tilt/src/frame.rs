@@ -15,6 +15,24 @@ pub struct TiltSlot<M> {
     pub measure: M,
 }
 
+/// Where a late amendment landed inside a frame.
+///
+/// Returned by [`TiltFrame::amend_slot`]: the finest unit being corrected
+/// may still sit at the finest level, may already have been promoted into a
+/// coarser slot, or may have aged out of the frame entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AmendOutcome {
+    /// The amendment was applied to the retained slot covering the unit.
+    Amended {
+        /// Level index of the slot that absorbed the amendment.
+        level: usize,
+        /// The slot's unit index *at that level*.
+        slot_unit: u64,
+    },
+    /// The unit has expired from the coarsest level; nothing to amend.
+    Expired,
+}
+
 /// Occupancy and compression statistics of a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TiltStats {
@@ -137,6 +155,48 @@ impl<M: TimeMergeable> TiltFrame<M> {
             measure: merged,
         });
         self.cascade(level + 1)
+    }
+
+    /// Amends the retained slot covering finest unit `fine_unit` in place.
+    ///
+    /// Tilt promotion merges contiguous segments (Theorem 3.3), and the
+    /// merged measure is a *function of its constituents* — so a correction
+    /// to one finest unit can be folded into whichever slot that unit lives
+    /// in today, whether it is still at the finest level or already
+    /// promoted into an hour/day/month slot. `f` receives the current slot
+    /// measure and returns the corrected one (for ISB measures, typically
+    /// [`regcube_regress::Isb::amend_tick`] — exact by linearity of the
+    /// LSE fit).
+    ///
+    /// Every level covers a disjoint span of finest units, so the unit is
+    /// found in at most one slot. Units that have aged out of the coarsest
+    /// level return [`AmendOutcome::Expired`] without calling `f`.
+    ///
+    /// # Errors
+    /// * [`TiltError::OutOfOrder`] when `fine_unit` has not been pushed
+    ///   yet (`fine_unit >= next_unit`) — amendment never extends history.
+    /// * Whatever `f` returns.
+    pub fn amend_slot<F>(&mut self, fine_unit: u64, f: F) -> Result<AmendOutcome>
+    where
+        F: FnOnce(&M) -> Result<M>,
+    {
+        if fine_unit >= self.next_unit {
+            return Err(TiltError::OutOfOrder {
+                detail: format!(
+                    "cannot amend finest unit {fine_unit}: frame has only ingested {}",
+                    self.next_unit
+                ),
+            });
+        }
+        for level in 0..self.levels.len() {
+            let per = self.spec.finest_units_per(level)?;
+            let slot_unit = fine_unit / per;
+            if let Some(slot) = self.levels[level].iter_mut().find(|s| s.unit == slot_unit) {
+                slot.measure = f(&slot.measure)?;
+                return Ok(AmendOutcome::Amended { level, slot_unit });
+            }
+        }
+        Ok(AmendOutcome::Expired)
     }
 
     /// Merges all slots currently registered at `level` into one measure
@@ -365,6 +425,83 @@ mod tests {
         let all = f.merge_recent(0, 99).unwrap().unwrap();
         assert_eq!(all.interval(), (12, 19));
         assert!(f.merge_recent(0, 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn amend_slot_finds_the_unit_at_any_level() {
+        // Mirror frame (never amended) rebuilt from patched inputs proves
+        // amend_slot ≡ ingesting the corrected series from scratch.
+        let tpu = 5i64;
+        let delta = 3.25;
+        for late_unit in [0u64, 2, 3, 7] {
+            let mut amended: TiltFrame<Isb> = TiltFrame::new(small_spec());
+            let mut rebuilt: TiltFrame<Isb> = TiltFrame::new(small_spec());
+            for u in 0..9 {
+                amended.push(unit_isb(u, tpu)).unwrap();
+                let mut isb = unit_isb(u, tpu);
+                if u == late_unit {
+                    isb = isb.amend_tick(u as i64 * tpu + 1, delta).unwrap();
+                }
+                rebuilt.push(isb).unwrap();
+            }
+            let outcome = amended
+                .amend_slot(late_unit, |m| {
+                    m.amend_tick(late_unit as i64 * tpu + 1, delta)
+                        .map_err(TiltError::Merge)
+                })
+                .unwrap();
+            assert!(matches!(outcome, AmendOutcome::Amended { .. }));
+            let a = amended.timeline();
+            let b = rebuilt.timeline();
+            assert_eq!(a.len(), b.len());
+            for ((la, sa), (lb, sb)) in a.iter().zip(b.iter()) {
+                assert_eq!(la, lb);
+                assert_eq!(sa.unit, sb.unit);
+                assert!(
+                    sa.measure.approx_eq(&sb.measure, 1e-9),
+                    "unit {late_unit}: {} vs {}",
+                    sa.measure,
+                    sb.measure
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn amend_slot_reports_promoted_slot_coordinates() {
+        let mut f: TiltFrame<Isb> = TiltFrame::new(small_spec());
+        for u in 0..7 {
+            f.push(unit_isb(u, 4)).unwrap();
+        }
+        // Units 0..3 were promoted to mid slot 0; unit 6 is still fine.
+        let promoted = f.amend_slot(1, |m| Ok(*m)).unwrap();
+        assert_eq!(
+            promoted,
+            AmendOutcome::Amended {
+                level: 1,
+                slot_unit: 0
+            }
+        );
+        let fine = f.amend_slot(6, |m| Ok(*m)).unwrap();
+        assert_eq!(
+            fine,
+            AmendOutcome::Amended {
+                level: 0,
+                slot_unit: 6
+            }
+        );
+    }
+
+    #[test]
+    fn amend_slot_expired_and_future_units() {
+        let mut f: TiltFrame<CountSum> = TiltFrame::new(small_spec());
+        for u in 0..36 {
+            f.push(CountSum::unit(u, 1.0)).unwrap();
+        }
+        // Units 0..12 expired out of the coarsest level.
+        assert_eq!(f.amend_slot(3, |m| Ok(*m)).unwrap(), AmendOutcome::Expired);
+        // Future units are a caller error, not silence.
+        assert!(f.amend_slot(36, |m| Ok(*m)).is_err());
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod mergeable;
 pub mod scale;
 
 pub use error::TiltError;
-pub use frame::{TiltFrame, TiltSlot, TiltStats};
+pub use frame::{AmendOutcome, TiltFrame, TiltSlot, TiltStats};
 pub use mergeable::TimeMergeable;
 pub use scale::{LevelSpec, TiltSpec};
 
