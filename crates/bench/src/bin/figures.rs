@@ -8,13 +8,13 @@
 //! ```
 
 use regcube_bench::experiments::{
-    alarm, arena, columnar, dims, fig10, fig8, fig9, incremental, lateness, scaling, tilt,
+    alarm, arena, columnar, dims, fig10, fig8, fig9, incremental, lateness, scaling, serve, tilt,
 };
 use regcube_bench::report::{tables_to_json, Table};
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: figures [all|fig8|fig9|fig10|dims|tilt|incremental|scaling|alarm|columnar|arena|lateness]... [--quick] [--json FILE]
+    "usage: figures [all|fig8|fig9|fig10|dims|tilt|incremental|scaling|alarm|columnar|arena|lateness|serve]... [--quick] [--json FILE]
 
   fig8         time & memory vs exception %        (D3L3C10T100K)
   fig9         time & memory vs m-layer size       (D3L3C10, 1% exceptions)
@@ -31,6 +31,9 @@ const USAGE: &str =
                epoch-reclaimed arena tables, plus the O(1) rollover probe
   lateness     watermark reordering: sorted vs bounded-shuffle vs
                straggler streams (amendment + drop accounting)
+  serve        multi-tenant serving layer: skewed-fleet ingest
+               throughput, lock-free dashboard query p50/p99, and the
+               backpressure probe
   all          everything above
   --quick      shrunken datasets for smoke runs
   --json FILE  additionally write all tables as a JSON document";
@@ -71,6 +74,7 @@ fn main() -> ExitCode {
             "columnar",
             "arena",
             "lateness",
+            "serve",
         ];
     }
 
@@ -137,6 +141,11 @@ fn main() -> ExitCode {
                 eprintln!("[figures] running lateness ...");
                 let points = lateness::run(quick);
                 all_tables.extend(lateness::print(&points));
+            }
+            "serve" => {
+                eprintln!("[figures] running serve ...");
+                let points = serve::run(quick);
+                all_tables.extend(serve::print(&points));
             }
             other => {
                 eprintln!("unknown experiment: {other}\n{USAGE}");

@@ -1,0 +1,217 @@
+//! Serving-layer baseline: emit or check `BENCH_serve.json`.
+//!
+//! ```text
+//! # regenerate the committed baseline (repo root):
+//! cargo run --release -p regcube-bench --bin serve_baseline -- --quick --write BENCH_serve.json
+//! # CI regression gate:
+//! cargo run --release -p regcube-bench --bin serve_baseline -- --quick --check BENCH_serve.json
+//! ```
+//!
+//! Gated properties of the multi-tenant serving layer:
+//!
+//! * **deterministic counters** — accepted records (the skew formula),
+//!   per-tenant units, total alarms from the hot ramp, and the
+//!   backpressure probe's exact accept/reject split must match the
+//!   committed baseline exactly: a mismatch means serving *behavior*
+//!   changed, not speed;
+//! * **liveness** — the reader threads must complete queries during
+//!   live ingest (a serving layer whose readers starve is broken even
+//!   if nothing panics);
+//! * **throughput & latency** — ingest krec/s and the dashboard query
+//!   p50/p99 are machine-dependent and advisory by default; set
+//!   `SERVE_BASELINE_STRICT=1` to enforce them within the tolerance.
+//!
+//! Tolerance defaults to 30% (latency tails are the noisiest figures
+//! the harness gates); override with `SERVE_BASELINE_TOLERANCE=0.5`.
+
+use regcube_bench::experiments::serve;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: serve_baseline [--quick] (--write FILE | --check FILE)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let grab = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let (write, check) = (grab("--write"), grab("--check"));
+    if write.is_none() == check.is_none() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let tolerance: f64 = std::env::var("SERVE_BASELINE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.3);
+    let mut failed = false;
+
+    eprintln!(
+        "[serve_baseline] driving the serving layer ({}) ...",
+        if quick { "quick" } else { "full" }
+    );
+    let points = serve::run(quick);
+    let (load, probe) = (&points[0], &points[1]);
+    let ingest_krps = load.records as f64 / load.ingest.as_secs_f64().max(1e-9) / 1e3;
+
+    // In-process gates that hold on any machine.
+    if load.queries == 0 {
+        eprintln!("FAIL readers completed no queries during live ingest");
+        failed = true;
+    }
+    if load.alarms == 0 {
+        eprintln!("FAIL the hot-ramp workload raised no alarms");
+        failed = true;
+    }
+    if load.rejections != 0 {
+        eprintln!(
+            "FAIL the load phase rejected {} records despite sized queues",
+            load.rejections
+        );
+        failed = true;
+    }
+    if probe.rejections == 0 {
+        eprintln!("FAIL the backpressure probe never saturated");
+        failed = true;
+    }
+    eprintln!(
+        "[serve_baseline] load: {} tenants, {} records at {ingest_krps:.0} krec/s, \
+         {} queries (p50 {:.1}us, p99 {:.1}us), {} alarms; \
+         probe: {} accepted / {} rejected",
+        load.tenants,
+        load.records,
+        load.queries,
+        load.query_p50_us,
+        load.query_p99_us,
+        load.alarms,
+        probe.records,
+        probe.rejections
+    );
+
+    let doc = format!(
+        "{{\n  \"mode\": \"{}\",\n  \"tenants\": {},\n  \"units\": {},\n  \
+         \"records_accepted\": {},\n  \"alarms\": {},\n  \
+         \"probe_accepted\": {},\n  \"probe_rejections\": {},\n  \
+         \"ingest_krps\": {:.1},\n  \"query_p50_us\": {:.1},\n  \
+         \"query_p99_us\": {:.1},\n  \"queries\": {}\n}}\n",
+        if quick { "quick" } else { "full" },
+        load.tenants,
+        load.units,
+        load.records,
+        load.alarms,
+        probe.records,
+        probe.rejections,
+        ingest_krps,
+        load.query_p50_us,
+        load.query_p99_us,
+        load.queries,
+    );
+
+    if let Some(path) = write {
+        if failed {
+            eprintln!("refusing to write {path}: in-process gates failed");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[serve_baseline] wrote {path}");
+        print!("{doc}");
+        return ExitCode::SUCCESS;
+    }
+
+    let path = check.expect("checked above");
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e}; regenerate with --write");
+            return ExitCode::FAILURE;
+        }
+    };
+    let field = |name: &str| -> Option<f64> {
+        let tag = format!("\"{name}\":");
+        let rest = &baseline[baseline.find(&tag)? + tag.len()..];
+        rest.split([',', '}', '\n']).next()?.trim().parse().ok()
+    };
+    let mode = if quick { "quick" } else { "full" };
+    if !baseline.contains(&format!("\"mode\": \"{mode}\"")) {
+        eprintln!(
+            "FAIL baseline {path} was not recorded in {mode} mode — rerun \
+             with the matching --quick flag or regenerate with --write"
+        );
+        failed = true;
+    }
+    // Deterministic counters: exact matches or the behavior changed.
+    for (name, actual) in [
+        ("tenants", load.tenants as f64),
+        ("units", load.units as f64),
+        ("records_accepted", load.records as f64),
+        ("alarms", load.alarms as f64),
+        ("probe_accepted", probe.records as f64),
+        ("probe_rejections", probe.rejections as f64),
+    ] {
+        match field(name) {
+            Some(expected) if expected == actual => {}
+            Some(expected) => {
+                eprintln!(
+                    "FAIL {name}: baseline {expected} vs measured {actual} \
+                     (deterministic counter changed — intended? regenerate \
+                     the baseline with --write)"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL baseline {path} is missing field {name}");
+                failed = true;
+            }
+        }
+    }
+    // Machine-dependent figures: advisory unless strict.
+    let strict = std::env::var("SERVE_BASELINE_STRICT").is_ok_and(|v| v == "1");
+    let advisory = [
+        ("ingest_krps", ingest_krps, true),
+        ("query_p50_us", load.query_p50_us, false),
+        ("query_p99_us", load.query_p99_us, false),
+    ];
+    for (name, measured, higher_is_better) in advisory {
+        match field(name) {
+            Some(expected) => {
+                let (bound, breached) = if higher_is_better {
+                    let floor = expected * (1.0 - tolerance);
+                    (floor, measured < floor)
+                } else {
+                    let ceiling = expected * (1.0 + tolerance);
+                    (ceiling, measured > ceiling)
+                };
+                if breached {
+                    eprintln!(
+                        "{} {name} regressed: {measured:.1} vs baseline {expected:.1} \
+                         (bound {bound:.1}; machine-dependent figure{})",
+                        if strict { "FAIL" } else { "WARN" },
+                        if strict { "" } else { ", advisory" }
+                    );
+                    failed |= strict;
+                } else {
+                    eprintln!(
+                        "[serve_baseline] {name} {measured:.1} (baseline {expected:.1}, \
+                         bound {bound:.1}) — ok"
+                    );
+                }
+            }
+            None => {
+                eprintln!("FAIL baseline {path} is missing field {name}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("[serve_baseline] check passed");
+        ExitCode::SUCCESS
+    }
+}

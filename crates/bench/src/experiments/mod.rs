@@ -10,6 +10,7 @@ pub mod fig9;
 pub mod incremental;
 pub mod lateness;
 pub mod scaling;
+pub mod serve;
 pub mod tilt;
 
 use crate::memtrack;

@@ -1,0 +1,326 @@
+//! **Serve**: the multi-tenant serving layer under skewed load.
+//!
+//! Not a paper figure — this measures the serving front-end
+//! (`regcube_serve`) the ROADMAP's "millions of users" north star
+//! needs: many tenant cubes multiplexed over two shared worker pools,
+//! dashboard readers hammering lock-free published snapshots while
+//! ingestion runs, and bounded-queue backpressure.
+//!
+//! Two phases:
+//!
+//! * **load** — `T` tenants with harmonically skewed traffic (tenant 0
+//!   heaviest) ingest through the server while reader threads poll
+//!   snapshots and dashboard summaries off the double-buffered cells.
+//!   Reports ingest throughput and the readers' query latency
+//!   distribution (p50/p99). Alarm totals are deterministic — the
+//!   skew includes a ramping hot tenant — so they double as a
+//!   correctness counter for the baseline gate.
+//! * **backpressure probe** — one tenant with a tiny queue driven past
+//!   capacity without pumping: the accept/reject split is exact and
+//!   deterministic, pinning the typed-`Overloaded` contract in the
+//!   committed baseline.
+
+use crate::report::{fmt_count, Table};
+use regcube_core::ExceptionPolicy;
+use regcube_olap::{CubeSchema, CuboidSpec};
+use regcube_serve::{DashboardSummary, ServeConfig, ServeError, Server, TenantId, TenantReader};
+use regcube_stream::{EngineConfig, RawRecord};
+use regcube_tilt::TiltSpec;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Ticks per unit for every tenant.
+const TPU: usize = 4;
+/// Heaviest tenant's records per tick; tenant `t` gets `HEAVY / (t+1)`,
+/// floored at 1 — a harmonic skew.
+const HEAVY: u32 = 64;
+/// Reader threads polling dashboards during the load phase.
+const READERS: usize = 2;
+
+/// One measured phase.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Phase label.
+    pub label: String,
+    /// Tenants hosted.
+    pub tenants: usize,
+    /// Records accepted by the server.
+    pub records: u64,
+    /// Units closed per tenant.
+    pub units: i64,
+    /// Wall-clock of the ingest+close drive loop.
+    pub ingest: Duration,
+    /// Snapshot/summary queries the readers completed during ingest.
+    pub queries: u64,
+    /// Median query latency in microseconds.
+    pub query_p50_us: f64,
+    /// 99th-percentile query latency in microseconds.
+    pub query_p99_us: f64,
+    /// Alarms raised across all tenants and units (deterministic).
+    pub alarms: u64,
+    /// Typed `Overloaded` rejections (deterministic in the probe).
+    pub rejections: u64,
+}
+
+fn tenant_config() -> EngineConfig {
+    let schema = CubeSchema::synthetic(2, 2, 3).expect("valid schema");
+    EngineConfig::new(
+        schema,
+        CuboidSpec::new(vec![1, 1]),
+        CuboidSpec::new(vec![2, 2]),
+    )
+    .with_policy(ExceptionPolicy::slope_threshold(1.5))
+    .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).expect("valid spec"))
+    .with_ticks_per_unit(TPU)
+}
+
+/// Records tenant `t` produces at tick `tick`: harmonic weight, cells
+/// cycling through a 3x3 grid, and a deterministic hot ramp on the
+/// heaviest tenant in the last unit (so alarms genuinely fire).
+fn tenant_records(t: usize, tick: i64, last_unit: i64) -> Vec<RawRecord> {
+    let weight = (HEAVY / (t as u32 + 1)).max(1);
+    let unit = tick / TPU as i64;
+    (0..weight)
+        .map(|c| {
+            let hot = t == 0 && unit == last_unit;
+            let value = if hot {
+                3.0 * (tick % TPU as i64) as f64
+            } else {
+                1.0 + 0.1 * f64::from(c % 3)
+            };
+            RawRecord::new(vec![c % 3, (c / 3) % 3], tick, value)
+        })
+        .collect()
+}
+
+/// The load phase: drive `tenants` tenants for `units` units while
+/// `READERS` threads poll dashboards off the published snapshots.
+fn run_load(tenants: usize, units: i64) -> Point {
+    let server = Arc::new(Server::new(
+        ServeConfig::new()
+            .with_max_tenants(tenants)
+            .with_queue_capacity((HEAVY as usize) * TPU + 64),
+    ));
+    let ids: Vec<TenantId> = (0..tenants)
+        .map(|t| TenantId::from(format!("tenant-{t:05}")))
+        .collect();
+    for id in &ids {
+        server
+            .create_tenant(id.clone(), tenant_config())
+            .expect("admission");
+    }
+    let readers: Vec<TenantReader> = ids
+        .iter()
+        .map(|id| server.reader(id).expect("reader"))
+        .collect();
+
+    // Dashboard readers: round-robin over tenants, timing each
+    // snapshot + summary + alarm inspection. Entirely lock-free reads.
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller_handles: Vec<_> = (0..READERS)
+        .map(|r| {
+            let readers = readers.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut latencies: Vec<Duration> = Vec::new();
+                let mut i = r;
+                let mut last_epochs = vec![0u64; readers.len()];
+                while !stop.load(Ordering::Relaxed) {
+                    let reader = &readers[i % readers.len()];
+                    let started = Instant::now();
+                    let snap = reader.snapshot();
+                    let summary = DashboardSummary::of(reader.id().clone(), &snap);
+                    latencies.push(started.elapsed());
+                    assert!(
+                        summary.epoch >= last_epochs[i % readers.len()],
+                        "published epochs must be monotone"
+                    );
+                    last_epochs[i % readers.len()] = summary.epoch;
+                    i += 1;
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    // The drive loop: skewed ingest, pump per tick, close per unit.
+    let started = Instant::now();
+    let mut records = 0u64;
+    let mut alarms = 0u64;
+    for unit in 0..units {
+        for tick in unit * TPU as i64..(unit + 1) * TPU as i64 {
+            for (t, id) in ids.iter().enumerate() {
+                for record in tenant_records(t, tick, units - 1) {
+                    server.ingest(id, &record).expect("sized queue");
+                    records += 1;
+                }
+            }
+            for pump in server.pump() {
+                assert!(pump.errors.is_empty(), "{:?}", pump.errors);
+                alarms += pump
+                    .reports
+                    .iter()
+                    .map(|r| r.alarms.len() as u64)
+                    .sum::<u64>();
+            }
+        }
+        for id in &ids {
+            let pump = server.close_unit(id).expect("close");
+            assert!(pump.errors.is_empty(), "{:?}", pump.errors);
+            alarms += pump
+                .reports
+                .iter()
+                .map(|r| r.alarms.len() as u64)
+                .sum::<u64>();
+        }
+    }
+    let ingest = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    for handle in poller_handles {
+        latencies.extend(handle.join().expect("reader thread"));
+    }
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx].as_secs_f64() * 1e6
+    };
+
+    Point {
+        label: format!("{tenants} skewed tenants"),
+        tenants,
+        records,
+        units,
+        ingest,
+        queries: latencies.len() as u64,
+        query_p50_us: percentile(0.50),
+        query_p99_us: percentile(0.99),
+        alarms,
+        rejections: 0,
+    }
+}
+
+/// The backpressure probe: a tiny queue driven past capacity without
+/// pumping — the accept/reject split is exact.
+fn run_probe() -> Point {
+    let capacity = 8usize;
+    let sent = 20u64;
+    let server = Server::new(ServeConfig::new().with_queue_capacity(capacity));
+    let id = TenantId::from("probe");
+    server
+        .create_tenant(id.clone(), tenant_config())
+        .expect("admission");
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let started = Instant::now();
+    for i in 0..sent {
+        let record = RawRecord::new(vec![0, 0], (i % TPU as u64) as i64, 1.0);
+        match server.ingest(&id, &record) {
+            Ok(()) => accepted += 1,
+            Err(ServeError::Overloaded { .. }) => rejected += 1,
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+    let pump = server.close_unit(&id).expect("drain");
+    assert!(pump.errors.is_empty());
+    let stats = server.tenant_stats(&id).expect("stats");
+    assert_eq!(stats.overload_rejections, rejected);
+    Point {
+        label: format!("backpressure probe (queue {capacity})"),
+        tenants: 1,
+        records: accepted,
+        units: 1,
+        ingest: started.elapsed(),
+        queries: 0,
+        query_p50_us: 0.0,
+        query_p99_us: 0.0,
+        alarms: 0,
+        rejections: rejected,
+    }
+}
+
+/// Runs both phases. `quick` shrinks the fleet for smoke runs; the
+/// full mode drives thousands of tenants.
+pub fn run(quick: bool) -> Vec<Point> {
+    let (tenants, units) = if quick { (48, 4i64) } else { (2000, 6) };
+    vec![run_load(tenants, units), run_probe()]
+}
+
+/// Prints the phases and returns the tables (for JSON export).
+pub fn print(points: &[Point]) -> Vec<Table> {
+    let mut t = Table::new(
+        "Serve: multi-tenant serving layer under skewed load",
+        &[
+            "phase",
+            "tenants",
+            "records",
+            "krec/s",
+            "queries",
+            "q p50 (us)",
+            "q p99 (us)",
+            "alarms",
+            "rejections",
+        ],
+    );
+    for p in points {
+        let krps = p.records as f64 / p.ingest.as_secs_f64().max(1e-9) / 1e3;
+        t.push_row(vec![
+            p.label.clone(),
+            fmt_count(p.tenants as u64),
+            fmt_count(p.records),
+            format!("{krps:.0}"),
+            fmt_count(p.queries),
+            format!("{:.1}", p.query_p50_us),
+            format!("{:.1}", p.query_p99_us),
+            fmt_count(p.alarms),
+            fmt_count(p.rejections),
+        ]);
+    }
+    t.print();
+    if let Some(load) = points.first() {
+        println!(
+            "{} dashboard queries ran lock-free against published snapshots while \
+             {} records ingested across {} tenants",
+            fmt_count(load.queries),
+            fmt_count(load.records),
+            fmt_count(load.tenants as u64)
+        );
+    }
+    println!();
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_probe_phases_hold_their_contracts() {
+        let points = run(true);
+        assert_eq!(points.len(), 2);
+        let (load, probe) = (&points[0], &points[1]);
+        assert_eq!(load.tenants, 48);
+        assert!(load.alarms > 0, "the hot ramp must alarm");
+        assert_eq!(load.rejections, 0, "the load phase sizes its queues");
+        assert!(load.queries > 0, "readers must observe the run");
+        // The probe's accept/reject split is exact.
+        assert_eq!(probe.records, 8);
+        assert_eq!(probe.rejections, 12);
+    }
+
+    #[test]
+    fn load_records_match_the_skew_formula() {
+        let points = run(true);
+        let load = &points[0];
+        let per_tick: u64 = (0..load.tenants)
+            .map(|t| u64::from((HEAVY / (t as u32 + 1)).max(1)))
+            .sum();
+        assert_eq!(load.records, per_tick * TPU as u64 * load.units as u64);
+    }
+}

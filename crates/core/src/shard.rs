@@ -105,7 +105,7 @@ pub struct ShardedEngine<E: CubingEngine + Send + Sync + 'static> {
     /// The policy the inner engines actually run (see
     /// [`with_factory`](Self::with_factory)).
     inner_policy: ExceptionPolicy,
-    pool: WorkerPool,
+    pool: Arc<WorkerPool>,
     algorithm: Algorithm,
     window: Option<(i64, i64)>,
     units_opened: u64,
@@ -273,7 +273,7 @@ impl<E: CubingEngine + Send + Sync + 'static> ShardedEngine<E> {
             shard_windows: vec![None; shards],
             factory: Arc::new(make),
             inner_policy,
-            pool: WorkerPool::new(shards.min(pool::default_threads())),
+            pool: Arc::new(WorkerPool::new(shards.min(pool::default_threads()))),
             shards: engines,
             algorithm,
             window: None,
@@ -286,6 +286,24 @@ impl<E: CubingEngine + Send + Sync + 'static> ShardedEngine<E> {
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Runs the per-unit shard fans and per-cuboid merges on `pool`
+    /// instead of a private pool — the multiplexing seam for serving
+    /// layers that host many tenant engines over one bounded worker set
+    /// (thousands of tenants must not mean thousands of threads; see
+    /// `regcube_serve`).
+    ///
+    /// The pool is used via [`WorkerPool::run`] from the thread calling
+    /// [`ingest_unit`](CubingEngine::ingest_unit), so the usual nesting
+    /// rule applies: never share the same pool that *dispatches* work
+    /// to this engine (a pool job that blocks on its own queue can
+    /// deadlock) — give the cubing layer its own shared pool, distinct
+    /// from any dispatch pool above it.
+    #[must_use]
+    pub fn with_shared_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The critical layers the engine cubes for.
@@ -427,6 +445,13 @@ impl<E: CubingEngine + Send + Sync + 'static> ShardedEngine<E> {
             stats.arena_alloc_calls += s.arena_alloc_calls;
             stats.arena_chunks_recycled += s.arena_chunks_recycled;
             stats.late_dropped += s.late_dropped;
+            // Serving counters sum like the stream counters: each shard
+            // would report its own share (inner engines leave them zero
+            // today — the stream/serving layers fill them in above the
+            // shard merge).
+            stats.snapshots_published += s.snapshots_published;
+            stats.snapshot_reads += s.snapshot_reads;
+            stats.overload_rejections += s.overload_rejections;
             stats.arena_bytes_retained += s.arena_bytes_retained;
             // Upper bound of the concurrent high-water mark: every shard
             // could hit its peak at the same instant.

@@ -82,6 +82,21 @@ pub struct RunStats {
     /// Only the stream layer's watermark path increments this; batch
     /// engines leave it zero.
     pub late_dropped: u64,
+    /// Immutable unit-boundary snapshots published for lock-free
+    /// concurrent reads. Only the serving layers fill this in (the
+    /// stream engine's snapshot hook and `regcube_serve`'s per-tenant
+    /// publication); batch engines leave it zero.
+    pub snapshots_published: u64,
+    /// Published snapshots handed to readers (`regcube_serve`'s
+    /// double-buffered snapshot cell counts every load). Serving layer
+    /// only; batch engines leave it zero.
+    pub snapshot_reads: u64,
+    /// Ingest requests rejected with a **typed backpressure error**
+    /// (`regcube_serve`'s bounded tenant queues report `Overloaded`
+    /// instead of dropping silently — the rejected record is never
+    /// enqueued, so the caller decides to retry or shed). Serving layer
+    /// only; batch engines leave it zero.
+    pub overload_rejections: u64,
     /// Wall-clock time of the computation.
     pub elapsed: Duration,
     /// Peak analytical bytes (retained + transient) during the run.

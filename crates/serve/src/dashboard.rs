@@ -1,0 +1,64 @@
+//! The dashboard query: a compact, allocation-light digest of one
+//! tenant's published snapshot — what a fleet overview polls per
+//! tenant, thousands of times a second, without ever touching an
+//! engine lock.
+
+use crate::tenant::TenantId;
+use regcube_stream::CubeSnapshot;
+
+/// A digest of one tenant at one published unit boundary. Computed
+/// entirely from an immutable [`CubeSnapshot`], so building one is a
+/// pure read — it runs concurrently with that tenant's ingestion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DashboardSummary {
+    /// Whose cube this summarizes.
+    pub tenant: TenantId,
+    /// The snapshot's publication epoch (units closed at capture).
+    pub epoch: u64,
+    /// The last closed unit, if any.
+    pub unit: Option<i64>,
+    /// Retained m-layer cells in the cube (0 before the first
+    /// non-empty close).
+    pub m_cells: usize,
+    /// Retained o-layer cells.
+    pub o_cells: usize,
+    /// Retained exception cells across intermediate cuboids.
+    pub exceptions: usize,
+    /// Alarms raised by the last closed unit.
+    pub alarms: usize,
+    /// The hottest alarm of the last closed unit, as
+    /// `(cell key, score)` — the headline number on a tenant tile.
+    pub top_alarm: Option<(String, f64)>,
+    /// Cells retained across the whole cube at capture time
+    /// ([`RunStats::cells_retained`](regcube_core::RunStats)).
+    pub cells_retained: u64,
+}
+
+impl DashboardSummary {
+    /// Digests one published snapshot.
+    pub fn of(tenant: TenantId, snapshot: &CubeSnapshot) -> Self {
+        let (m_cells, o_cells, exceptions) = match snapshot.try_cube() {
+            None => (0, 0, 0),
+            Some(cube) => (
+                cube.m_table().len(),
+                cube.o_table().len(),
+                cube.iter_exceptions().count(),
+            ),
+        };
+        let top_alarm = snapshot
+            .alarms()
+            .first()
+            .map(|a| (a.key.to_string(), a.score));
+        DashboardSummary {
+            tenant,
+            epoch: snapshot.epoch(),
+            unit: snapshot.unit(),
+            m_cells,
+            o_cells,
+            exceptions,
+            alarms: snapshot.alarms().len(),
+            top_alarm,
+            cells_retained: snapshot.stats().cells_retained,
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The multi-tenant [`Server`]: admission control, shared worker
+//! pools, and the pump that multiplexes every tenant's cube over them.
+
+use crate::cell::SnapshotCell;
+use crate::dashboard::DashboardSummary;
+use crate::error::ServeError;
+use crate::tenant::{Tenant, TenantId, TenantPump};
+use regcube_core::alarm::SharedSink;
+use regcube_core::pool::{default_threads, WorkerPool};
+use regcube_core::RunStats;
+use regcube_stream::{CubeSnapshot, EngineConfig, RawRecord};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// Server-wide knobs. All defaults are safe for tests and examples;
+/// real deployments size `max_tenants` / `queue_capacity` to their
+/// memory budget.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission-control cap on concurrently hosted tenants.
+    pub max_tenants: usize,
+    /// Bounded per-tenant ingest-queue capacity, in records; a full
+    /// queue rejects with [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Threads of the pump (dispatch) pool.
+    pub pump_threads: usize,
+    /// Threads of the cubing pool shared by every tenant's sharded
+    /// cubing engine.
+    pub cubing_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_tenants: 4096,
+            queue_capacity: 1024,
+            pump_threads: default_threads(),
+            cubing_threads: default_threads(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Starts from the defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the tenant admission cap (clamped to at least 1).
+    #[must_use]
+    pub fn with_max_tenants(mut self, max_tenants: usize) -> Self {
+        self.max_tenants = max_tenants.max(1);
+        self
+    }
+
+    /// Sets the per-tenant queue capacity (clamped to at least 1).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the pump-pool thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_pump_threads(mut self, threads: usize) -> Self {
+        self.pump_threads = threads.max(1);
+        self
+    }
+
+    /// Sets the shared cubing-pool thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_cubing_threads(mut self, threads: usize) -> Self {
+        self.cubing_threads = threads.max(1);
+        self
+    }
+}
+
+/// A multi-tenant cube server.
+///
+/// Each tenant owns a private [`OnlineEngine`](regcube_stream::OnlineEngine)
+/// plus a bounded ingest queue and a snapshot cell; all tenants share
+/// two [`WorkerPool`]s — one that pumps tenants in parallel and one
+/// that the tenants' sharded cubing engines fan their per-unit batches
+/// over. The pools are deliberately distinct: a pump job drives
+/// `close_unit`, which dispatches cubing work, and `WorkerPool::run`
+/// must never be entered from a job of the same pool (nesting
+/// deadlock — see `regcube_core::pool`).
+///
+/// Reads ([`snapshot`](Self::snapshot), or a held
+/// [`TenantReader`]) never take an engine lock: they clone an `Arc`
+/// out of the tenant's double-buffered cell, so dashboards keep
+/// answering at full speed while ingestion and unit closes run.
+pub struct Server {
+    config: ServeConfig,
+    pump_pool: WorkerPool,
+    cubing_pool: Arc<WorkerPool>,
+    tenants: RwLock<BTreeMap<TenantId, Arc<Tenant>>>,
+}
+
+impl Server {
+    /// Creates a server with the given configuration.
+    pub fn new(config: ServeConfig) -> Self {
+        let pump_pool = WorkerPool::new(config.pump_threads);
+        let cubing_pool = Arc::new(WorkerPool::new(config.cubing_threads));
+        Server {
+            config,
+            pump_pool,
+            cubing_pool,
+            tenants: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Admits a new tenant whose cube is described by `config`. The
+    /// tenant's cubing engine is rebound to the server's shared cubing
+    /// pool (any pool set on `config` is replaced).
+    ///
+    /// # Errors
+    /// [`ServeError::AdmissionDenied`] at the tenant cap,
+    /// [`ServeError::DuplicateTenant`] on an id collision, and any
+    /// engine-construction failure as [`ServeError::Stream`].
+    pub fn create_tenant(
+        &self,
+        id: impl Into<TenantId>,
+        config: EngineConfig,
+    ) -> Result<(), ServeError> {
+        let id = id.into();
+        let mut tenants = self.tenants.write().expect("tenant map lock");
+        if tenants.contains_key(&id) {
+            return Err(ServeError::DuplicateTenant { tenant: id });
+        }
+        if tenants.len() >= self.config.max_tenants {
+            return Err(ServeError::AdmissionDenied {
+                max_tenants: self.config.max_tenants,
+            });
+        }
+        let config = config.with_cubing_pool(Arc::clone(&self.cubing_pool));
+        let tenant = Arc::new(Tenant::new(id.clone(), config, self.config.queue_capacity)?);
+        tenants.insert(id, tenant);
+        Ok(())
+    }
+
+    /// Removes a tenant. In-flight readers holding its snapshots or a
+    /// [`TenantReader`] keep working off their `Arc`s; the tenant just
+    /// stops being servable by id.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownTenant`] if no such tenant exists.
+    pub fn drop_tenant(&self, id: &TenantId) -> Result<(), ServeError> {
+        self.tenants
+            .write()
+            .expect("tenant map lock")
+            .remove(id)
+            .map(|_| ())
+            .ok_or_else(|| ServeError::UnknownTenant { tenant: id.clone() })
+    }
+
+    /// Enqueues one record for a tenant. Non-blocking: a full queue is
+    /// the typed [`ServeError::Overloaded`] — the record is *not*
+    /// accepted and nothing previously accepted is disturbed.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownTenant`] or [`ServeError::Overloaded`].
+    pub fn ingest(&self, id: &TenantId, record: &RawRecord) -> Result<(), ServeError> {
+        self.tenant(id)?.try_enqueue(record)
+    }
+
+    /// Pumps every tenant with queued records, fanning the drains out
+    /// over the pump pool (one job per tenant). A tenant's stream
+    /// errors are contained in its own [`TenantPump`]; a saturated or
+    /// erroring tenant never stalls the others.
+    pub fn pump(&self) -> Vec<TenantPump> {
+        let busy: Vec<Arc<Tenant>> = {
+            let tenants = self.tenants.read().expect("tenant map lock");
+            tenants
+                .values()
+                .filter(|t| t.queued() > 0)
+                .map(Arc::clone)
+                .collect()
+        };
+        if busy.is_empty() {
+            return Vec::new();
+        }
+        self.pump_pool.run(
+            busy.into_iter()
+                .map(|tenant| move || tenant.pump())
+                .collect(),
+        )
+    }
+
+    /// Pumps one tenant inline on the calling thread.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownTenant`].
+    pub fn pump_tenant(&self, id: &TenantId) -> Result<TenantPump, ServeError> {
+        Ok(self.tenant(id)?.pump())
+    }
+
+    /// Drains a tenant's queue, closes its open unit (empty units
+    /// close too — the paper's clock tick), and publishes the new
+    /// boundary snapshot.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownTenant`].
+    pub fn close_unit(&self, id: &TenantId) -> Result<TenantPump, ServeError> {
+        Ok(self.tenant(id)?.close_unit())
+    }
+
+    /// Drains a tenant's queue and flushes its engine (reorder buffer
+    /// included), publishing the final boundary.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownTenant`].
+    pub fn flush(&self, id: &TenantId) -> Result<TenantPump, ServeError> {
+        Ok(self.tenant(id)?.flush())
+    }
+
+    /// The tenant's most recently published boundary snapshot — the
+    /// lock-free read path.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownTenant`].
+    pub fn snapshot(&self, id: &TenantId) -> Result<Arc<CubeSnapshot>, ServeError> {
+        Ok(self.tenant(id)?.snapshot())
+    }
+
+    /// Digests one tenant's latest published snapshot into a
+    /// [`DashboardSummary`] — a pure read off the snapshot cell.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownTenant`].
+    pub fn summary(&self, id: &TenantId) -> Result<DashboardSummary, ServeError> {
+        let tenant = self.tenant(id)?;
+        Ok(DashboardSummary::of(id.clone(), &tenant.snapshot()))
+    }
+
+    /// Digests every tenant, sorted by id — the fleet overview query.
+    pub fn summaries(&self) -> Vec<DashboardSummary> {
+        let tenants: Vec<Arc<Tenant>> = {
+            let map = self.tenants.read().expect("tenant map lock");
+            map.values().map(Arc::clone).collect()
+        };
+        tenants
+            .iter()
+            .map(|t| DashboardSummary::of(t.id().clone(), &t.snapshot()))
+            .collect()
+    }
+
+    /// A standalone read handle on one tenant: cheap to clone, usable
+    /// from any thread, bypasses the tenant map on every read (no
+    /// shared lock at all on the hot read path).
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownTenant`].
+    pub fn reader(&self, id: &TenantId) -> Result<TenantReader, ServeError> {
+        Ok(TenantReader {
+            tenant: self.tenant(id)?,
+        })
+    }
+
+    /// Per-tenant statistics: the engine's counters with the serving
+    /// counters ([`RunStats::snapshot_reads`],
+    /// [`RunStats::overload_rejections`]) filled in.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownTenant`].
+    pub fn tenant_stats(&self, id: &TenantId) -> Result<RunStats, ServeError> {
+        Ok(self.tenant(id)?.stats())
+    }
+
+    /// Registers an alarm sink on one tenant's engine — the per-tenant
+    /// fan-out point for exception notifications.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownTenant`].
+    pub fn add_sink(&self, id: &TenantId, sink: SharedSink) -> Result<(), ServeError> {
+        self.tenant(id)?.add_sink(sink);
+        Ok(())
+    }
+
+    /// The ids of all hosted tenants, sorted.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.tenants
+            .read()
+            .expect("tenant map lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// How many tenants are currently hosted.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.read().expect("tenant map lock").len()
+    }
+
+    fn tenant(&self, id: &TenantId) -> Result<Arc<Tenant>, ServeError> {
+        self.tenants
+            .read()
+            .expect("tenant map lock")
+            .get(id)
+            .map(Arc::clone)
+            .ok_or_else(|| ServeError::UnknownTenant { tenant: id.clone() })
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.config)
+            .field("tenants", &self.tenant_count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A cloneable, lock-free read handle on one tenant's published
+/// snapshots. Holding one keeps the tenant's state readable even if
+/// the tenant is dropped from the server.
+#[derive(Clone)]
+pub struct TenantReader {
+    tenant: Arc<Tenant>,
+}
+
+impl TenantReader {
+    /// Whose snapshots this handle reads.
+    pub fn id(&self) -> &TenantId {
+        self.tenant.id()
+    }
+
+    /// The most recently published boundary snapshot.
+    pub fn snapshot(&self) -> Arc<CubeSnapshot> {
+        self.tenant.snapshot()
+    }
+
+    /// Digests the latest published snapshot.
+    pub fn summary(&self) -> DashboardSummary {
+        DashboardSummary::of(self.tenant.id().clone(), &self.tenant.snapshot())
+    }
+
+    /// The cell behind the handle — exposed for tests and benchmarks
+    /// that want the raw read counter.
+    pub fn cell(&self) -> &SnapshotCell {
+        &self.tenant.cell
+    }
+}
+
+impl std::fmt::Debug for TenantReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantReader")
+            .field("tenant", self.tenant.id())
+            .finish()
+    }
+}

@@ -1,0 +1,263 @@
+//! One tenant: a private cube engine, a bounded ingest queue, and a
+//! snapshot cell.
+//!
+//! Writes (pump, close, flush) serialize on the tenant's engine lock;
+//! reads never touch that lock — they go through the tenant's
+//! [`SnapshotCell`]. The ingest queue is bounded: a full queue is a
+//! typed [`ServeError::Overloaded`] back to the producer, never a
+//! silent drop, and every record that *was* accepted is ingested by
+//! the next pump in arrival order.
+
+use crate::cell::SnapshotCell;
+use crate::error::ServeError;
+use regcube_core::RunStats;
+use regcube_stream::{
+    BoxedEngine, CubeSnapshot, EngineConfig, OnlineEngine, RawRecord, UnitReport,
+};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A tenant identifier — any non-empty UTF-8 name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(String);
+
+impl TenantId {
+    /// The tenant's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(s: &str) -> Self {
+        TenantId(s.to_owned())
+    }
+}
+
+impl From<String> for TenantId {
+    fn from(s: String) -> Self {
+        TenantId(s)
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The outcome of pumping one tenant: the unit reports of every unit
+/// the pump closed, plus any per-record stream errors (contained here
+/// so one tenant's bad records never abort another tenant's pump).
+#[derive(Debug)]
+pub struct TenantPump {
+    /// Whose pump this is.
+    pub tenant: TenantId,
+    /// One report per unit closed by this pump, in close order.
+    pub reports: Vec<UnitReport>,
+    /// Stream errors hit while draining (bad records, reorder
+    /// overflow); the offending records are accounted for, not lost.
+    pub errors: Vec<ServeError>,
+}
+
+pub(crate) struct Tenant {
+    id: TenantId,
+    /// Raw ticks per m-layer unit — used to decide when a queued
+    /// record implies closing the open unit (reorder-disabled mode).
+    ticks_per_unit: i64,
+    capacity: usize,
+    queue: Mutex<VecDeque<RawRecord>>,
+    engine: Mutex<OnlineEngine<BoxedEngine>>,
+    pub(crate) cell: SnapshotCell,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Tenant {
+    pub(crate) fn new(
+        id: TenantId,
+        config: EngineConfig,
+        capacity: usize,
+    ) -> Result<Self, ServeError> {
+        let ticks_per_unit = config.ticks_per_unit as i64;
+        let engine = config.build()?;
+        let cell = SnapshotCell::new(Arc::new(engine.snapshot()));
+        Ok(Tenant {
+            id,
+            ticks_per_unit,
+            capacity,
+            queue: Mutex::new(VecDeque::new()),
+            engine: Mutex::new(engine),
+            cell,
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    pub(crate) fn id(&self) -> &TenantId {
+        &self.id
+    }
+
+    /// Enqueues one record, or rejects it with the typed backpressure
+    /// error if the bounded queue is full. Never blocks on the engine
+    /// lock — producers stay decoupled from pumping.
+    pub(crate) fn try_enqueue(&self, record: &RawRecord) -> Result<(), ServeError> {
+        let mut queue = self.queue.lock().expect("tenant queue lock");
+        if queue.len() >= self.capacity {
+            drop(queue);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                tenant: self.id.clone(),
+                capacity: self.capacity,
+            });
+        }
+        queue.push_back(record.clone());
+        drop(queue);
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    pub(crate) fn queued(&self) -> usize {
+        self.queue.lock().expect("tenant queue lock").len()
+    }
+
+    /// Drains the queue into the engine; publishes one snapshot per
+    /// closed unit. Takes the engine lock for the whole drain so
+    /// concurrent pumps of the same tenant serialize and keep arrival
+    /// order.
+    pub(crate) fn pump(&self) -> TenantPump {
+        let mut engine = self.engine.lock().expect("tenant engine lock");
+        let (reports, errors) = self.pump_locked(&mut engine);
+        TenantPump {
+            tenant: self.id.clone(),
+            reports,
+            errors,
+        }
+    }
+
+    /// Pumps, then closes the (possibly empty) open unit and publishes.
+    pub(crate) fn close_unit(&self) -> TenantPump {
+        let mut engine = self.engine.lock().expect("tenant engine lock");
+        let (mut reports, mut errors) = self.pump_locked(&mut engine);
+        match engine.close_unit() {
+            Ok(report) => {
+                self.publish(&engine);
+                reports.push(report);
+            }
+            Err(e) => errors.push(e.into()),
+        }
+        TenantPump {
+            tenant: self.id.clone(),
+            reports,
+            errors,
+        }
+    }
+
+    /// Pumps, then flushes the engine (drains any reorder buffer and
+    /// closes through the last buffered unit) and publishes the final
+    /// boundary.
+    pub(crate) fn flush(&self) -> TenantPump {
+        let mut engine = self.engine.lock().expect("tenant engine lock");
+        let (mut reports, mut errors) = self.pump_locked(&mut engine);
+        match engine.flush() {
+            Ok(more) => {
+                if !more.is_empty() {
+                    self.publish(&engine);
+                }
+                reports.extend(more);
+            }
+            Err(e) => errors.push(e.into()),
+        }
+        TenantPump {
+            tenant: self.id.clone(),
+            reports,
+            errors,
+        }
+    }
+
+    /// Per-tenant statistics: the engine's own counters plus the
+    /// serving-layer ones (snapshot reads served, records rejected by
+    /// backpressure).
+    pub(crate) fn stats(&self) -> RunStats {
+        let engine = self.engine.lock().expect("tenant engine lock");
+        let mut stats = engine.stats();
+        stats.snapshot_reads = self.cell.reads();
+        stats.overload_rejections = self.rejected.load(Ordering::Relaxed);
+        stats
+    }
+
+    pub(crate) fn add_sink(&self, sink: regcube_core::alarm::SharedSink) {
+        self.engine
+            .lock()
+            .expect("tenant engine lock")
+            .add_sink(sink);
+    }
+
+    /// The body of a pump with the engine lock already held. The queue
+    /// is swapped out under its own (briefly held) lock, so producers
+    /// keep enqueuing while the drain runs.
+    fn pump_locked(
+        &self,
+        engine: &mut OnlineEngine<BoxedEngine>,
+    ) -> (Vec<UnitReport>, Vec<ServeError>) {
+        let drained = std::mem::take(&mut *self.queue.lock().expect("tenant queue lock"));
+        let mut reports = Vec::new();
+        let mut errors = Vec::new();
+        let reordering = engine.reordering().is_some();
+        for record in drained {
+            if reordering {
+                // Watermark mode: the engine buffers and decides when
+                // units are closable; publish at every ready boundary.
+                if let Err(e) = engine.ingest(&record) {
+                    errors.push(e.into());
+                    continue;
+                }
+                match engine.drain_ready() {
+                    Ok(ready) => {
+                        if !ready.is_empty() {
+                            self.publish(engine);
+                        }
+                        reports.extend(ready);
+                    }
+                    Err(e) => errors.push(e.into()),
+                }
+            } else {
+                // Strict-order mode: a record for a later unit implies
+                // closing every unit before it, publishing each.
+                let unit = record.tick.div_euclid(self.ticks_per_unit);
+                let mut closed_ok = true;
+                while engine.open_unit() < unit {
+                    match engine.close_unit() {
+                        Ok(report) => {
+                            self.publish(engine);
+                            reports.push(report);
+                        }
+                        Err(e) => {
+                            errors.push(e.into());
+                            closed_ok = false;
+                            break;
+                        }
+                    }
+                }
+                if closed_ok {
+                    if let Err(e) = engine.ingest(&record) {
+                        errors.push(e.into());
+                    }
+                }
+            }
+        }
+        (reports, errors)
+    }
+
+    /// Publishes the engine's current boundary state. Caller must hold
+    /// the engine lock (single-writer contract of the cell).
+    fn publish(&self, engine: &OnlineEngine<BoxedEngine>) {
+        self.cell.publish(Arc::new(engine.snapshot()));
+    }
+
+    pub(crate) fn snapshot(&self) -> Arc<CubeSnapshot> {
+        self.cell.load()
+    }
+}

@@ -33,6 +33,13 @@
 //!   beyond-lateness records are counted in
 //!   [`RunStats::late_dropped`](regcube_core::RunStats) — never
 //!   silently lost;
+//! * [`snapshot`] — immutable unit-boundary [`snapshot::CubeSnapshot`]s
+//!   ([`online::OnlineEngine::snapshot`]): cube, tilt ladders and alarm
+//!   state captured as one consistent value that answers drill and
+//!   dashboard queries **byte-identically** to the live engine without
+//!   borrowing it — the publication seam the `regcube_serve`
+//!   multi-tenant serving layer swaps behind an `Arc` so readers never
+//!   block writers;
 //! * [`source`] — replay and mpsc-channel event sources for driving an
 //!   engine from another thread.
 
@@ -44,6 +51,7 @@ pub mod ingest;
 pub mod online;
 pub mod record;
 pub mod reorder;
+pub mod snapshot;
 pub mod source;
 
 pub use error::StreamError;
@@ -51,6 +59,7 @@ pub use ingest::Ingestor;
 pub use online::{Alarm, BoxedEngine, EngineConfig, OnlineEngine, TiltHit, UnitReport};
 pub use record::RawRecord;
 pub use reorder::{ReorderConfig, ReorderState};
+pub use snapshot::CubeSnapshot;
 pub use source::{run_engine, ReplaySource, StreamEvent};
 
 /// Crate-wide result alias.

@@ -5,6 +5,7 @@ use crate::error::StreamError;
 use crate::ingest::Ingestor;
 use crate::record::RawRecord;
 use crate::reorder::{ReorderConfig, ReorderState};
+use crate::snapshot::{drill_frames_at, CubeSnapshot};
 use crate::Result;
 use regcube_core::alarm::{AlarmContext, LateAmendment, SharedSink, SinkError, SinkSet};
 use regcube_core::arena::ArenaCubingEngine;
@@ -12,6 +13,7 @@ use regcube_core::columnar::ColumnarCubingEngine;
 use regcube_core::drill::{drill_children, drill_descendants, DrillHit};
 use regcube_core::engine::{Backend, CubingEngine, MoCubingEngine, PopularPathEngine, UnitDelta};
 use regcube_core::history::{CubeHistory, ExceptionDiff};
+use regcube_core::pool::WorkerPool;
 use regcube_core::result::Algorithm;
 use regcube_core::shard::ShardedEngine;
 use regcube_core::{CoreError, CriticalLayers, CubeResult, ExceptionPolicy, RunStats};
@@ -20,6 +22,8 @@ use regcube_olap::fxhash::FxHashMap;
 use regcube_olap::{CubeSchema, CuboidSpec};
 use regcube_regress::Isb;
 use regcube_tilt::{AmendOutcome, TiltError, TiltFrame, TiltSpec};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The type-erased cubing engine [`EngineConfig::build`] selects at
@@ -114,6 +118,11 @@ pub struct UnitReport {
     /// [`OnlineEngine::late_dropped`] /
     /// [`RunStats::late_dropped`](regcube_core::RunStats).
     pub late_dropped: u64,
+    /// The publication epoch this close advanced the engine to (the
+    /// total closed-unit count): a [`CubeSnapshot`] taken after this
+    /// close carries exactly this [`CubeSnapshot::epoch`], which is how
+    /// serving layers correlate published snapshots with unit reports.
+    pub snapshot_epoch: u64,
 }
 
 /// Configuration of an [`OnlineEngine`], built fluently:
@@ -180,6 +189,13 @@ pub struct EngineConfig {
     /// Disabled reordering leaves the ingest path byte-identical to the
     /// strictly-ordered engine.
     pub reordering: Option<ReorderConfig>,
+    /// A shared [`WorkerPool`] for the cubing layer
+    /// ([`with_cubing_pool`](Self::with_cubing_pool)); defaults to
+    /// `None` (sharded engines spawn a private pool, unsharded Algorithm
+    /// 1 rolls tiers up sequentially). Serving layers hosting many
+    /// tenant engines set this so thousands of tenants multiplex over
+    /// one bounded worker set instead of spawning per-tenant threads.
+    pub cubing_pool: Option<Arc<WorkerPool>>,
 }
 
 impl EngineConfig {
@@ -199,7 +215,20 @@ impl EngineConfig {
             sinks: SinkSet::new(),
             history_depth: 16,
             reordering: None,
+            cubing_pool: None,
         }
+    }
+
+    /// Runs the cubing layer's parallel work (shard fans, per-cuboid
+    /// merges, the unsharded tier roll-up) on a shared [`WorkerPool`]
+    /// instead of per-engine threads. **Never** pass a pool that also
+    /// *dispatches* jobs which drive this engine — a pool job blocking
+    /// on its own queue can deadlock (see [`regcube_core::pool`]); give
+    /// the cubing layer its own pool, as `regcube_serve` does.
+    #[must_use]
+    pub fn with_cubing_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.cubing_pool = Some(pool);
+        self
     }
 
     /// Sets the retained depth of the per-window exception history
@@ -377,14 +406,23 @@ impl EngineConfig {
                 ),
             });
         }
+        let pool = self.cubing_pool.clone();
         self.build_with(
             move |schema, layers, policy| match (algorithm, backend, shards) {
                 (Algorithm::MoCubing, Backend::Row, 1) => {
                     MoCubingEngine::transient(schema, layers, policy)
+                        .map(|e| match &pool {
+                            Some(p) => e.with_pool(Arc::clone(p)),
+                            None => e,
+                        })
                         .map(|e| Box::new(e) as BoxedEngine)
                 }
                 (Algorithm::MoCubing, Backend::Row, n) => {
                     ShardedEngine::mo_cubing(schema, layers, policy, n)
+                        .map(|e| match &pool {
+                            Some(p) => e.with_shared_pool(Arc::clone(p)),
+                            None => e,
+                        })
                         .map(|e| Box::new(e) as BoxedEngine)
                 }
                 (Algorithm::MoCubing, Backend::Columnar, 1) => {
@@ -393,6 +431,10 @@ impl EngineConfig {
                 }
                 (Algorithm::MoCubing, Backend::Columnar, n) => {
                     ShardedEngine::columnar(schema, layers, policy, n)
+                        .map(|e| match &pool {
+                            Some(p) => e.with_shared_pool(Arc::clone(p)),
+                            None => e,
+                        })
                         .map(|e| Box::new(e) as BoxedEngine)
                 }
                 (Algorithm::MoCubing, Backend::Arena, 1) => {
@@ -401,6 +443,10 @@ impl EngineConfig {
                 }
                 (Algorithm::MoCubing, Backend::Arena, n) => {
                     ShardedEngine::arena(schema, layers, policy, n)
+                        .map(|e| match &pool {
+                            Some(p) => e.with_shared_pool(Arc::clone(p)),
+                            None => e,
+                        })
                         .map(|e| Box::new(e) as BoxedEngine)
                 }
                 (Algorithm::PopularPath, _, 1) => {
@@ -409,6 +455,10 @@ impl EngineConfig {
                 }
                 (Algorithm::PopularPath, _, n) => {
                     ShardedEngine::popular_path(schema, layers, policy, n)
+                        .map(|e| match &pool {
+                            Some(p) => e.with_shared_pool(Arc::clone(p)),
+                            None => e,
+                        })
                         .map(|e| Box::new(e) as BoxedEngine)
                 }
             },
@@ -423,8 +473,12 @@ impl EngineConfig {
     /// Configuration validation from the ingestor and cube substrates.
     pub fn build_columnar(self) -> Result<OnlineEngine<ShardedEngine<ColumnarCubingEngine>>> {
         let shards = self.shards;
+        let pool = self.cubing_pool.clone();
         self.build_with(move |schema, layers, policy| {
-            ShardedEngine::columnar(schema, layers, policy, shards)
+            ShardedEngine::columnar(schema, layers, policy, shards).map(|e| match pool {
+                Some(p) => e.with_shared_pool(p),
+                None => e,
+            })
         })
     }
 
@@ -436,8 +490,12 @@ impl EngineConfig {
     /// Configuration validation from the ingestor and cube substrates.
     pub fn build_arena(self) -> Result<OnlineEngine<ShardedEngine<ArenaCubingEngine>>> {
         let shards = self.shards;
+        let pool = self.cubing_pool.clone();
         self.build_with(move |schema, layers, policy| {
-            ShardedEngine::arena(schema, layers, policy, shards)
+            ShardedEngine::arena(schema, layers, policy, shards).map(|e| match pool {
+                Some(p) => e.with_shared_pool(p),
+                None => e,
+            })
         })
     }
 
@@ -450,8 +508,12 @@ impl EngineConfig {
     /// Configuration validation from the ingestor and cube substrates.
     pub fn build_mo(self) -> Result<OnlineEngine<ShardedEngine<MoCubingEngine>>> {
         let shards = self.shards;
+        let pool = self.cubing_pool.clone();
         self.build_with(move |schema, layers, policy| {
-            ShardedEngine::mo_cubing(schema, layers, policy, shards)
+            ShardedEngine::mo_cubing(schema, layers, policy, shards).map(|e| match pool {
+                Some(p) => e.with_shared_pool(p),
+                None => e,
+            })
         })
     }
 
@@ -463,8 +525,12 @@ impl EngineConfig {
     /// Configuration validation from the ingestor and cube substrates.
     pub fn build_popular_path(self) -> Result<OnlineEngine<ShardedEngine<PopularPathEngine>>> {
         let shards = self.shards;
+        let pool = self.cubing_pool.clone();
         self.build_with(move |schema, layers, policy| {
-            ShardedEngine::popular_path(schema, layers, policy, shards)
+            ShardedEngine::popular_path(schema, layers, policy, shards).map(|e| match pool {
+                Some(p) => e.with_shared_pool(p),
+                None => e,
+            })
         })
     }
 
@@ -492,6 +558,7 @@ impl EngineConfig {
             sinks,
             history_depth,
             reordering,
+            cubing_pool: _,
         } = self;
         if history_depth == 0 {
             return Err(StreamError::BadConfig {
@@ -526,6 +593,9 @@ impl EngineConfig {
                 .enabled()
                 .then(|| ReorderState::new(reorder_cfg)),
             pending_amendments: Vec::new(),
+            last_alarms: Vec::new(),
+            last_closed_unit: None,
+            snapshots_published: AtomicU64::new(0),
         })
     }
 }
@@ -580,6 +650,16 @@ pub struct OnlineEngine<E: CubingEngine = BoxedEngine> {
     reorder: Option<ReorderState>,
     /// Late-record tilt amendments applied since the last unit report.
     pending_amendments: Vec<LateAmendment>,
+    /// The last closed unit's alarms — captured into snapshots so the
+    /// serving layer's published view carries the alarm state of its
+    /// unit boundary.
+    last_alarms: Vec<Alarm>,
+    /// The last closed unit index (`None` before the first close).
+    last_closed_unit: Option<i64>,
+    /// Snapshots taken from this engine ([`snapshot`](Self::snapshot)),
+    /// surfaced as [`RunStats::snapshots_published`]. Atomic so the
+    /// shared-reference snapshot hook can count without `&mut self`.
+    snapshots_published: AtomicU64,
 }
 
 impl OnlineEngine {
@@ -795,6 +875,8 @@ impl<E: CubingEngine> OnlineEngine<E> {
                 .as_mut()
                 .map_or(0, ReorderState::take_dropped_since_report);
             let sink_errors = self.sinks.dispatch_amendments(&late_amendments);
+            self.last_alarms.clear();
+            self.last_closed_unit = Some(unit);
             return Ok(UnitReport {
                 unit,
                 m_cells: 0,
@@ -814,6 +896,7 @@ impl<E: CubingEngine> OnlineEngine<E> {
                 arena_bytes_retained: 0,
                 late_amendments,
                 late_dropped,
+                snapshot_epoch: self.units_closed,
             });
         }
 
@@ -898,6 +981,8 @@ impl<E: CubingEngine> OnlineEngine<E> {
             .as_mut()
             .map_or(0, ReorderState::take_dropped_since_report);
         let drill_stats = self.cubing.stats();
+        self.last_alarms = alarms.clone();
+        self.last_closed_unit = Some(unit);
         Ok(UnitReport {
             unit,
             m_cells: cells.len(),
@@ -917,6 +1002,7 @@ impl<E: CubingEngine> OnlineEngine<E> {
             arena_bytes_retained: drill_stats.arena_bytes_retained,
             late_amendments,
             late_dropped,
+            snapshot_epoch: self.units_closed,
         })
     }
 
@@ -1002,7 +1088,49 @@ impl<E: CubingEngine> OnlineEngine<E> {
     pub fn stats(&self) -> RunStats {
         let mut stats = *self.cubing.stats();
         stats.late_dropped = self.late_dropped();
+        stats.snapshots_published = self.snapshots_published.load(Ordering::Relaxed);
         stats
+    }
+
+    /// Captures an immutable [`CubeSnapshot`] of everything queryable —
+    /// cube, both tilt-ladder families, the last unit's alarms and the
+    /// run statistics — as one internally consistent value.
+    ///
+    /// This is the serving-side publication hook, and the fix for the
+    /// engine's query/ingest blocking hazard: every query method on the
+    /// engine borrows it, so a dashboard reader polling
+    /// [`drill_at`](Self::drill_at) or [`cube`](Self::cube) directly
+    /// must serialize with [`ingest`](Self::ingest) /
+    /// [`close_unit`](Self::close_unit) — under a lock, readers block
+    /// writers. Take a snapshot at each unit boundary instead (as
+    /// `regcube_serve` does, behind a double-buffered
+    /// epoch-swapped cell) and point readers at it: snapshot queries
+    /// return **the same bytes** as the engine-blocking path for every
+    /// closed unit — `drill_at`/`drill_history` share one
+    /// implementation with the engine, pinned by
+    /// `crates/stream/tests/snapshot.rs` — and never touch the engine
+    /// again.
+    ///
+    /// Call it right after [`close_unit`](Self::close_unit) so the
+    /// snapshot's [`epoch`](CubeSnapshot::epoch) matches the report's
+    /// [`snapshot_epoch`](UnitReport::snapshot_epoch). Each call counts
+    /// into [`RunStats::snapshots_published`].
+    pub fn snapshot(&self) -> CubeSnapshot {
+        self.snapshots_published.fetch_add(1, Ordering::Relaxed);
+        CubeSnapshot {
+            epoch: self.units_closed,
+            unit: self.last_closed_unit,
+            schema: self.schema.clone(),
+            cube: self.computed.then(|| self.cubing.result().clone()),
+            frames: self.frames.clone(),
+            o_frames: self.o_frames.clone(),
+            tilt_spec: self.tilt_spec.clone(),
+            policy: self.policy.clone(),
+            m_layer: self.m_layer.clone(),
+            o_layer: self.o_layer.clone(),
+            alarms: self.last_alarms.clone(),
+            stats: self.stats(),
+        }
     }
 
     /// Drills one step down from a retained cell of the current cube
@@ -1047,36 +1175,16 @@ impl<E: CubingEngine> OnlineEngine<E> {
     /// # Errors
     /// [`StreamError::Tilt`] for a level the tilt spec does not define.
     pub fn drill_at(&self, level: usize, key: &CellKey) -> Result<Vec<TiltHit>> {
-        let (frame, cuboid) = match (self.frames.get(key), self.o_frames.get(key)) {
-            (Some(f), _) => (f, &self.m_layer),
-            (None, Some(f)) => (f, &self.o_layer),
-            (None, None) => {
-                // Validate the level anyway so typos don't read as
-                // "no history".
-                self.tilt_spec
-                    .finest_units_per(level)
-                    .map_err(StreamError::from)?;
-                return Ok(Vec::new());
-            }
-        };
-        let threshold = self.policy.threshold_for(cuboid);
-        let slots = frame.slots(level).map_err(StreamError::from)?;
-        let level_name = frame.spec().levels()[level].name.clone();
-        let mut prev: Option<Isb> = None;
-        let mut out = Vec::with_capacity(slots.len());
-        for slot in slots {
-            let score = self.policy.ref_mode().score(&slot.measure, prev.as_ref());
-            out.push(TiltHit {
-                level,
-                level_name: level_name.clone(),
-                slot_unit: slot.unit,
-                measure: slot.measure,
-                score,
-                exceptional: score >= threshold,
-            });
-            prev = Some(slot.measure);
-        }
-        Ok(out)
+        drill_frames_at(
+            &self.frames,
+            &self.o_frames,
+            &self.tilt_spec,
+            &self.policy,
+            &self.m_layer,
+            &self.o_layer,
+            level,
+            key,
+        )
     }
 
     /// Time-travel drill across the whole ladder: every retained slot of

@@ -1,0 +1,312 @@
+//! Immutable unit-boundary snapshots of the online engine — the
+//! serving-side view of a cube.
+//!
+//! [`OnlineEngine::close_unit`](crate::online::OnlineEngine::close_unit)
+//! mutates the engine, so a dashboard query running against the live
+//! engine must serialize with ingestion — one `&mut self` borrow blocks
+//! every reader. A [`CubeSnapshot`] breaks that coupling: at any unit
+//! boundary [`OnlineEngine::snapshot`](crate::online::OnlineEngine::snapshot)
+//! captures everything queryable — the [`CubeResult`], both tilt-frame
+//! families (the warehoused m- and o-layer ladders), the last unit's
+//! alarms and the run statistics — into one immutable value that can be
+//! shared behind an [`std::sync::Arc`] and read from any number of
+//! threads while the engine keeps ingesting.
+//!
+//! The snapshot answers the same queries as the engine and **returns
+//! the same bytes** for any unit the snapshot covers:
+//! [`drill_at`](CubeSnapshot::drill_at) /
+//! [`drill_history`](CubeSnapshot::drill_history) share one
+//! implementation with the engine-blocking path (pinned by
+//! `crates/stream/tests/snapshot.rs`), and
+//! [`drill_children`](CubeSnapshot::drill_children) /
+//! [`drill_descendants`](CubeSnapshot::drill_descendants) run the exact
+//! core drill over the captured cube.
+//!
+//! `regcube_serve` publishes one snapshot per closed unit through a
+//! double-buffered epoch-swapped cell, which is what makes multi-tenant
+//! dashboard serving lock-free for readers.
+
+use crate::error::StreamError;
+use crate::online::{Alarm, TiltHit};
+use crate::Result;
+use regcube_core::drill::{drill_children, drill_descendants, DrillHit};
+use regcube_core::{CoreError, CubeResult, ExceptionPolicy, RunStats};
+use regcube_olap::cell::CellKey;
+use regcube_olap::fxhash::FxHashMap;
+use regcube_olap::{CubeSchema, CuboidSpec};
+use regcube_regress::Isb;
+use regcube_tilt::{TiltFrame, TiltSpec};
+use std::fmt::Write as _;
+
+/// An immutable, internally consistent view of one engine at one unit
+/// boundary: cube, tilt ladders, alarm state and statistics, all from
+/// the same [`epoch`](Self::epoch). Cheap to share (`Arc`), never
+/// mutated after construction — readers can hold one for as long as
+/// they like without blocking ingestion.
+#[derive(Debug, Clone)]
+pub struct CubeSnapshot {
+    pub(crate) epoch: u64,
+    pub(crate) unit: Option<i64>,
+    pub(crate) schema: CubeSchema,
+    pub(crate) cube: Option<CubeResult>,
+    pub(crate) frames: FxHashMap<CellKey, TiltFrame<Isb>>,
+    pub(crate) o_frames: FxHashMap<CellKey, TiltFrame<Isb>>,
+    pub(crate) tilt_spec: TiltSpec,
+    pub(crate) policy: ExceptionPolicy,
+    pub(crate) m_layer: CuboidSpec,
+    pub(crate) o_layer: CuboidSpec,
+    pub(crate) alarms: Vec<Alarm>,
+    pub(crate) stats: RunStats,
+}
+
+impl CubeSnapshot {
+    /// The publication epoch: the number of units the engine had closed
+    /// when the snapshot was taken. Strictly monotone across the
+    /// snapshots of one engine — the serving layer's consistency token.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The last closed unit index (`None` before the first close).
+    #[inline]
+    pub fn unit(&self) -> Option<i64> {
+        self.unit
+    }
+
+    /// The captured cube.
+    ///
+    /// # Errors
+    /// [`StreamError::Core`] if no non-empty unit had closed when the
+    /// snapshot was taken — the same error the live engine returns.
+    pub fn cube(&self) -> Result<&CubeResult> {
+        self.cube.as_ref().ok_or_else(|| {
+            StreamError::from(CoreError::NotMaterialized {
+                detail: "no unit with data had been closed when this snapshot was taken".into(),
+            })
+        })
+    }
+
+    /// The captured cube, if any non-empty unit had closed.
+    #[inline]
+    pub fn try_cube(&self) -> Option<&CubeResult> {
+        self.cube.as_ref()
+    }
+
+    /// The schema the cube is built over.
+    #[inline]
+    pub fn schema(&self) -> &CubeSchema {
+        &self.schema
+    }
+
+    /// The o-layer alarms of the last closed unit, hottest first —
+    /// exactly [`UnitReport::alarms`](crate::online::UnitReport) of
+    /// that close.
+    #[inline]
+    pub fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// The engine's run statistics at capture time (serving counters
+    /// included).
+    #[inline]
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// The captured tilt frame of an m-layer cell, if the cell had ever
+    /// been active.
+    pub fn tilt_frame(&self, key: &CellKey) -> Option<&TiltFrame<Isb>> {
+        self.frames.get(key)
+    }
+
+    /// The captured tilt frame of an o-layer cell.
+    pub fn o_layer_frame(&self, key: &CellKey) -> Option<&TiltFrame<Isb>> {
+        self.o_frames.get(key)
+    }
+
+    /// Time-travel drill over the captured ladders — byte-identical to
+    /// [`OnlineEngine::drill_at`](crate::online::OnlineEngine::drill_at)
+    /// on the engine the snapshot was taken from (one shared
+    /// implementation).
+    ///
+    /// # Errors
+    /// [`StreamError::Tilt`] for a level the tilt spec does not define.
+    pub fn drill_at(&self, level: usize, key: &CellKey) -> Result<Vec<TiltHit>> {
+        drill_frames_at(
+            &self.frames,
+            &self.o_frames,
+            &self.tilt_spec,
+            &self.policy,
+            &self.m_layer,
+            &self.o_layer,
+            level,
+            key,
+        )
+    }
+
+    /// Time-travel drill across the whole captured ladder, coarsest
+    /// level first — byte-identical to
+    /// [`OnlineEngine::drill_history`](crate::online::OnlineEngine::drill_history).
+    ///
+    /// # Errors
+    /// Propagates [`drill_at`](Self::drill_at) failures.
+    pub fn drill_history(&self, key: &CellKey) -> Result<Vec<TiltHit>> {
+        let mut out = Vec::new();
+        for level in (0..self.tilt_spec.num_levels()).rev() {
+            out.extend(self.drill_at(level, key)?);
+        }
+        Ok(out)
+    }
+
+    /// Drills one step down from a retained cell of the captured cube.
+    ///
+    /// # Errors
+    /// [`StreamError::Core`] if the snapshot predates the first
+    /// non-empty unit close.
+    pub fn drill_children(&self, cuboid: &CuboidSpec, key: &CellKey) -> Result<Vec<DrillHit>> {
+        Ok(drill_children(&self.schema, self.cube()?, cuboid, key))
+    }
+
+    /// Finds all retained exceptional descendants of a cell of the
+    /// captured cube.
+    ///
+    /// # Errors
+    /// [`StreamError::Core`] if the snapshot predates the first
+    /// non-empty unit close.
+    pub fn drill_descendants(&self, cuboid: &CuboidSpec, key: &CellKey) -> Result<Vec<DrillHit>> {
+        Ok(drill_descendants(&self.schema, self.cube()?, cuboid, key))
+    }
+
+    /// A canonical, deterministic serialization of everything the
+    /// snapshot can answer: cube tables (sorted), exception tables,
+    /// both tilt-ladder families (every slot's measure rendered through
+    /// its IEEE-754 bits, so two snapshots render identically **iff**
+    /// their queryable state is bit-identical) and the alarm state.
+    /// Timing fields are deliberately excluded. This is the equality
+    /// witness of the concurrency suites: a reader-observed snapshot
+    /// must render byte-for-byte like the single-threaded reference at
+    /// the same epoch.
+    pub fn canonical_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "epoch {} unit {:?}", self.epoch, self.unit);
+        match &self.cube {
+            None => {
+                let _ = writeln!(out, "cube: none");
+            }
+            Some(cube) => {
+                let mut m: Vec<_> = cube.m_table().iter().collect();
+                m.sort_by(|a, b| a.0.cmp(b.0));
+                for (k, isb) in m {
+                    let _ = writeln!(out, "m {k} {}", fmt_isb(isb));
+                }
+                let mut o: Vec<_> = cube.o_table().iter().collect();
+                o.sort_by(|a, b| a.0.cmp(b.0));
+                for (k, isb) in o {
+                    let _ = writeln!(out, "o {k} {}", fmt_isb(isb));
+                }
+                let mut exc: Vec<_> = cube.iter_exceptions().collect();
+                exc.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+                for (cuboid, k, isb) in exc {
+                    let _ = writeln!(out, "exc {cuboid}{k} {}", fmt_isb(isb));
+                }
+                let mut paths: Vec<_> = cube.path_tables().iter().collect();
+                paths.sort_by(|a, b| a.0.cmp(b.0));
+                for (cuboid, table) in paths {
+                    let mut cells: Vec<_> = table.iter().collect();
+                    cells.sort_by(|a, b| a.0.cmp(b.0));
+                    for (k, isb) in cells {
+                        let _ = writeln!(out, "path {cuboid}{k} {}", fmt_isb(isb));
+                    }
+                }
+            }
+        }
+        for (tag, frames) in [("mframe", &self.frames), ("oframe", &self.o_frames)] {
+            let mut keys: Vec<_> = frames.keys().collect();
+            keys.sort();
+            for key in keys {
+                let frame = &frames[key];
+                for (level, slot) in frame.timeline() {
+                    let _ = writeln!(
+                        out,
+                        "{tag} {key} L{level} u{} {}",
+                        slot.unit,
+                        fmt_isb(&slot.measure)
+                    );
+                }
+            }
+        }
+        for a in &self.alarms {
+            let _ = writeln!(
+                out,
+                "alarm {} score={:016x} threshold={:016x} {}",
+                a.key,
+                a.score.to_bits(),
+                a.threshold.to_bits(),
+                fmt_isb(&a.measure)
+            );
+        }
+        out
+    }
+}
+
+/// Renders one ISB with bit-exact float fields.
+fn fmt_isb(isb: &Isb) -> String {
+    format!(
+        "[{},{}] b={:016x} s={:016x}",
+        isb.start(),
+        isb.end(),
+        isb.base().to_bits(),
+        isb.slope().to_bits()
+    )
+}
+
+/// The one shared time-travel drill implementation: scores every
+/// retained slot of `key` at `level` with the policy's reference mode
+/// against its predecessor. Looks the cell up in the m-layer frames
+/// first, then the o-layer frames — the engine-blocking
+/// [`OnlineEngine::drill_at`](crate::online::OnlineEngine::drill_at)
+/// and the lock-free [`CubeSnapshot::drill_at`] both call this, which
+/// is what makes "snapshot ≡ live" hold by construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drill_frames_at(
+    frames: &FxHashMap<CellKey, TiltFrame<Isb>>,
+    o_frames: &FxHashMap<CellKey, TiltFrame<Isb>>,
+    tilt_spec: &TiltSpec,
+    policy: &ExceptionPolicy,
+    m_layer: &CuboidSpec,
+    o_layer: &CuboidSpec,
+    level: usize,
+    key: &CellKey,
+) -> Result<Vec<TiltHit>> {
+    let (frame, cuboid) = match (frames.get(key), o_frames.get(key)) {
+        (Some(f), _) => (f, m_layer),
+        (None, Some(f)) => (f, o_layer),
+        (None, None) => {
+            // Validate the level anyway so typos don't read as
+            // "no history".
+            tilt_spec
+                .finest_units_per(level)
+                .map_err(StreamError::from)?;
+            return Ok(Vec::new());
+        }
+    };
+    let threshold = policy.threshold_for(cuboid);
+    let slots = frame.slots(level).map_err(StreamError::from)?;
+    let level_name = frame.spec().levels()[level].name.clone();
+    let mut prev: Option<Isb> = None;
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in slots {
+        let score = policy.ref_mode().score(&slot.measure, prev.as_ref());
+        out.push(TiltHit {
+            level,
+            level_name: level_name.clone(),
+            slot_unit: slot.unit,
+            measure: slot.measure,
+            score,
+            exceptional: score >= threshold,
+        });
+        prev = Some(slot.measure);
+    }
+    Ok(out)
+}

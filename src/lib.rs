@@ -19,6 +19,7 @@
 //! | [`tilt`] | `regcube-tilt` | tilt time frames with lossless slot promotion |
 //! | [`core`] | `regcube-core` | critical layers, exception policies, Algorithms 1 & 2, drilling |
 //! | [`stream`] | `regcube-stream` | raw-record ingestion, the online engine, channel sources |
+//! | [`serve`] | `regcube-serve` | multi-tenant serving: snapshot cells, backpressure, shared pools |
 //! | [`datagen`] | `regcube-datagen` | `D3L3C10T100K`-style synthetic stream datasets |
 //!
 //! # Quickstart
@@ -48,6 +49,7 @@ pub use regcube_datagen as datagen;
 pub use regcube_linalg as linalg;
 pub use regcube_olap as olap;
 pub use regcube_regress as regress;
+pub use regcube_serve as serve;
 pub use regcube_stream as stream;
 pub use regcube_tilt as tilt;
 
@@ -96,7 +98,10 @@ pub mod prelude {
         cell::CellKey, CubeSchema, CuboidSpec, Dimension, Hierarchy, Lattice, PopularPath,
     };
     pub use regcube_regress::{aggregate, fold::FoldOp, IntVal, Isb, LinearFit, TimeSeries};
-    pub use regcube_stream::{Alarm, EngineConfig, OnlineEngine, RawRecord, ReplaySource};
+    pub use regcube_serve::{ServeConfig, Server, TenantId};
+    pub use regcube_stream::{
+        Alarm, CubeSnapshot, EngineConfig, OnlineEngine, RawRecord, ReplaySource,
+    };
     pub use regcube_tilt::{TiltFrame, TiltSpec};
 }
 
