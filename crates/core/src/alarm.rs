@@ -204,6 +204,22 @@ pub trait AlarmSink: Send {
         let _ = amendments;
         Ok(())
     }
+
+    /// Consumes one alarm revision: a late amendment changed a
+    /// warehoused unit's exception verdict (or its score), so the
+    /// exception history the sink derived from past deltas is stale for
+    /// that `(cell, unit)`. The default implementation ignores
+    /// revisions — sinks that only care about the live frontier need
+    /// not replay history. [`AlarmLog`] and [`DashboardSummary`] patch
+    /// their state so episode history and active sets never contradict
+    /// the amended tilt frames.
+    ///
+    /// # Errors
+    /// Implementation-defined, handled like [`on_unit`](Self::on_unit).
+    fn on_revision(&mut self, revision: &AlarmRevision) -> Result<()> {
+        let _ = revision;
+        Ok(())
+    }
 }
 
 /// One late-record correction applied to a cell's warehoused tilt-frame
@@ -240,6 +256,148 @@ impl fmt::Display for LateAmendment {
             f,
             "late {} @ tick {} (unit {}): m-cell {} level {}, o-cell {} level {}",
             self.delta, self.tick, self.unit, self.m_cell, self.m_level, self.o_cell, self.o_level
+        )
+    }
+}
+
+/// A change to a warehoused unit's exception verdict caused by a late
+/// amendment.
+///
+/// When a late record amends a closed unit's tilt-frame slot, the
+/// amended cell (and the slot that scores against it as its reference)
+/// is re-screened with the engine's policy. A verdict that flips or
+/// moves is published as one of these typed events through
+/// [`AlarmSink::on_revision`], so downstream exception history can be
+/// patched instead of silently contradicting the amended frames. Every
+/// variant carries the same coordinates: the revised cell, the finest
+/// stream unit whose verdict changed, the tilt level of the re-screened
+/// slot (0 = finest; coarser slots aggregate several units), and the
+/// before/after residual scores.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlarmRevision {
+    /// The unit was exceptional before the amendment and is not any
+    /// more: the alarm it raised must be withdrawn.
+    Retracted {
+        /// The cuboid of the revised cell (the o-layer for engine-raised
+        /// alarms).
+        cuboid: CuboidSpec,
+        /// The revised cell.
+        cell: CellKey,
+        /// The finest stream unit whose verdict changed.
+        unit: u64,
+        /// Tilt level of the re-screened slot (0 = finest).
+        level: usize,
+        /// The residual score before the amendment.
+        old_score: f64,
+        /// The residual score after the amendment.
+        new_score: f64,
+    },
+    /// The unit was not exceptional before the amendment and now is:
+    /// an alarm that should have fired at that unit.
+    Raised {
+        /// The cuboid of the revised cell.
+        cuboid: CuboidSpec,
+        /// The revised cell.
+        cell: CellKey,
+        /// The finest stream unit whose verdict changed.
+        unit: u64,
+        /// Tilt level of the re-screened slot (0 = finest).
+        level: usize,
+        /// The residual score before the amendment.
+        old_score: f64,
+        /// The residual score after the amendment.
+        new_score: f64,
+    },
+    /// The unit was and stays exceptional, but its score moved: the
+    /// alarm stands with a corrected magnitude.
+    Rescored {
+        /// The cuboid of the revised cell.
+        cuboid: CuboidSpec,
+        /// The revised cell.
+        cell: CellKey,
+        /// The finest stream unit whose verdict changed.
+        unit: u64,
+        /// Tilt level of the re-screened slot (0 = finest).
+        level: usize,
+        /// The residual score before the amendment.
+        old_score: f64,
+        /// The residual score after the amendment.
+        new_score: f64,
+    },
+}
+
+impl AlarmRevision {
+    /// The cuboid of the revised cell.
+    pub fn cuboid(&self) -> &CuboidSpec {
+        match self {
+            AlarmRevision::Retracted { cuboid, .. }
+            | AlarmRevision::Raised { cuboid, .. }
+            | AlarmRevision::Rescored { cuboid, .. } => cuboid,
+        }
+    }
+
+    /// The revised cell.
+    pub fn cell(&self) -> &CellKey {
+        match self {
+            AlarmRevision::Retracted { cell, .. }
+            | AlarmRevision::Raised { cell, .. }
+            | AlarmRevision::Rescored { cell, .. } => cell,
+        }
+    }
+
+    /// The finest stream unit whose verdict changed.
+    pub fn unit(&self) -> u64 {
+        match self {
+            AlarmRevision::Retracted { unit, .. }
+            | AlarmRevision::Raised { unit, .. }
+            | AlarmRevision::Rescored { unit, .. } => *unit,
+        }
+    }
+
+    /// Tilt level of the re-screened slot (0 = finest).
+    pub fn level(&self) -> usize {
+        match self {
+            AlarmRevision::Retracted { level, .. }
+            | AlarmRevision::Raised { level, .. }
+            | AlarmRevision::Rescored { level, .. } => *level,
+        }
+    }
+
+    /// The residual score before the amendment.
+    pub fn old_score(&self) -> f64 {
+        match self {
+            AlarmRevision::Retracted { old_score, .. }
+            | AlarmRevision::Raised { old_score, .. }
+            | AlarmRevision::Rescored { old_score, .. } => *old_score,
+        }
+    }
+
+    /// The residual score after the amendment.
+    pub fn new_score(&self) -> f64 {
+        match self {
+            AlarmRevision::Retracted { new_score, .. }
+            | AlarmRevision::Raised { new_score, .. }
+            | AlarmRevision::Rescored { new_score, .. } => *new_score,
+        }
+    }
+}
+
+impl fmt::Display for AlarmRevision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self {
+            AlarmRevision::Retracted { .. } => "retracted",
+            AlarmRevision::Raised { .. } => "raised",
+            AlarmRevision::Rescored { .. } => "rescored",
+        };
+        write!(
+            f,
+            "revision {kind} {}{} unit {} L{} score {:.6} -> {:.6}",
+            self.cuboid(),
+            self.cell(),
+            self.unit(),
+            self.level(),
+            self.old_score(),
+            self.new_score()
         )
     }
 }
@@ -312,6 +470,13 @@ pub struct AlarmLog {
     closed_total: u64,
     evicted: u64,
     suppressed: u64,
+    /// Episode patches applied by alarm revisions (late amendments that
+    /// flipped or rescored a warehoused unit's verdict).
+    revised_total: u64,
+    /// The unit of the last consumed delta — the live frontier, used to
+    /// decide whether a revised raise opens a live episode or lands in
+    /// the closed ring as history.
+    last_unit: Option<u64>,
 }
 
 impl AlarmLog {
@@ -327,6 +492,8 @@ impl AlarmLog {
             closed_total: 0,
             evicted: 0,
             suppressed: 0,
+            revised_total: 0,
+            last_unit: None,
         }
     }
 
@@ -388,6 +555,13 @@ impl AlarmLog {
     pub fn open_count(&self) -> usize {
         self.open.len()
     }
+
+    /// Episode patches applied because of alarm revisions (see
+    /// [`AlarmSink::on_revision`]).
+    #[inline]
+    pub fn revised_total(&self) -> u64 {
+        self.revised_total
+    }
 }
 
 impl AlarmSink for AlarmLog {
@@ -397,6 +571,7 @@ impl AlarmSink for AlarmLog {
 
     fn on_unit(&mut self, delta: &UnitDelta, ctx: &AlarmContext<'_>) -> Result<()> {
         let unit = ctx.unit();
+        self.last_unit = Some(unit);
         for (cuboid, cell) in &delta.appeared {
             let score = ctx.score(cuboid, cell).unwrap_or(f64::NAN);
             if !score.is_finite() {
@@ -438,6 +613,108 @@ impl AlarmSink for AlarmLog {
                     self.evicted += 1;
                 }
                 self.closed.push_back(episode);
+            }
+        }
+        Ok(())
+    }
+
+    fn on_revision(&mut self, revision: &AlarmRevision) -> Result<()> {
+        // Episode history is unit-grained; coarser slots aggregate many
+        // units, so only finest-level revisions map onto episodes.
+        if revision.level() != 0 {
+            return Ok(());
+        }
+        let addr = (revision.cuboid().clone(), revision.cell().clone());
+        let unit = revision.unit();
+        match revision {
+            AlarmRevision::Retracted { .. } => {
+                let mut patched = false;
+                if let Some(episode) = self.open.get_mut(&addr) {
+                    if episode.raised_at == unit {
+                        // The raise itself was invalidated. An episode
+                        // still open past the revised unit stayed
+                        // exceptional at every later unit (no cleared
+                        // transition), so it survives from the next
+                        // unit on; an episode whose only unit was the
+                        // revised one disappears entirely.
+                        if self.last_unit.is_some_and(|last| last > unit) {
+                            episode.raised_at = unit + 1;
+                        } else {
+                            self.open.remove(&addr);
+                        }
+                        patched = true;
+                    }
+                }
+                let before = self.closed.len();
+                // A one-unit closed episode covering exactly the
+                // revised unit was raised by the now-retracted verdict.
+                self.closed.retain(|e| {
+                    !(e.cuboid == addr.0
+                        && e.cell == addr.1
+                        && e.raised_at == unit
+                        && e.cleared_at == Some(unit + 1))
+                });
+                patched |= self.closed.len() != before;
+                if patched {
+                    self.revised_total += 1;
+                }
+            }
+            AlarmRevision::Raised { new_score, .. } => {
+                if !new_score.is_finite() {
+                    self.suppressed += 1;
+                    return Ok(());
+                }
+                if let Some(episode) = self.open.get_mut(&addr) {
+                    // The episode now started earlier than first seen.
+                    if unit < episode.raised_at {
+                        episode.raised_at = unit;
+                    }
+                    if *new_score > episode.peak_score {
+                        episode.peak_score = *new_score;
+                    }
+                    self.revised_total += 1;
+                } else if self.last_unit.map_or(true, |last| unit >= last) {
+                    // The revised unit is the live frontier: the alarm
+                    // should be burning right now.
+                    self.opened_total += 1;
+                    self.revised_total += 1;
+                    self.open.insert(
+                        addr.clone(),
+                        Episode {
+                            cuboid: addr.0,
+                            cell: addr.1,
+                            raised_at: unit,
+                            cleared_at: None,
+                            peak_score: *new_score,
+                        },
+                    );
+                } else {
+                    // Historical: the verdict held for that one unit
+                    // only (later units reported no transition), so the
+                    // patched record is a closed one-unit episode.
+                    self.opened_total += 1;
+                    self.closed_total += 1;
+                    self.revised_total += 1;
+                    if self.closed.len() == self.capacity {
+                        self.closed.pop_front();
+                        self.evicted += 1;
+                    }
+                    self.closed.push_back(Episode {
+                        cuboid: addr.0,
+                        cell: addr.1,
+                        raised_at: unit,
+                        cleared_at: Some(unit + 1),
+                        peak_score: *new_score,
+                    });
+                }
+            }
+            AlarmRevision::Rescored { new_score, .. } => {
+                if let Some(episode) = self.open.get_mut(&addr) {
+                    if new_score.is_finite() && *new_score > episode.peak_score {
+                        episode.peak_score = *new_score;
+                        self.revised_total += 1;
+                    }
+                }
             }
         }
         Ok(())
@@ -655,6 +932,11 @@ pub struct DashboardSummary {
     units_seen: u64,
     appeared_total: u64,
     cleared_total: u64,
+    /// Alarm revisions consumed (frontier patches and historical ones).
+    revisions_seen: u64,
+    /// The unit of the last consumed delta — revisions of that unit
+    /// patch the active set; older ones only count.
+    last_unit: Option<u64>,
 }
 
 impl DashboardSummary {
@@ -726,6 +1008,12 @@ impl DashboardSummary {
     pub fn cleared_total(&self) -> u64 {
         self.cleared_total
     }
+
+    /// Alarm revisions consumed (see [`AlarmSink::on_revision`]).
+    #[inline]
+    pub fn revisions_seen(&self) -> u64 {
+        self.revisions_seen
+    }
 }
 
 impl AlarmSink for DashboardSummary {
@@ -735,6 +1023,7 @@ impl AlarmSink for DashboardSummary {
 
     fn on_unit(&mut self, delta: &UnitDelta, ctx: &AlarmContext<'_>) -> Result<()> {
         self.units_seen += 1;
+        self.last_unit = Some(ctx.unit());
         for (cuboid, cell) in &delta.appeared {
             self.appeared_total += 1;
             let score = ctx.score(cuboid, cell).unwrap_or(f64::NAN);
@@ -758,6 +1047,41 @@ impl AlarmSink for DashboardSummary {
                 self.cleared_total += 1;
                 if let Some(n) = self.by_depth.get_mut(&cuboid.total_depth()) {
                     *n = n.saturating_sub(1);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_revision(&mut self, revision: &AlarmRevision) -> Result<()> {
+        self.revisions_seen += 1;
+        // Only frontier-unit, base-resolution revisions can change what
+        // "active right now" means; historical ones were already
+        // superseded by later deltas and are only counted.
+        if revision.level() != 0 || Some(revision.unit()) != self.last_unit {
+            return Ok(());
+        }
+        let addr = (revision.cuboid().clone(), revision.cell().clone());
+        match revision {
+            AlarmRevision::Retracted { .. } => {
+                if self.active.remove(&addr).is_some() {
+                    self.cleared_total += 1;
+                    if let Some(n) = self.by_depth.get_mut(&addr.0.total_depth()) {
+                        *n = n.saturating_sub(1);
+                    }
+                }
+            }
+            AlarmRevision::Raised { new_score, .. } => {
+                self.appeared_total += 1;
+                if new_score.is_finite() && self.active.insert(addr.clone(), *new_score).is_none() {
+                    *self.by_depth.entry(addr.0.total_depth()).or_insert(0) += 1;
+                }
+            }
+            AlarmRevision::Rescored { new_score, .. } => {
+                if new_score.is_finite() {
+                    if let Some(score) = self.active.get_mut(&addr) {
+                        *score = *new_score;
+                    }
                 }
             }
         }
@@ -872,6 +1196,28 @@ impl SinkSet {
                     sink: guard.name(),
                     message: e.to_string(),
                 });
+            }
+        }
+        errors
+    }
+
+    /// Delivers a batch of alarm revisions (one call per revision per
+    /// sink, in batch order) with the same error isolation as
+    /// [`dispatch`](Self::dispatch). An empty batch is a no-op.
+    pub fn dispatch_revisions(&self, revisions: &[AlarmRevision]) -> Vec<SinkError> {
+        let mut errors = Vec::new();
+        if revisions.is_empty() {
+            return errors;
+        }
+        for sink in &self.sinks {
+            let mut guard = sink.lock().unwrap_or_else(PoisonError::into_inner);
+            for revision in revisions {
+                if let Err(e) = guard.on_revision(revision) {
+                    errors.push(SinkError {
+                        sink: guard.name(),
+                        message: e.to_string(),
+                    });
+                }
             }
         }
         errors

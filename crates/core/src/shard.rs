@@ -445,6 +445,9 @@ impl<E: CubingEngine + Send + Sync + 'static> ShardedEngine<E> {
             stats.arena_alloc_calls += s.arena_alloc_calls;
             stats.arena_chunks_recycled += s.arena_chunks_recycled;
             stats.late_dropped += s.late_dropped;
+            stats.late_amendments += s.late_amendments;
+            stats.watermark_held_units += s.watermark_held_units;
+            stats.sources_evicted += s.sources_evicted;
             // Serving counters sum like the stream counters: each shard
             // would report its own share (inner engines leave them zero
             // today — the stream/serving layers fill them in above the

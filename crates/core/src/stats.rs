@@ -82,6 +82,22 @@ pub struct RunStats {
     /// Only the stream layer's watermark path increments this; batch
     /// engines leave it zero.
     pub late_dropped: u64,
+    /// Stream records that arrived for an **already-closed unit within
+    /// the allowed lateness** and were applied as exact tilt-frame
+    /// amendments (OLS linearity). Only the stream layer's watermark
+    /// path increments this; batch engines leave it zero.
+    pub late_amendments: u64,
+    /// Units by which the effective (min-over-live-sources) watermark
+    /// lagged the stream frontier, accumulated at each frontier advance
+    /// — how long per-source accounting held closes back waiting for
+    /// slow sources. Zero under the global watermark policy and for
+    /// batch engines.
+    pub watermark_held_units: u64,
+    /// Sources evicted from the per-source watermark for idling more
+    /// than the policy's `idle_units` behind the stream frontier (their
+    /// watermark contribution is released so a silent sensor cannot
+    /// freeze closes forever). Stream watermark path only.
+    pub sources_evicted: u64,
     /// Immutable unit-boundary snapshots published for lock-free
     /// concurrent reads. Only the serving layers fill this in (the
     /// stream engine's snapshot hook and `regcube_serve`'s per-tenant

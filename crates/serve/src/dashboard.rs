@@ -32,6 +32,16 @@ pub struct DashboardSummary {
     /// Cells retained across the whole cube at capture time
     /// ([`RunStats::cells_retained`](regcube_core::RunStats)).
     pub cells_retained: u64,
+    /// Beyond-lateness records dropped (and counted) by this tenant's
+    /// engine ([`RunStats::late_dropped`](regcube_core::RunStats)) —
+    /// nonzero means the tenant's producers lag past the allowed
+    /// lateness and history is losing their records.
+    pub late_dropped: u64,
+    /// Late records that amended already-warehoused units
+    /// ([`RunStats::late_amendments`](regcube_core::RunStats)) —
+    /// stragglers that arrived within the allowed lateness and were
+    /// folded into the tilt frames exactly.
+    pub late_amendments: u64,
 }
 
 impl DashboardSummary {
@@ -59,6 +69,8 @@ impl DashboardSummary {
             alarms: snapshot.alarms().len(),
             top_alarm,
             cells_retained: snapshot.stats().cells_retained,
+            late_dropped: snapshot.stats().late_dropped,
+            late_amendments: snapshot.stats().late_amendments,
         }
     }
 }

@@ -139,6 +139,66 @@ impl Server {
         Ok(())
     }
 
+    /// Writes a durable checkpoint of one tenant's engine to `path`
+    /// (see [`regcube_stream::checkpoint`]). The write serializes with
+    /// the tenant's pumps on its engine lock; queued-but-unpumped
+    /// records are *not* in the checkpoint — call
+    /// [`pump_tenant`](Self::pump_tenant) first to capture them.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownTenant`], or the engine's typed
+    /// [`StreamError::Checkpoint`](regcube_stream::StreamError) as
+    /// [`ServeError::Stream`] (mid-unit strict-order engine, I/O).
+    pub fn checkpoint_tenant(
+        &self,
+        id: &TenantId,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), ServeError> {
+        self.tenant(id)?.write_checkpoint(path)
+    }
+
+    /// Admits a tenant restored from a checkpoint file written by
+    /// [`checkpoint_tenant`](Self::checkpoint_tenant) (or
+    /// [`OnlineEngine::write_checkpoint`](regcube_stream::OnlineEngine::write_checkpoint)).
+    /// Admission control is identical to [`create_tenant`](Self::create_tenant);
+    /// `config` must describe the same analysis as the checkpointed
+    /// engine. The restored state is published as the tenant's first
+    /// snapshot, so readers see the recovered cube immediately.
+    ///
+    /// # Errors
+    /// [`ServeError::AdmissionDenied`] / [`ServeError::DuplicateTenant`]
+    /// as for creation, and a missing, torn, corrupt or incompatible
+    /// checkpoint as [`ServeError::Stream`] — in which case no tenant
+    /// is admitted (restore is all-or-nothing).
+    pub fn restore_tenant(
+        &self,
+        id: impl Into<TenantId>,
+        config: EngineConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), ServeError> {
+        let id = id.into();
+        let mut tenants = self.tenants.write().expect("tenant map lock");
+        if tenants.contains_key(&id) {
+            return Err(ServeError::DuplicateTenant { tenant: id });
+        }
+        if tenants.len() >= self.config.max_tenants {
+            return Err(ServeError::AdmissionDenied {
+                max_tenants: self.config.max_tenants,
+            });
+        }
+        let config = config.with_cubing_pool(Arc::clone(&self.cubing_pool));
+        let ticks_per_unit = config.ticks_per_unit as i64;
+        let engine = config.restore(path)?;
+        let tenant = Arc::new(Tenant::from_engine(
+            id.clone(),
+            ticks_per_unit,
+            engine,
+            self.config.queue_capacity,
+        ));
+        tenants.insert(id, tenant);
+        Ok(())
+    }
+
     /// Removes a tenant. In-flight readers holding its snapshots or a
     /// [`TenantReader`] keep working off their `Arc`s; the tenant just
     /// stops being servable by id.

@@ -96,8 +96,41 @@ impl Tenant {
         })
     }
 
+    /// Wraps an already-built engine (the checkpoint-restore admission
+    /// path). Publishes the restored engine's state as the tenant's
+    /// first snapshot, so readers see the recovered cube immediately.
+    pub(crate) fn from_engine(
+        id: TenantId,
+        ticks_per_unit: i64,
+        engine: OnlineEngine<BoxedEngine>,
+        capacity: usize,
+    ) -> Self {
+        let cell = SnapshotCell::new(Arc::new(engine.snapshot()));
+        Tenant {
+            id,
+            ticks_per_unit,
+            capacity,
+            queue: Mutex::new(VecDeque::new()),
+            engine: Mutex::new(engine),
+            cell,
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
     pub(crate) fn id(&self) -> &TenantId {
         &self.id
+    }
+
+    /// Writes a durable checkpoint of the tenant's engine, serialized
+    /// against writers on the engine lock (the queue is *not* drained
+    /// first — pump before checkpointing to capture queued records).
+    pub(crate) fn write_checkpoint(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), ServeError> {
+        let engine = self.engine.lock().expect("tenant engine lock");
+        engine.write_checkpoint(path).map_err(ServeError::from)
     }
 
     /// Enqueues one record, or rejects it with the typed backpressure

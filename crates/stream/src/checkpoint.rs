@@ -1,0 +1,906 @@
+//! Versioned, checksummed checkpoint/recovery for the online engine.
+//!
+//! A process restart used to lose every warehoused tilt ladder — the
+//! whole point of the tilted-time-frame model is that those ladders
+//! *are* the retained history, so durability is table stakes. This
+//! module serializes everything an [`OnlineEngine`] needs to resume at
+//! its last unit boundary into one self-validating binary file:
+//!
+//! * the last closed window's m-layer tuples (the cube is **rebuilt**
+//!   from them on restore, through the same cubing path every backend
+//!   and shard count shares — which is what makes the restored cube
+//!   bit-identical on every backend),
+//! * both tilt-ladder families (m- and o-frames, every slot of every
+//!   level), the last unit's alarms, and the lateness machinery: the
+//!   reorder buffer's records, per-source watermarks, drop counters,
+//!   pending amendments and pending alarm revisions.
+//!
+//! # File format (version 1)
+//!
+//! ```text
+//! magic   b"RGCK"            4 bytes
+//! version u32 LE             (currently 1)
+//! length  u64 LE             payload byte count
+//! payload length bytes       (see encode_state)
+//! check   u64 LE             FNV-1a 64 over the payload
+//! ```
+//!
+//! Every failure mode — missing file, torn write, bit rot, version
+//! skew, a checkpoint from a differently-configured engine — surfaces
+//! as a typed [`StreamError::Checkpoint`]. Restoration is
+//! **all-or-nothing**: the engine is built and populated privately and
+//! only handed back once every field decoded; no caller ever observes
+//! a half-restored engine.
+//!
+//! # What is deliberately not captured
+//!
+//! Cubing-internal counters ([`RunStats`](regcube_core::RunStats)
+//! timing/memory figures) and the exception history's *depth* restart
+//! from the checkpoint boundary: the history is reseeded with the
+//! restored window only, so `ExceptionDiff`s keep working forward, but
+//! chronic-exception lookback shortens to the restore point. The
+//! queryable state — cube tables, ladders, alarms; everything
+//! [`CubeSnapshot::canonical_text`](crate::CubeSnapshot::canonical_text)
+//! renders — round-trips bit-identically.
+
+use crate::error::StreamError;
+use crate::ingest::Ingestor;
+use crate::online::{Alarm, BoxedEngine, EngineConfig, OnlineEngine};
+use crate::record::RawRecord;
+use crate::Result;
+use regcube_core::alarm::{AlarmRevision, LateAmendment};
+use regcube_core::engine::CubingEngine;
+use regcube_core::MTuple;
+use regcube_olap::cell::CellKey;
+use regcube_olap::CuboidSpec;
+use regcube_regress::Isb;
+use regcube_tilt::{TiltFrame, TiltSlot};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"RGCK";
+const VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Serializes the engine's resumable state into checkpoint bytes (the
+/// full file image, header and checksum included).
+///
+/// # Errors
+/// [`StreamError::Checkpoint`] when the engine holds a partially
+/// accumulated open unit (strict-order mode between boundaries):
+/// checkpoints are taken at unit boundaries, where the open
+/// accumulation is empty. Watermark-mode engines can checkpoint any
+/// time — their in-flight records live in the reorder buffer, which is
+/// captured.
+pub fn checkpoint_bytes<E: CubingEngine>(engine: &OnlineEngine<E>) -> Result<Vec<u8>> {
+    if engine.ingestor.open_cells() > 0 {
+        return Err(StreamError::Checkpoint {
+            detail: format!(
+                "open unit {} holds {} partially accumulated cells; \
+                 checkpoint at a unit boundary (close_unit first)",
+                engine.ingestor.open_unit(),
+                engine.ingestor.open_cells()
+            ),
+        });
+    }
+    let payload = encode_state(engine);
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    Ok(out)
+}
+
+/// Writes a checkpoint file for `engine` (see [`checkpoint_bytes`]).
+/// The file is written to a sibling temporary path and atomically
+/// renamed into place, so a crash mid-write can tear the temporary but
+/// never the checkpoint itself.
+///
+/// # Errors
+/// [`StreamError::Checkpoint`] for I/O failures or a mid-unit engine.
+pub fn write_checkpoint<E: CubingEngine>(
+    engine: &OnlineEngine<E>,
+    path: impl AsRef<Path>,
+) -> Result<()> {
+    let path = path.as_ref();
+    let bytes = checkpoint_bytes(engine)?;
+    let tmp = path.with_extension("rgck-tmp");
+    std::fs::write(&tmp, &bytes).map_err(|e| StreamError::Checkpoint {
+        detail: format!("writing {}: {e}", tmp.display()),
+    })?;
+    std::fs::rename(&tmp, path).map_err(|e| StreamError::Checkpoint {
+        detail: format!("renaming into {}: {e}", path.display()),
+    })
+}
+
+/// Restores an engine from checkpoint bytes. `config` must describe
+/// the same analysis as the checkpointed engine (schema, layers,
+/// policy, tilt spec, ticks per unit, and the same
+/// reordering-enabled/disabled choice); backend, shard count, sinks
+/// and pools are free to differ — the cube is rebuilt through the
+/// configured cubing path, which produces the identical cube on every
+/// backend.
+///
+/// # Errors
+/// [`StreamError::Checkpoint`] for torn/corrupt/incompatible bytes
+/// (all-or-nothing: no partially restored engine escapes).
+pub fn restore_bytes(config: EngineConfig, bytes: &[u8]) -> Result<OnlineEngine<BoxedEngine>> {
+    let payload = verify_envelope(bytes)?;
+    let saved = decode_state(payload)?;
+    let mut engine = config.build()?;
+    apply_state(&mut engine, saved)?;
+    Ok(engine)
+}
+
+/// Restores an engine from a checkpoint file (see [`restore_bytes`]).
+///
+/// # Errors
+/// [`StreamError::Checkpoint`] for a missing/unreadable file or
+/// torn/corrupt/incompatible contents.
+pub fn restore(config: EngineConfig, path: impl AsRef<Path>) -> Result<OnlineEngine<BoxedEngine>> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| StreamError::Checkpoint {
+        detail: format!("reading {}: {e}", path.display()),
+    })?;
+    restore_bytes(config, &bytes)
+}
+
+// ---------------------------------------------------------------------------
+// Envelope
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64 — dependency-free integrity hash; plenty against torn
+/// writes and bit rot (this is not a cryptographic seal).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Validates magic, version, length and checksum; returns the payload.
+fn verify_envelope(bytes: &[u8]) -> Result<&[u8]> {
+    let fail = |detail: String| StreamError::Checkpoint { detail };
+    if bytes.len() < 24 {
+        return Err(fail(format!(
+            "file too short for a checkpoint header ({} bytes)",
+            bytes.len()
+        )));
+    }
+    if &bytes[0..4] != MAGIC {
+        return Err(fail("bad magic: not a regcube checkpoint".into()));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(fail(format!(
+            "unsupported checkpoint version {version} (this build reads {VERSION})"
+        )));
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let expected_total = 16usize
+        .checked_add(len)
+        .and_then(|n| n.checked_add(8))
+        .ok_or_else(|| fail("payload length overflows".into()))?;
+    if bytes.len() != expected_total {
+        return Err(fail(format!(
+            "torn checkpoint: header promises {expected_total} bytes, file has {}",
+            bytes.len()
+        )));
+    }
+    let payload = &bytes[16..16 + len];
+    let stored = u64::from_le_bytes(bytes[16 + len..].try_into().expect("8 bytes"));
+    let actual = fnv1a(payload);
+    if stored != actual {
+        return Err(fail(format!(
+            "checksum mismatch: stored {stored:016x}, computed {actual:016x}"
+        )));
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Encoder / decoder primitives
+// ---------------------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn opt_i64(&mut self, v: Option<i64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.i64(x);
+            }
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn ids(&mut self, ids: &[u32]) {
+        self.u64(ids.len() as u64);
+        for &id in ids {
+            self.u32(id);
+        }
+    }
+    fn isb(&mut self, isb: &Isb) {
+        self.i64(isb.start());
+        self.i64(isb.end());
+        self.f64(isb.base());
+        self.f64(isb.slope());
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+    fn fail(&self, what: &str) -> StreamError {
+        StreamError::Checkpoint {
+            detail: format!("truncated payload decoding {what} at offset {}", self.pos),
+        }
+    }
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.fail(what))?;
+        if end > self.buf.len() {
+            return Err(self.fail(what));
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn i64(&mut self, what: &str) -> Result<i64> {
+        Ok(i64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn f64(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+    fn opt_i64(&mut self, what: &str) -> Result<Option<i64>> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.i64(what)?)),
+            tag => Err(StreamError::Checkpoint {
+                detail: format!("bad option tag {tag} decoding {what}"),
+            }),
+        }
+    }
+    /// Bounded count: a corrupt length can't trigger a huge allocation.
+    fn count(&mut self, what: &str) -> Result<usize> {
+        let n = self.u64(what)? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n > remaining {
+            return Err(StreamError::Checkpoint {
+                detail: format!(
+                    "implausible count {n} decoding {what}: only {remaining} payload bytes remain"
+                ),
+            });
+        }
+        Ok(n)
+    }
+    fn str(&mut self, what: &str) -> Result<String> {
+        let n = self.count(what)?;
+        String::from_utf8(self.take(n, what)?.to_vec()).map_err(|_| StreamError::Checkpoint {
+            detail: format!("invalid UTF-8 decoding {what}"),
+        })
+    }
+    fn ids(&mut self, what: &str) -> Result<Vec<u32>> {
+        let n = self.count(what)?;
+        (0..n).map(|_| self.u32(what)).collect()
+    }
+    fn isb(&mut self, what: &str) -> Result<Isb> {
+        let start = self.i64(what)?;
+        let end = self.i64(what)?;
+        let base = self.f64(what)?;
+        let slope = self.f64(what)?;
+        Isb::new(start, end, base, slope).map_err(|e| StreamError::Checkpoint {
+            detail: format!("invalid ISB decoding {what}: {e}"),
+        })
+    }
+    fn done(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(StreamError::Checkpoint {
+                detail: format!(
+                    "{} trailing payload bytes after a complete decode",
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine state <-> payload
+// ---------------------------------------------------------------------------
+
+/// The analysis identity a checkpoint belongs to. Two engines with the
+/// same fingerprint warehouse interchangeable state; anything else is
+/// rejected at restore time instead of silently mis-restoring.
+fn fingerprint(
+    ingestor: &Ingestor,
+    engine_parts: (&regcube_olap::CubeSchema, &CuboidSpec, &CuboidSpec),
+    policy: &regcube_core::ExceptionPolicy,
+    tilt_spec: &regcube_tilt::TiltSpec,
+    ticks_per_unit: usize,
+) -> String {
+    let (schema, o_layer, m_layer) = engine_parts;
+    format!(
+        "{schema:?}|{:?}|{o_layer:?}|{m_layer:?}|{policy:?}|{tilt_spec:?}|{ticks_per_unit}",
+        ingestor.primitive()
+    )
+}
+
+fn engine_fingerprint<E: CubingEngine>(engine: &OnlineEngine<E>) -> String {
+    fingerprint(
+        &engine.ingestor,
+        (&engine.schema, &engine.o_layer, &engine.m_layer),
+        &engine.policy,
+        &engine.tilt_spec,
+        engine.ticks_per_unit,
+    )
+}
+
+fn encode_frame(enc: &mut Enc, frame: &TiltFrame<Isb>) {
+    enc.u64(frame.next_unit());
+    enc.u64(frame.stats().expired_units);
+    let levels = frame.spec().num_levels();
+    enc.u64(levels as u64);
+    for level in 0..levels {
+        let slots = frame.slots(level).expect("level in range");
+        enc.u64(slots.len() as u64);
+        for slot in slots {
+            enc.u64(slot.unit);
+            enc.isb(&slot.measure);
+        }
+    }
+}
+
+fn encode_frames(enc: &mut Enc, frames: &regcube_olap::fxhash::FxHashMap<CellKey, TiltFrame<Isb>>) {
+    // Sorted for determinism: the same engine state always produces the
+    // same checkpoint bytes.
+    let mut keys: Vec<&CellKey> = frames.keys().collect();
+    keys.sort();
+    enc.u64(keys.len() as u64);
+    for key in keys {
+        enc.ids(key.ids());
+        encode_frame(enc, &frames[key]);
+    }
+}
+
+fn encode_revision(enc: &mut Enc, rev: &AlarmRevision) {
+    let kind = match rev {
+        AlarmRevision::Retracted { .. } => 0u8,
+        AlarmRevision::Raised { .. } => 1,
+        AlarmRevision::Rescored { .. } => 2,
+    };
+    enc.u8(kind);
+    let levels: Vec<u32> = rev
+        .cuboid()
+        .levels()
+        .iter()
+        .map(|&l| u32::from(l))
+        .collect();
+    enc.ids(&levels);
+    enc.ids(rev.cell().ids());
+    enc.u64(rev.unit());
+    enc.u64(rev.level() as u64);
+    enc.f64(rev.old_score());
+    enc.f64(rev.new_score());
+}
+
+fn decode_revision(dec: &mut Dec<'_>) -> Result<AlarmRevision> {
+    let kind = dec.u8("revision kind")?;
+    let cuboid = CuboidSpec::new(
+        dec.ids("revision cuboid")?
+            .into_iter()
+            .map(|l| l as u8)
+            .collect(),
+    );
+    let cell = CellKey::new(dec.ids("revision cell")?);
+    let unit = dec.u64("revision unit")?;
+    let level = dec.u64("revision level")? as usize;
+    let old_score = dec.f64("revision old score")?;
+    let new_score = dec.f64("revision new score")?;
+    match kind {
+        0 => Ok(AlarmRevision::Retracted {
+            cuboid,
+            cell,
+            unit,
+            level,
+            old_score,
+            new_score,
+        }),
+        1 => Ok(AlarmRevision::Raised {
+            cuboid,
+            cell,
+            unit,
+            level,
+            old_score,
+            new_score,
+        }),
+        2 => Ok(AlarmRevision::Rescored {
+            cuboid,
+            cell,
+            unit,
+            level,
+            old_score,
+            new_score,
+        }),
+        tag => Err(StreamError::Checkpoint {
+            detail: format!("unknown revision kind {tag}"),
+        }),
+    }
+}
+
+/// Everything [`apply_state`] needs, fully decoded before any engine is
+/// touched (the all-or-nothing guarantee).
+struct SavedState {
+    fingerprint: String,
+    computed: bool,
+    units_closed: u64,
+    last_closed_unit: Option<i64>,
+    open_unit: i64,
+    m_tuples: Vec<(CellKey, Isb)>,
+    frames: Vec<(CellKey, FrameParts)>,
+    o_frames: Vec<(CellKey, FrameParts)>,
+    last_alarms: Vec<Alarm>,
+    reorder: Option<SavedReorder>,
+    pending_amendments: Vec<LateAmendment>,
+    pending_revisions: Vec<AlarmRevision>,
+    late_amended_total: u64,
+}
+
+struct FrameParts {
+    next_unit: u64,
+    expired_units: u64,
+    levels: Vec<Vec<TiltSlot<Isb>>>,
+}
+
+struct SavedReorder {
+    max_seen_unit: Option<i64>,
+    sources: Vec<(u32, i64)>,
+    dropped_total: u64,
+    dropped_since_report: u64,
+    sources_evicted: u64,
+    watermark_held_units: u64,
+    buffered: Vec<(i64, Vec<RawRecord>)>,
+}
+
+fn encode_state<E: CubingEngine>(engine: &OnlineEngine<E>) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.str(&engine_fingerprint(engine));
+    enc.u8(u8::from(engine.computed));
+    enc.u64(engine.units_closed);
+    enc.opt_i64(engine.last_closed_unit);
+    enc.i64(engine.ingestor.open_unit());
+
+    // The last window's m-layer tuples, sorted: the cube rebuild seed.
+    let mut tuples: Vec<(&CellKey, &Isb)> = if engine.computed {
+        engine.cubing.result().m_table().iter().collect()
+    } else {
+        Vec::new()
+    };
+    tuples.sort_by(|a, b| a.0.cmp(b.0));
+    enc.u64(tuples.len() as u64);
+    for (key, isb) in tuples {
+        enc.ids(key.ids());
+        enc.isb(isb);
+    }
+
+    encode_frames(&mut enc, &engine.frames);
+    encode_frames(&mut enc, &engine.o_frames);
+
+    enc.u64(engine.last_alarms.len() as u64);
+    for alarm in &engine.last_alarms {
+        enc.ids(alarm.key.ids());
+        enc.isb(&alarm.measure);
+        enc.f64(alarm.score);
+        enc.f64(alarm.threshold);
+    }
+
+    match &engine.reorder {
+        None => enc.u8(0),
+        Some(st) => {
+            enc.u8(1);
+            enc.opt_i64(st.max_seen_unit);
+            enc.u64(st.sources.len() as u64);
+            for (&source, &mark) in &st.sources {
+                enc.u32(source);
+                enc.i64(mark);
+            }
+            enc.u64(st.dropped_total);
+            enc.u64(st.dropped_since_report);
+            enc.u64(st.sources_evicted);
+            enc.u64(st.watermark_held_units);
+            enc.u64(st.units.len() as u64);
+            for (&unit, records) in &st.units {
+                enc.i64(unit);
+                enc.u64(records.len() as u64);
+                for r in records {
+                    enc.ids(&r.ids);
+                    enc.i64(r.tick);
+                    enc.f64(r.value);
+                    enc.u32(r.source);
+                }
+            }
+        }
+    }
+
+    enc.u64(engine.pending_amendments.len() as u64);
+    for a in &engine.pending_amendments {
+        enc.ids(a.m_cell.ids());
+        enc.ids(a.o_cell.ids());
+        enc.u64(a.unit);
+        enc.i64(a.tick);
+        enc.f64(a.delta);
+        enc.u64(a.m_level as u64);
+        enc.u64(a.o_level as u64);
+    }
+
+    enc.u64(engine.pending_revisions.len() as u64);
+    for rev in &engine.pending_revisions {
+        encode_revision(&mut enc, rev);
+    }
+    enc.u64(engine.late_amended_total);
+    enc.buf
+}
+
+fn decode_state(payload: &[u8]) -> Result<SavedState> {
+    let mut dec = Dec::new(payload);
+    let fingerprint = dec.str("fingerprint")?;
+    let computed = match dec.u8("computed flag")? {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(StreamError::Checkpoint {
+                detail: format!("bad computed flag {tag}"),
+            })
+        }
+    };
+    let units_closed = dec.u64("units_closed")?;
+    let last_closed_unit = dec.opt_i64("last_closed_unit")?;
+    let open_unit = dec.i64("open_unit")?;
+
+    let n = dec.count("m-tuple count")?;
+    let mut m_tuples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = CellKey::new(dec.ids("m-tuple key")?);
+        let isb = dec.isb("m-tuple measure")?;
+        m_tuples.push((key, isb));
+    }
+
+    let decode_frames = |dec: &mut Dec<'_>, what: &str| -> Result<Vec<(CellKey, FrameParts)>> {
+        let n = dec.count(what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key = CellKey::new(dec.ids("frame key")?);
+            let next_unit = dec.u64("frame next_unit")?;
+            let expired_units = dec.u64("frame expired_units")?;
+            let num_levels = dec.count("frame level count")?;
+            let mut levels = Vec::with_capacity(num_levels);
+            for _ in 0..num_levels {
+                let slots = dec.count("frame slot count")?;
+                let mut level = Vec::with_capacity(slots);
+                for _ in 0..slots {
+                    let unit = dec.u64("slot unit")?;
+                    let measure = dec.isb("slot measure")?;
+                    level.push(TiltSlot { unit, measure });
+                }
+                levels.push(level);
+            }
+            out.push((
+                key,
+                FrameParts {
+                    next_unit,
+                    expired_units,
+                    levels,
+                },
+            ));
+        }
+        Ok(out)
+    };
+    let frames = decode_frames(&mut dec, "m-frame count")?;
+    let o_frames = decode_frames(&mut dec, "o-frame count")?;
+
+    let n = dec.count("alarm count")?;
+    let mut last_alarms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = CellKey::new(dec.ids("alarm key")?);
+        let measure = dec.isb("alarm measure")?;
+        let score = dec.f64("alarm score")?;
+        let threshold = dec.f64("alarm threshold")?;
+        last_alarms.push(Alarm {
+            key,
+            measure,
+            score,
+            threshold,
+        });
+    }
+
+    let reorder = match dec.u8("reorder flag")? {
+        0 => None,
+        1 => {
+            let max_seen_unit = dec.opt_i64("reorder max_seen")?;
+            let n = dec.count("source count")?;
+            let mut sources = Vec::with_capacity(n);
+            for _ in 0..n {
+                let source = dec.u32("source id")?;
+                let mark = dec.i64("source mark")?;
+                sources.push((source, mark));
+            }
+            let dropped_total = dec.u64("dropped_total")?;
+            let dropped_since_report = dec.u64("dropped_since_report")?;
+            let sources_evicted = dec.u64("sources_evicted")?;
+            let watermark_held_units = dec.u64("watermark_held_units")?;
+            let n = dec.count("buffered unit count")?;
+            let mut buffered = Vec::with_capacity(n);
+            for _ in 0..n {
+                let unit = dec.i64("buffered unit")?;
+                let m = dec.count("buffered record count")?;
+                let mut records = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let ids = dec.ids("record ids")?;
+                    let tick = dec.i64("record tick")?;
+                    let value = dec.f64("record value")?;
+                    let source = dec.u32("record source")?;
+                    records.push(RawRecord::new(ids, tick, value).with_source(source));
+                }
+                buffered.push((unit, records));
+            }
+            Some(SavedReorder {
+                max_seen_unit,
+                sources,
+                dropped_total,
+                dropped_since_report,
+                sources_evicted,
+                watermark_held_units,
+                buffered,
+            })
+        }
+        tag => {
+            return Err(StreamError::Checkpoint {
+                detail: format!("bad reorder flag {tag}"),
+            })
+        }
+    };
+
+    let n = dec.count("amendment count")?;
+    let mut pending_amendments = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m_cell = CellKey::new(dec.ids("amendment m-cell")?);
+        let o_cell = CellKey::new(dec.ids("amendment o-cell")?);
+        let unit = dec.u64("amendment unit")?;
+        let tick = dec.i64("amendment tick")?;
+        let delta = dec.f64("amendment delta")?;
+        let m_level = dec.u64("amendment m-level")? as usize;
+        let o_level = dec.u64("amendment o-level")? as usize;
+        pending_amendments.push(LateAmendment {
+            m_cell,
+            o_cell,
+            unit,
+            tick,
+            delta,
+            m_level,
+            o_level,
+        });
+    }
+
+    let n = dec.count("revision count")?;
+    let mut pending_revisions = Vec::with_capacity(n);
+    for _ in 0..n {
+        pending_revisions.push(decode_revision(&mut dec)?);
+    }
+    let late_amended_total = dec.u64("late_amended_total")?;
+    dec.done()?;
+    Ok(SavedState {
+        fingerprint,
+        computed,
+        units_closed,
+        last_closed_unit,
+        open_unit,
+        m_tuples,
+        frames,
+        o_frames,
+        last_alarms,
+        reorder,
+        pending_amendments,
+        pending_revisions,
+        late_amended_total,
+    })
+}
+
+/// Populates a freshly built engine from decoded state. Called with a
+/// private engine: on error the engine is dropped with the `?`, so no
+/// partial state escapes.
+fn apply_state(engine: &mut OnlineEngine<BoxedEngine>, saved: SavedState) -> Result<()> {
+    let own = engine_fingerprint(engine);
+    if own != saved.fingerprint {
+        return Err(StreamError::Checkpoint {
+            detail: format!(
+                "configuration mismatch: checkpoint was taken from a differently-configured \
+                 engine (checkpoint `{}`, this config `{own}`)",
+                saved.fingerprint
+            ),
+        });
+    }
+    if engine.reorder.is_some() != saved.reorder.is_some() {
+        return Err(StreamError::Checkpoint {
+            detail: format!(
+                "reordering mismatch: checkpoint {} the watermark stage, this config {} it",
+                if saved.reorder.is_some() {
+                    "enables"
+                } else {
+                    "disables"
+                },
+                if engine.reorder.is_some() {
+                    "enables"
+                } else {
+                    "disables"
+                },
+            ),
+        });
+    }
+
+    // Rebuild the cube by re-cubing the saved window's m-tuples through
+    // the configured path: deterministic and backend/shard agnostic.
+    if saved.computed {
+        let tuples: Vec<MTuple> = saved
+            .m_tuples
+            .iter()
+            .map(|(k, isb)| MTuple::new(k.ids().to_vec(), *isb))
+            .collect();
+        engine
+            .cubing
+            .ingest_unit(&tuples)
+            .map_err(StreamError::from)?;
+        engine.computed = true;
+        let result = engine.cubing.result();
+        // Reseed the o-layer reference and a depth-1 exception history
+        // so the next close diffs against the restored window.
+        engine.prev_o_layer = result
+            .o_table()
+            .iter()
+            .map(|(k, m)| (k.clone(), *m))
+            .collect();
+        let _ = engine.history.record(result);
+    }
+
+    let spec = engine.tilt_spec.clone();
+    let build_family = |entries: Vec<(CellKey, FrameParts)>| -> Result<_> {
+        let mut out = regcube_olap::fxhash::FxHashMap::default();
+        for (key, parts) in entries {
+            let frame = TiltFrame::from_parts(
+                spec.clone(),
+                parts.levels,
+                parts.next_unit,
+                parts.expired_units,
+            )
+            .map_err(|e| StreamError::Checkpoint {
+                detail: format!("invalid tilt frame in checkpoint: {e}"),
+            })?;
+            out.insert(key, frame);
+        }
+        Ok(out)
+    };
+    engine.frames = build_family(saved.frames)?;
+    engine.o_frames = build_family(saved.o_frames)?;
+
+    engine.ingestor.set_open_unit(saved.open_unit);
+    engine.units_closed = saved.units_closed;
+    engine.last_closed_unit = saved.last_closed_unit;
+    engine.last_alarms = saved.last_alarms;
+    engine.pending_amendments = saved.pending_amendments;
+    engine.pending_revisions = saved.pending_revisions;
+    engine.late_amended_total = saved.late_amended_total;
+
+    if let (Some(st), Some(saved_st)) = (engine.reorder.as_mut(), saved.reorder) {
+        st.max_seen_unit = saved_st.max_seen_unit;
+        st.sources = saved_st.sources.into_iter().collect();
+        st.dropped_total = saved_st.dropped_total;
+        st.dropped_since_report = saved_st.dropped_since_report;
+        st.sources_evicted = saved_st.sources_evicted;
+        st.watermark_held_units = saved_st.watermark_held_units;
+        st.units = saved_st
+            .buffered
+            .into_iter()
+            .collect::<BTreeMap<i64, Vec<RawRecord>>>();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn envelope_rejects_torn_and_corrupt_bytes() {
+        let payload = b"hello payload".to_vec();
+        let mut file = Vec::new();
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&VERSION.to_le_bytes());
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&payload);
+        file.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        assert_eq!(verify_envelope(&file).unwrap(), payload.as_slice());
+
+        // Too short / truncated at every prefix length.
+        for cut in 0..file.len() {
+            assert!(verify_envelope(&file[..cut]).is_err(), "cut at {cut}");
+        }
+        // Flip any byte: either the envelope or the checksum notices.
+        for i in 0..file.len() {
+            let mut bad = file.clone();
+            bad[i] ^= 0x40;
+            assert!(verify_envelope(&bad).is_err(), "flip at {i}");
+        }
+        // Future version.
+        let mut future = file.clone();
+        future[4..8].copy_from_slice(&2u32.to_le_bytes());
+        let err = verify_envelope(&future).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn decoder_counts_are_bounded_by_remaining_bytes() {
+        let mut enc = Enc::new();
+        enc.u64(u64::MAX); // implausible count
+        let mut dec = Dec::new(&enc.buf);
+        assert!(dec.count("test").is_err());
+    }
+}

@@ -33,6 +33,13 @@ pub enum StreamError {
         /// The unit the rejected record belongs to.
         unit: i64,
     },
+    /// A checkpoint file is unreadable, torn, corrupt, or belongs to an
+    /// incompatible engine configuration. Restoration is all-or-nothing:
+    /// this error guarantees no partial state was handed back.
+    Checkpoint {
+        /// Description of the failure.
+        detail: String,
+    },
     /// Substrate failure: cube core.
     Core(CoreError),
     /// Substrate failure: OLAP structures.
@@ -58,6 +65,7 @@ impl fmt::Display for StreamError {
                 "reordering buffer full ({capacity} units): cannot buffer unit {unit}; \
                  close ready units or raise the capacity"
             ),
+            StreamError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
             StreamError::Core(e) => write!(f, "cube error: {e}"),
             StreamError::Olap(e) => write!(f, "structure error: {e}"),
             StreamError::Regress(e) => write!(f, "regression error: {e}"),
@@ -120,6 +128,9 @@ mod tests {
                 capacity: 4,
                 unit: 9,
             },
+            StreamError::Checkpoint {
+                detail: "torn".into(),
+            },
             CoreError::BadInput { detail: "z".into() }.into(),
             OlapError::ArityMismatch {
                 got: 1,
@@ -132,8 +143,9 @@ mod tests {
         for c in &cases {
             assert!(!c.to_string().is_empty());
         }
-        assert!(cases[4].source().is_some());
+        assert!(cases[5].source().is_some());
         assert!(cases[0].source().is_none());
         assert!(cases[3].source().is_none());
+        assert!(cases[4].source().is_none());
     }
 }

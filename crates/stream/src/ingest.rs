@@ -71,6 +71,14 @@ impl Ingestor {
         self.open_unit
     }
 
+    /// Repositions the open unit — the checkpoint-restore seam. Only
+    /// valid with empty buffers (a restored engine resumes at a unit
+    /// boundary); callers in this crate uphold that.
+    pub(crate) fn set_open_unit(&mut self, unit: i64) {
+        debug_assert!(self.buffers.is_empty(), "repositioning a non-empty unit");
+        self.open_unit = unit;
+    }
+
     /// The open unit's tick interval `[first, last]`.
     pub fn open_window(&self) -> (i64, i64) {
         let first = self.open_unit * self.ticks_per_unit as i64;
@@ -118,6 +126,11 @@ impl Ingestor {
             }
         }
         Ok(())
+    }
+
+    /// The primitive layer records arrive at (checkpoint fingerprint).
+    pub(crate) fn primitive(&self) -> &CuboidSpec {
+        &self.primitive
     }
 
     /// Projects a primitive record's coordinates to its m-layer cell.

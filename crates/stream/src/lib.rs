@@ -40,12 +40,20 @@
 //!   borrowing it — the publication seam the `regcube_serve`
 //!   multi-tenant serving layer swaps behind an `Arc` so readers never
 //!   block writers;
+//! * [`checkpoint`] — versioned, checksummed checkpoint/recovery for
+//!   the engine ([`checkpoint::write_checkpoint`] /
+//!   [`checkpoint::restore`]): tilt ladders, alarms, the reorder
+//!   buffer and the lateness counters round-trip to a single
+//!   self-validating file; torn or corrupt files yield typed
+//!   [`StreamError::Checkpoint`] errors, never a half-restored
+//!   engine;
 //! * [`source`] — replay and mpsc-channel event sources for driving an
 //!   engine from another thread.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod error;
 pub mod ingest;
 pub mod online;
@@ -54,11 +62,12 @@ pub mod reorder;
 pub mod snapshot;
 pub mod source;
 
+pub use checkpoint::{checkpoint_bytes, restore, restore_bytes, write_checkpoint};
 pub use error::StreamError;
 pub use ingest::Ingestor;
 pub use online::{Alarm, BoxedEngine, EngineConfig, OnlineEngine, TiltHit, UnitReport};
 pub use record::RawRecord;
-pub use reorder::{ReorderConfig, ReorderState};
+pub use reorder::{ReorderConfig, ReorderState, WatermarkPolicy};
 pub use snapshot::CubeSnapshot;
 pub use source::{run_engine, ReplaySource, StreamEvent};
 

@@ -4,10 +4,12 @@
 use crate::error::StreamError;
 use crate::ingest::Ingestor;
 use crate::record::RawRecord;
-use crate::reorder::{ReorderConfig, ReorderState};
+use crate::reorder::{ReorderConfig, ReorderState, WatermarkPolicy};
 use crate::snapshot::{drill_frames_at, CubeSnapshot};
 use crate::Result;
-use regcube_core::alarm::{AlarmContext, LateAmendment, SharedSink, SinkError, SinkSet};
+use regcube_core::alarm::{
+    AlarmContext, AlarmRevision, LateAmendment, SharedSink, SinkError, SinkSet,
+};
 use regcube_core::arena::ArenaCubingEngine;
 use regcube_core::columnar::ColumnarCubingEngine;
 use regcube_core::drill::{drill_children, drill_descendants, DrillHit};
@@ -112,6 +114,13 @@ pub struct UnitReport {
     /// sinks via
     /// [`AlarmSink::on_late_amendments`](regcube_core::alarm::AlarmSink::on_late_amendments).
     pub late_amendments: Vec<LateAmendment>,
+    /// Alarm revisions the unit's late amendments produced: a late
+    /// record that flips a warehoused slot's exception verdict (or
+    /// changes a still-exceptional score) is re-screened against the
+    /// policy and surfaced here — and fanned out to the alarm sinks via
+    /// [`AlarmSink::on_revision`](regcube_core::alarm::AlarmSink::on_revision)
+    /// — so episode history never contradicts the amended frames.
+    pub alarm_revisions: Vec<AlarmRevision>,
     /// Records that arrived beyond the allowed lateness since the
     /// previous report — deterministically counted and dropped, never
     /// silently lost. Cumulative figure:
@@ -256,7 +265,25 @@ impl EngineConfig {
     /// (overriding any `REGCUBE_REORDER_CAP` environment default).
     #[must_use]
     pub fn with_reordering(mut self, capacity: usize, lateness: i64) -> Self {
-        self.reordering = Some(ReorderConfig::new(capacity, lateness));
+        let policy = self
+            .reordering
+            .map_or(WatermarkPolicy::Global, |c| c.policy);
+        self.reordering = Some(ReorderConfig::new(capacity, lateness).with_policy(policy));
+        self
+    }
+
+    /// Sets the watermark policy of the reordering stage (order relative
+    /// to [`with_reordering`](Self::with_reordering) does not matter).
+    /// [`WatermarkPolicy::PerSource`] keys the low watermark on the
+    /// minimum over live [`RawRecord::source`] maxima instead of the
+    /// global frontier, so a slow source holds closes back until it
+    /// catches up — or idles beyond `idle_units` and is evicted. Without
+    /// an explicit [`with_reordering`](Self::with_reordering) call the
+    /// policy applies on top of the environment default capacity.
+    #[must_use]
+    pub fn with_watermark_policy(mut self, policy: WatermarkPolicy) -> Self {
+        let cfg = self.reordering.unwrap_or_else(ReorderConfig::from_env);
+        self.reordering = Some(cfg.with_policy(policy));
         self
     }
 
@@ -465,6 +492,21 @@ impl EngineConfig {
         )
     }
 
+    /// Builds the engine and restores it from a checkpoint file written
+    /// by [`OnlineEngine::write_checkpoint`] (see
+    /// [`crate::checkpoint::restore`]). The configuration must describe
+    /// the same analysis as the checkpointed engine; backend, shard
+    /// count and sinks are free to differ.
+    ///
+    /// # Errors
+    /// [`StreamError::Checkpoint`] for a missing, torn, corrupt or
+    /// incompatible checkpoint (all-or-nothing: no partially restored
+    /// engine escapes); otherwise the same configuration validation as
+    /// [`build`](Self::build).
+    pub fn restore(self, path: impl AsRef<std::path::Path>) -> Result<OnlineEngine<BoxedEngine>> {
+        crate::checkpoint::restore(self, path)
+    }
+
     /// Builds a statically-typed engine running the columnar backend
     /// ([`ColumnarCubingEngine`]) across [`shards`](Self::shards)
     /// partitions (a single shard is an exact passthrough).
@@ -593,6 +635,8 @@ impl EngineConfig {
                 .enabled()
                 .then(|| ReorderState::new(reorder_cfg)),
             pending_amendments: Vec::new(),
+            pending_revisions: Vec::new(),
+            late_amended_total: 0,
             last_alarms: Vec::new(),
             last_closed_unit: None,
             snapshots_published: AtomicU64::new(0),
@@ -620,42 +664,48 @@ impl EngineConfig {
 /// in any other [`CubingEngine`] implementation statically.
 #[derive(Debug)]
 pub struct OnlineEngine<E: CubingEngine = BoxedEngine> {
-    ingestor: Ingestor,
-    schema: CubeSchema,
-    cubing: E,
+    pub(crate) ingestor: Ingestor,
+    pub(crate) schema: CubeSchema,
+    pub(crate) cubing: E,
     /// Whether at least one non-empty unit reached the cubing engine.
-    computed: bool,
-    tilt_spec: TiltSpec,
+    pub(crate) computed: bool,
+    pub(crate) tilt_spec: TiltSpec,
     /// Per-m-cell tilt frames (the warehoused stream history).
-    frames: FxHashMap<CellKey, TiltFrame<Isb>>,
+    pub(crate) frames: FxHashMap<CellKey, TiltFrame<Isb>>,
     /// Per-o-cell tilt frames — "the cuboids at the o-layer should be
     /// computed dynamically according to the tilt time frame model as
     /// well" (Example 4): the observation deck at every granularity.
-    o_frames: FxHashMap<CellKey, TiltFrame<Isb>>,
-    prev_o_layer: FxHashMap<CellKey, Isb>,
-    history: CubeHistory,
-    ticks_per_unit: usize,
-    units_closed: u64,
+    pub(crate) o_frames: FxHashMap<CellKey, TiltFrame<Isb>>,
+    pub(crate) prev_o_layer: FxHashMap<CellKey, Isb>,
+    pub(crate) history: CubeHistory,
+    pub(crate) ticks_per_unit: usize,
+    pub(crate) units_closed: u64,
     /// Alarm sinks receiving the merged, sorted per-unit delta.
     sinks: SinkSet,
     /// The m-layer spec (for projecting late records to their o-cell).
-    m_layer: CuboidSpec,
+    pub(crate) m_layer: CuboidSpec,
     /// The o-layer spec (late-amendment projection and drill scoring).
-    o_layer: CuboidSpec,
+    pub(crate) o_layer: CuboidSpec,
     /// The exception policy (time-travel drill scoring).
-    policy: ExceptionPolicy,
+    pub(crate) policy: ExceptionPolicy,
     /// Bounded reordering + watermark state; `None` when disabled (the
     /// strictly-ordered ingest path, byte-identical to the pre-watermark
     /// engine).
-    reorder: Option<ReorderState>,
+    pub(crate) reorder: Option<ReorderState>,
     /// Late-record tilt amendments applied since the last unit report.
-    pending_amendments: Vec<LateAmendment>,
+    pub(crate) pending_amendments: Vec<LateAmendment>,
+    /// Alarm revisions produced by late amendments since the last unit
+    /// report (see [`UnitReport::alarm_revisions`]).
+    pub(crate) pending_revisions: Vec<AlarmRevision>,
+    /// Late amendments applied since construction (cumulative — the
+    /// [`RunStats::late_amendments`](regcube_core::RunStats) figure).
+    pub(crate) late_amended_total: u64,
     /// The last closed unit's alarms — captured into snapshots so the
     /// serving layer's published view carries the alarm state of its
     /// unit boundary.
-    last_alarms: Vec<Alarm>,
+    pub(crate) last_alarms: Vec<Alarm>,
     /// The last closed unit index (`None` before the first close).
-    last_closed_unit: Option<i64>,
+    pub(crate) last_closed_unit: Option<i64>,
     /// Snapshots taken from this engine ([`snapshot`](Self::snapshot)),
     /// surfaced as [`RunStats::snapshots_published`]. Atomic so the
     /// shared-reference snapshot hook can count without `&mut self`.
@@ -698,7 +748,7 @@ impl<E: CubingEngine> OnlineEngine<E> {
         let unit = record.tick.div_euclid(self.ticks_per_unit as i64);
         let open = self.ingestor.open_unit();
         let st = self.reorder.as_mut().expect("reorder enabled");
-        st.observe(unit);
+        st.observe_from(unit, record.source);
         if unit >= open {
             return st.buffer(unit, record.clone());
         }
@@ -755,25 +805,147 @@ impl<E: CubingEngine> OnlineEngine<E> {
             self.units_closed,
             self.ticks_per_unit,
         )?;
-        let o_level = match o_frame
-            .amend_slot(unit as u64, amend)
+        let mut old_o_measure: Option<Isb> = None;
+        let (o_level, amended_slot) = match o_frame
+            .amend_slot(unit as u64, |m| {
+                old_o_measure = Some(*m);
+                amend(m)
+            })
             .map_err(StreamError::from)?
         {
-            AmendOutcome::Amended { level, .. } => level,
+            AmendOutcome::Amended { level, slot_unit } => (level, Some((level, slot_unit))),
             // Same spec, same clock: if the m-frame still holds the
             // unit, so does the o-frame.
-            AmendOutcome::Expired => m_level,
+            AmendOutcome::Expired => (m_level, None),
         };
         self.pending_amendments.push(LateAmendment {
             m_cell: m_key,
-            o_cell: o_key,
+            o_cell: o_key.clone(),
             unit: unit as u64,
             tick,
             delta,
             m_level,
             o_level,
         });
+        self.late_amended_total += 1;
+        if let (Some(old), Some((level, slot_unit))) = (old_o_measure, amended_slot) {
+            self.revise_after_amend(&o_key, level, slot_unit, old);
+        }
         Ok(())
+    }
+
+    /// Re-screens the o-layer cells a late amendment touched and emits
+    /// typed [`AlarmRevision`]s for every verdict that changed.
+    ///
+    /// Scoring mirrors the time-travel drill exactly (one reference
+    /// model everywhere): the amended slot is scored against its
+    /// predecessor at the same tilt level — whose measure the amendment
+    /// did not change — and its **successor** slot is re-screened too,
+    /// because the amendment changed *its* reference. When a revised
+    /// slot is the frontier (the last closed unit at the finest level),
+    /// the engine's own alarm state — [`UnitReport::alarms`] as
+    /// captured in [`last_alarms`] and every later snapshot — is
+    /// patched in place so published views never contradict the
+    /// amended frames.
+    ///
+    /// [`last_alarms`]: CubeSnapshot::alarms
+    fn revise_after_amend(
+        &mut self,
+        o_key: &CellKey,
+        level: usize,
+        slot_unit: u64,
+        old_measure: Isb,
+    ) {
+        let Some(frame) = self.o_frames.get(o_key) else {
+            return;
+        };
+        let Ok(slots) = frame.slots(level) else {
+            return;
+        };
+        let Some(idx) = slots.iter().position(|s| s.unit == slot_unit) else {
+            return;
+        };
+        let threshold = self.policy.threshold_for(&self.o_layer);
+        let mode = self.policy.ref_mode();
+        let new_measure = slots[idx].measure;
+        let prev = idx.checked_sub(1).map(|i| slots[i].measure);
+        let mut revised: Vec<(AlarmRevision, Isb)> = Vec::new();
+        // The amended slot itself: same reference, new measure.
+        if let Some(rev) = classify_revision(
+            self.o_layer.clone(),
+            o_key.clone(),
+            slot_unit,
+            level,
+            mode.score(&old_measure, prev.as_ref()),
+            mode.score(&new_measure, prev.as_ref()),
+            threshold,
+        ) {
+            revised.push((rev, new_measure));
+        }
+        // The successor slot: same measure, new reference.
+        if let Some(succ) = slots.get(idx + 1) {
+            if let Some(rev) = classify_revision(
+                self.o_layer.clone(),
+                o_key.clone(),
+                succ.unit,
+                level,
+                mode.score(&succ.measure, Some(&old_measure)),
+                mode.score(&succ.measure, Some(&new_measure)),
+                threshold,
+            ) {
+                revised.push((rev, succ.measure));
+            }
+        }
+        for (rev, measure) in revised {
+            self.patch_frontier_alarms(&rev, measure, threshold);
+            self.pending_revisions.push(rev);
+        }
+    }
+
+    /// Applies one revision to [`Self::last_alarms`] when it targets the
+    /// frontier (finest-level slot of the last closed unit) — the alarm
+    /// list captured into snapshots and unit reports must agree with
+    /// the amended frames it is published alongside.
+    fn patch_frontier_alarms(&mut self, rev: &AlarmRevision, measure: Isb, threshold: f64) {
+        let frontier = self
+            .last_closed_unit
+            .is_some_and(|u| u >= 0 && rev.level() == 0 && rev.unit() == u as u64);
+        if !frontier {
+            return;
+        }
+        match rev {
+            AlarmRevision::Retracted { cell, .. } => {
+                self.last_alarms.retain(|a| &a.key != cell);
+            }
+            AlarmRevision::Raised {
+                cell, new_score, ..
+            } => {
+                if new_score.is_finite() {
+                    self.last_alarms.retain(|a| &a.key != cell);
+                    self.last_alarms.push(Alarm {
+                        key: cell.clone(),
+                        measure,
+                        score: *new_score,
+                        threshold,
+                    });
+                }
+            }
+            AlarmRevision::Rescored {
+                cell, new_score, ..
+            } => {
+                if let Some(alarm) = self.last_alarms.iter_mut().find(|a| &a.key == cell) {
+                    alarm.measure = measure;
+                    alarm.score = *new_score;
+                }
+            }
+        }
+        // Keep the canonical order: hottest first, ties by key.
+        self.last_alarms.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.key.cmp(&b.key))
+        });
     }
 
     /// The currently open unit index.
@@ -870,11 +1042,13 @@ impl<E: CubingEngine> OnlineEngine<E> {
                 self.ticks_per_unit,
             )?;
             let late_amendments = std::mem::take(&mut self.pending_amendments);
+            let alarm_revisions = std::mem::take(&mut self.pending_revisions);
             let late_dropped = self
                 .reorder
                 .as_mut()
                 .map_or(0, ReorderState::take_dropped_since_report);
-            let sink_errors = self.sinks.dispatch_amendments(&late_amendments);
+            let mut sink_errors = self.sinks.dispatch_amendments(&late_amendments);
+            sink_errors.extend(self.sinks.dispatch_revisions(&alarm_revisions));
             self.last_alarms.clear();
             self.last_closed_unit = Some(unit);
             return Ok(UnitReport {
@@ -895,6 +1069,7 @@ impl<E: CubingEngine> OnlineEngine<E> {
                 arena_alloc_calls: 0,
                 arena_bytes_retained: 0,
                 late_amendments,
+                alarm_revisions,
                 late_dropped,
                 snapshot_epoch: self.units_closed,
             });
@@ -952,7 +1127,9 @@ impl<E: CubingEngine> OnlineEngine<E> {
         // post-batch cube; their failures are collected, never allowed
         // to fail the unit (the cube is already updated).
         let late_amendments = std::mem::take(&mut self.pending_amendments);
+        let alarm_revisions = std::mem::take(&mut self.pending_revisions);
         let mut sink_errors = self.sinks.dispatch_amendments(&late_amendments);
+        sink_errors.extend(self.sinks.dispatch_revisions(&alarm_revisions));
         if !self.sinks.is_empty() {
             sink_errors.extend(
                 self.sinks
@@ -1001,6 +1178,7 @@ impl<E: CubingEngine> OnlineEngine<E> {
             arena_alloc_calls: drill_stats.arena_alloc_calls,
             arena_bytes_retained: drill_stats.arena_bytes_retained,
             late_amendments,
+            alarm_revisions,
             late_dropped,
             snapshot_epoch: self.units_closed,
         })
@@ -1083,11 +1261,25 @@ impl<E: CubingEngine> OnlineEngine<E> {
             .map_or(0, ReorderState::buffered_records)
     }
 
+    /// Late-record amendments applied to the warehoused tilt frames
+    /// since construction (0 with reordering disabled).
+    pub fn late_amended(&self) -> u64 {
+        self.late_amended_total
+    }
+
     /// The cubing strategy's run statistics with the stream layer's
-    /// [`late_dropped`](RunStats::late_dropped) figure filled in.
+    /// lateness figures filled in ([`late_dropped`](RunStats::late_dropped),
+    /// [`late_amendments`](RunStats::late_amendments),
+    /// [`watermark_held_units`](RunStats::watermark_held_units),
+    /// [`sources_evicted`](RunStats::sources_evicted)).
     pub fn stats(&self) -> RunStats {
         let mut stats = *self.cubing.stats();
         stats.late_dropped = self.late_dropped();
+        stats.late_amendments = self.late_amended_total;
+        if let Some(st) = &self.reorder {
+            stats.watermark_held_units = st.watermark_held_units();
+            stats.sources_evicted = st.sources_evicted();
+        }
         stats.snapshots_published = self.snapshots_published.load(Ordering::Relaxed);
         stats
     }
@@ -1131,6 +1323,27 @@ impl<E: CubingEngine> OnlineEngine<E> {
             alarms: self.last_alarms.clone(),
             stats: self.stats(),
         }
+    }
+
+    /// Writes a durable checkpoint of the engine to `path` (see
+    /// [`crate::checkpoint::write_checkpoint`]). Restore with
+    /// [`EngineConfig::restore`].
+    ///
+    /// # Errors
+    /// [`StreamError::Checkpoint`] for I/O failures or when called
+    /// mid-unit in strict-order mode (checkpoint at unit boundaries).
+    pub fn write_checkpoint(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        crate::checkpoint::write_checkpoint(self, path)
+    }
+
+    /// Serializes the engine's resumable state into checkpoint bytes
+    /// (see [`crate::checkpoint::checkpoint_bytes`]).
+    ///
+    /// # Errors
+    /// [`StreamError::Checkpoint`] when called mid-unit in strict-order
+    /// mode (checkpoint at unit boundaries).
+    pub fn checkpoint_bytes(&self) -> Result<Vec<u8>> {
+        crate::checkpoint::checkpoint_bytes(self)
     }
 
     /// Drills one step down from a retained cell of the current cube
@@ -1221,6 +1434,54 @@ pub struct TiltHit {
     pub score: f64,
     /// Whether the score passes the layer's threshold.
     pub exceptional: bool,
+}
+
+/// Classifies one re-screened slot into a typed [`AlarmRevision`], or
+/// `None` when the amendment left the verdict (and, for a still-standing
+/// exception, the exact score bits) unchanged. Scores compare by IEEE
+/// bits so "unchanged" means bit-identical — the same witness the
+/// snapshot suites pin.
+#[allow(clippy::too_many_arguments)]
+fn classify_revision(
+    cuboid: CuboidSpec,
+    cell: CellKey,
+    unit: u64,
+    level: usize,
+    old_score: f64,
+    new_score: f64,
+    threshold: f64,
+) -> Option<AlarmRevision> {
+    let was = old_score >= threshold;
+    let is = new_score >= threshold;
+    match (was, is) {
+        (true, false) => Some(AlarmRevision::Retracted {
+            cuboid,
+            cell,
+            unit,
+            level,
+            old_score,
+            new_score,
+        }),
+        (false, true) => Some(AlarmRevision::Raised {
+            cuboid,
+            cell,
+            unit,
+            level,
+            old_score,
+            new_score,
+        }),
+        (true, true) if old_score.to_bits() != new_score.to_bits() => {
+            Some(AlarmRevision::Rescored {
+                cuboid,
+                cell,
+                unit,
+                level,
+                old_score,
+                new_score,
+            })
+        }
+        _ => None,
+    }
 }
 
 /// Pushes one closed unit into a family of per-cell tilt frames: active

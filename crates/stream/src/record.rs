@@ -11,12 +11,30 @@ pub struct RawRecord {
     pub tick: i64,
     /// Measured value (e.g. kWh in the minute).
     pub value: f64,
+    /// Declaring source (sensor / feed id) for per-source watermarks.
+    /// Sources are an *arrival-time* attribute: they decide when units
+    /// close under [`WatermarkPolicy::PerSource`](crate::reorder::WatermarkPolicy),
+    /// never what the closed unit contains — the canonical per-unit
+    /// order stays `(tick, ids, value bits)` so bit-identity with
+    /// sorted replay is unaffected. Defaults to `0`.
+    pub source: u32,
 }
 
 impl RawRecord {
-    /// Creates a record.
+    /// Creates a record from the default source `0`.
     pub fn new(ids: Vec<u32>, tick: i64, value: f64) -> Self {
-        RawRecord { ids, tick, value }
+        RawRecord {
+            ids,
+            tick,
+            value,
+            source: 0,
+        }
+    }
+
+    /// Tags the record with a declaring source id (builder style).
+    pub fn with_source(mut self, source: u32) -> Self {
+        self.source = source;
+        self
     }
 }
 
@@ -30,5 +48,8 @@ mod tests {
         assert_eq!(r.ids, vec![3, 1]);
         assert_eq!(r.tick, 42);
         assert_eq!(r.value, 0.5);
+        assert_eq!(r.source, 0, "default source");
+        let r = r.with_source(7);
+        assert_eq!(r.source, 7);
     }
 }

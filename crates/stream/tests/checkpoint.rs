@@ -1,0 +1,364 @@
+//! Checkpoint/recovery integration tests: save → restore → continue
+//! must be bit-identical to an uninterrupted run on every backend and
+//! shard count, and every way a checkpoint file can go bad must
+//! surface as a typed [`StreamError::Checkpoint`] — never a panic,
+//! never a silently half-restored engine.
+
+use proptest::prelude::*;
+use regcube_core::engine::Backend;
+use regcube_core::ExceptionPolicy;
+use regcube_olap::{CubeSchema, CuboidSpec};
+use regcube_stream::{
+    restore_bytes, EngineConfig, OnlineEngine, RawRecord, StreamError, UnitReport, WatermarkPolicy,
+};
+use regcube_tilt::TiltSpec;
+
+const TPU: usize = 4;
+
+/// The shared analysis: synthetic 2x2x2 schema, o-layer = apex,
+/// m-layer = primitive = leaves, two-level tilt ladder, watermark
+/// reordering with per-source eviction.
+fn config() -> EngineConfig {
+    let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+    EngineConfig::new(
+        schema,
+        CuboidSpec::new(vec![0, 0]),
+        CuboidSpec::new(vec![2, 2]),
+    )
+    .with_policy(ExceptionPolicy::slope_threshold(1.0))
+    .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
+    .with_ticks_per_unit(TPU)
+    .with_reordering(12, 2)
+    .with_watermark_policy(WatermarkPolicy::PerSource { idle_units: 3 })
+}
+
+fn drive(e: &mut OnlineEngine, records: &[RawRecord]) -> Vec<UnitReport> {
+    let mut reports = Vec::new();
+    for r in records {
+        e.ingest(r).unwrap();
+        reports.extend(e.drain_ready().unwrap());
+    }
+    reports
+}
+
+fn make_records(raw: &[(Vec<u32>, i64, f64)]) -> Vec<RawRecord> {
+    let mut records: Vec<RawRecord> = raw
+        .iter()
+        .map(|(ids, tick, value)| {
+            // Source id derived from the cell so per-source watermark
+            // state is non-trivial but deterministic.
+            let source = ids.iter().sum::<u32>() % 3;
+            RawRecord::new(ids.clone(), *tick, *value).with_source(source)
+        })
+        .collect();
+    records.sort_by(|a, b| {
+        (a.tick, &a.ids, a.value.to_bits()).cmp(&(b.tick, &b.ids, b.value.to_bits()))
+    });
+    records
+}
+
+/// `Result<OnlineEngine, _>` has no `Debug` (the boxed engine is a
+/// trait object), so `unwrap_err` doesn't apply; unwrap by hand.
+fn expect_checkpoint_err(res: regcube_stream::Result<OnlineEngine>) -> StreamError {
+    match res {
+        Err(e @ StreamError::Checkpoint { .. }) => e,
+        Err(e) => panic!("expected a checkpoint error, got: {e}"),
+        Ok(_) => panic!("expected a checkpoint error, got an engine"),
+    }
+}
+
+fn assert_reports_eq(xs: &[UnitReport], ys: &[UnitReport], what: &str) {
+    assert_eq!(xs.len(), ys.len(), "{what}: report count");
+    for (x, y) in xs.iter().zip(ys) {
+        assert_eq!(x.unit, y.unit, "{what}");
+        assert_eq!(x.m_cells, y.m_cells, "{what}: unit {}", x.unit);
+        assert_eq!(x.alarms, y.alarms, "{what}: unit {}", x.unit);
+        assert_eq!(
+            x.late_amendments, y.late_amendments,
+            "{what}: unit {}",
+            x.unit
+        );
+        assert_eq!(
+            x.alarm_revisions, y.alarm_revisions,
+            "{what}: unit {}",
+            x.unit
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Save at an arbitrary cut point, restore on every backend/shard
+    /// combination, continue with the rest of the stream: the surviving
+    /// engines finish byte-identical to the uninterrupted one —
+    /// snapshots (`canonical_text`), unit reports, alarms, amendments,
+    /// revisions and lateness counters all agree.
+    #[test]
+    fn save_restore_continue_is_bit_identical(
+        raw in prop::collection::vec(
+            (prop::collection::vec(0u32..4, 2), 0i64..32, -10.0..10.0f64),
+            8..96,
+        ),
+        cut_frac in 0.2f64..0.8,
+    ) {
+        let records = make_records(&raw);
+        let cut = ((records.len() as f64) * cut_frac) as usize;
+        let (first, second) = records.split_at(cut);
+
+        for (backend, shards) in [
+            (Backend::Row, 1usize),
+            (Backend::Row, 3),
+            (Backend::Arena, 1),
+            (Backend::Arena, 3),
+        ] {
+            let cfg = || config().with_backend(backend).with_shards(shards);
+
+            // The uninterrupted reference.
+            let mut reference = cfg().build().unwrap();
+            let mut ref_reports = drive(&mut reference, &records.to_vec());
+            ref_reports.extend(reference.flush().unwrap());
+
+            // The interrupted run: first half, checkpoint, restore,
+            // second half.
+            let mut victim = cfg().build().unwrap();
+            let mut reports = drive(&mut victim, first);
+            let bytes = victim.checkpoint_bytes().unwrap();
+            let mut revived = restore_bytes(cfg(), &bytes).unwrap();
+            reports.extend(drive(&mut revived, second));
+            reports.extend(revived.flush().unwrap());
+
+            assert_reports_eq(&ref_reports, &reports,
+                &format!("{backend:?}/{shards} shards"));
+            prop_assert_eq!(
+                reference.snapshot().canonical_text(),
+                revived.snapshot().canonical_text(),
+                "snapshot divergence on {:?}/{} shards", backend, shards
+            );
+            let (ref_stats, stats) = (reference.stats(), revived.stats());
+            prop_assert_eq!(stats.late_dropped, ref_stats.late_dropped);
+            prop_assert_eq!(stats.late_amendments, ref_stats.late_amendments);
+            prop_assert_eq!(stats.sources_evicted, ref_stats.sources_evicted);
+            prop_assert_eq!(
+                stats.watermark_held_units,
+                ref_stats.watermark_held_units
+            );
+        }
+    }
+
+    /// Any truncation of a valid checkpoint and any single corrupted
+    /// byte yields a typed `StreamError::Checkpoint` — never a panic,
+    /// never an engine.
+    #[test]
+    fn torn_and_corrupt_checkpoints_fail_typed(
+        raw in prop::collection::vec(
+            (prop::collection::vec(0u32..4, 2), 0i64..16, -10.0..10.0f64),
+            8..40,
+        ),
+        cut in 0usize..4096,
+        flip in 0usize..4096,
+    ) {
+        let records = make_records(&raw);
+        let mut e = config().build().unwrap();
+        drive(&mut e, &records);
+        let bytes = e.checkpoint_bytes().unwrap();
+
+        let torn = &bytes[..cut % bytes.len()];
+        match restore_bytes(config(), torn) {
+            Err(StreamError::Checkpoint { .. }) => {}
+            Err(e) => prop_assert!(false, "torn file: wrong error type {}", e),
+            Ok(_) => prop_assert!(false, "torn file restored an engine"),
+        }
+
+        let mut corrupt = bytes.clone();
+        corrupt[flip % bytes.len()] ^= 0x20;
+        // Either the envelope/checksum rejects it, or (for the rare
+        // checksum-of-corrupt-payload collision — impossible with one
+        // flipped bit under FNV) the decode does. Never a panic.
+        if let Err(err) = restore_bytes(config(), &corrupt) {
+            prop_assert!(matches!(err, StreamError::Checkpoint { .. }),
+                "wrong error type: {err}");
+        }
+    }
+}
+
+#[test]
+fn restore_rejects_mismatched_configuration() {
+    let records = make_records(&[
+        (vec![0, 0], 0, 1.0),
+        (vec![1, 1], 3, 2.0),
+        (vec![0, 1], 9, -1.0),
+    ]);
+    let mut e = config().build().unwrap();
+    drive(&mut e, &records);
+    let bytes = e.checkpoint_bytes().unwrap();
+
+    // A different analysis (other tilt spec) must be rejected.
+    let other_tilt = config().with_tilt(TiltSpec::new(vec![("unit", 8)]).unwrap());
+    let err = expect_checkpoint_err(restore_bytes(other_tilt, &bytes));
+    assert!(err.to_string().contains("mismatch"), "{err}");
+
+    // Reordering-disabled config against a watermark checkpoint: also
+    // typed, also refused.
+    let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+    let strict = EngineConfig::new(
+        schema,
+        CuboidSpec::new(vec![0, 0]),
+        CuboidSpec::new(vec![2, 2]),
+    )
+    .with_policy(ExceptionPolicy::slope_threshold(1.0))
+    .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
+    .with_ticks_per_unit(TPU);
+    let err = expect_checkpoint_err(restore_bytes(strict, &bytes));
+    assert!(err.to_string().contains("reordering"), "{err}");
+}
+
+#[test]
+fn checkpoint_file_round_trips_and_missing_file_is_typed() {
+    let records = make_records(&[
+        (vec![0, 0], 0, 1.0),
+        (vec![0, 0], 1, 2.0),
+        (vec![1, 1], 4, 3.0),
+        (vec![0, 0], 5, 1.5),
+        (vec![1, 0], 9, -2.0),
+        (vec![0, 0], 13, 4.0),
+    ]);
+    let mut e = config().build().unwrap();
+    drive(&mut e, &records);
+
+    let dir = std::env::temp_dir().join(format!("regcube-ckpt-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine.rgck");
+
+    e.write_checkpoint(&path).unwrap();
+    let revived = config().restore(&path).unwrap();
+    assert_eq!(
+        e.snapshot().canonical_text(),
+        revived.snapshot().canonical_text()
+    );
+    assert_eq!(e.open_unit(), revived.open_unit());
+    assert_eq!(e.buffered_records(), revived.buffered_records());
+
+    let missing = dir.join("nope.rgck");
+    expect_checkpoint_err(config().restore(&missing));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A strict-order engine mid-unit refuses to checkpoint (typed), and
+/// accepts at the boundary.
+#[test]
+fn strict_order_checkpoint_requires_a_unit_boundary() {
+    let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+    let cfg = EngineConfig::new(
+        schema,
+        CuboidSpec::new(vec![0, 0]),
+        CuboidSpec::new(vec![2, 2]),
+    )
+    .with_policy(ExceptionPolicy::slope_threshold(1.0))
+    .with_tilt(TiltSpec::new(vec![("unit", 4)]).unwrap())
+    .with_ticks_per_unit(TPU);
+    let mut e = cfg.clone().build().unwrap();
+    for t in 0..TPU as i64 {
+        e.ingest(&RawRecord::new(vec![0, 0], t, 1.0)).unwrap();
+    }
+    // Mid-unit: the open accumulation is non-empty.
+    let err = e.checkpoint_bytes().unwrap_err();
+    assert!(
+        matches!(&err, StreamError::Checkpoint { detail } if detail.contains("boundary")),
+        "{err}"
+    );
+    e.close_unit().unwrap();
+    let bytes = e.checkpoint_bytes().unwrap();
+    let mut revived = restore_bytes(cfg, &bytes).unwrap();
+    assert_eq!(
+        e.snapshot().canonical_text(),
+        revived.snapshot().canonical_text()
+    );
+
+    // The restored engine keeps working: next unit closes cleanly.
+    for t in TPU as i64..2 * TPU as i64 {
+        revived.ingest(&RawRecord::new(vec![0, 0], t, 2.0)).unwrap();
+    }
+    let report = revived.close_unit().unwrap();
+    assert_eq!(report.unit, 1);
+}
+
+/// The checkpoint captures in-flight lateness state: records buffered
+/// in the reorder window and a pending amendment survive the restart
+/// and surface in the post-restore closes exactly as they would have.
+#[test]
+fn reorder_buffer_and_amendments_survive_restart() {
+    let mut e = config().build().unwrap();
+    // Two closed units of history from source 0.
+    for t in 0..(2 * TPU) as i64 {
+        e.ingest(&RawRecord::new(vec![0, 0], t, 1.0)).unwrap();
+        e.drain_ready().unwrap();
+    }
+    // Advance the watermark so both units close. The advance must come
+    // from source 0 — it holds the minimum mark, so a different source
+    // advancing would (correctly) keep the low watermark pinned.
+    e.ingest(&RawRecord::new(vec![0, 0], (4 * TPU) as i64, 1.0))
+        .unwrap();
+    let closed: Vec<i64> = e.drain_ready().unwrap().iter().map(|r| r.unit).collect();
+    assert_eq!(closed, vec![0, 1]);
+    // A straggler amending closed unit 1, plus a buffered future record:
+    // both live only in engine state now.
+    e.ingest(&RawRecord::new(vec![0, 0], TPU as i64 + 1, 0.5))
+        .unwrap();
+    assert!(e.buffered_records() > 0);
+
+    let bytes = e.checkpoint_bytes().unwrap();
+    let mut a = e; // uninterrupted
+    let mut b = restore_bytes(config(), &bytes).unwrap();
+    assert_eq!(a.buffered_records(), b.buffered_records());
+
+    let tail: Vec<RawRecord> = (0..TPU as i64)
+        .map(|t| RawRecord::new(vec![1, 1], (5 * TPU) as i64 + t, 3.0).with_source(1))
+        .collect();
+    let mut ra = drive(&mut a, &tail);
+    ra.extend(a.flush().unwrap());
+    let mut rb = drive(&mut b, &tail);
+    rb.extend(b.flush().unwrap());
+
+    assert_reports_eq(&ra, &rb, "post-restore lateness replay");
+    assert!(
+        ra.iter().any(|r| !r.late_amendments.is_empty()),
+        "the straggler must surface as an amendment"
+    );
+    assert_eq!(a.late_amended(), b.late_amended());
+    assert_eq!(a.snapshot().canonical_text(), b.snapshot().canonical_text());
+}
+
+/// Restored frames answer time-travel drills identically, including
+/// the ISB measures warehoused before the restart.
+#[test]
+fn restored_frames_answer_drills_identically() {
+    let mut e = config().build().unwrap();
+    let mut tick = 0i64;
+    for unit in 0..6i64 {
+        for _ in 0..TPU {
+            let v = (unit as f64) * 1.5 - (tick % 3) as f64;
+            e.ingest(&RawRecord::new(vec![0, 0], tick, v)).unwrap();
+            e.ingest(&RawRecord::new(vec![1, 1], tick, -v).with_source(1))
+                .unwrap();
+            tick += 1;
+        }
+        e.drain_ready().unwrap();
+    }
+    let bytes = e.checkpoint_bytes().unwrap();
+    let revived = restore_bytes(config(), &bytes).unwrap();
+
+    for key in [vec![0u32, 0], vec![1, 1]] {
+        let key = regcube_olap::cell::CellKey::new(key);
+        let (fa, fb) = (e.tilt_frame(&key), revived.tilt_frame(&key));
+        match (fa, fb) {
+            (Some(fa), Some(fb)) => {
+                assert_eq!(fa.timeline(), fb.timeline(), "cell {key}");
+                assert!(!fa.timeline().is_empty());
+            }
+            (None, None) => {}
+            _ => panic!("frame presence mismatch for {key}"),
+        }
+    }
+}

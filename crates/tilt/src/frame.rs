@@ -76,6 +76,58 @@ impl<M: TimeMergeable> TiltFrame<M> {
         }
     }
 
+    /// Reconstructs a frame from previously captured state — the
+    /// checkpoint/restore seam. `levels` holds each level's slots oldest
+    /// first, exactly as [`slots`](Self::slots) reported them;
+    /// `next_unit` and `expired_units` are the values
+    /// [`next_unit`](Self::next_unit) and [`stats`](Self::stats)
+    /// reported. The caller is trusted on slot contents (measures are
+    /// opaque here), but the shape is validated so a torn capture cannot
+    /// build a frame that later panics.
+    ///
+    /// # Errors
+    /// [`TiltError::BadSpec`] when `levels` does not match the spec's
+    /// level count, a level holds more slots than its group size allows,
+    /// or slots are out of order within a level.
+    pub fn from_parts(
+        spec: TiltSpec,
+        levels: Vec<Vec<TiltSlot<M>>>,
+        next_unit: u64,
+        expired_units: u64,
+    ) -> Result<Self> {
+        if levels.len() != spec.num_levels() {
+            return Err(TiltError::BadSpec {
+                detail: format!(
+                    "frame capture has {} levels, spec defines {}",
+                    levels.len(),
+                    spec.num_levels()
+                ),
+            });
+        }
+        for (idx, level) in levels.iter().enumerate() {
+            let group = spec.levels()[idx].group;
+            if level.len() > group {
+                return Err(TiltError::BadSpec {
+                    detail: format!(
+                        "level {idx} capture holds {} slots, group size is {group}",
+                        level.len()
+                    ),
+                });
+            }
+            if level.windows(2).any(|w| w[0].unit >= w[1].unit) {
+                return Err(TiltError::BadSpec {
+                    detail: format!("level {idx} capture slots are not strictly increasing"),
+                });
+            }
+        }
+        Ok(TiltFrame {
+            spec,
+            levels: levels.into_iter().map(VecDeque::from).collect(),
+            next_unit,
+            expired_units,
+        })
+    }
+
     /// The frame's specification.
     #[inline]
     pub fn spec(&self) -> &TiltSpec {
@@ -502,6 +554,72 @@ mod tests {
         assert_eq!(f.amend_slot(3, |m| Ok(*m)).unwrap(), AmendOutcome::Expired);
         // Future units are a caller error, not silence.
         assert!(f.amend_slot(36, |m| Ok(*m)).is_err());
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_live_frame() {
+        let mut f: TiltFrame<Isb> = TiltFrame::new(small_spec());
+        for u in 0..17 {
+            f.push(unit_isb(u, 5)).unwrap();
+        }
+        let levels: Vec<Vec<TiltSlot<Isb>>> = (0..small_spec().num_levels())
+            .map(|l| f.slots(l).unwrap().iter().cloned().collect())
+            .collect();
+        let stats = f.stats();
+        let rebuilt =
+            TiltFrame::from_parts(small_spec(), levels, f.next_unit(), stats.expired_units)
+                .unwrap();
+        assert_eq!(rebuilt.next_unit(), f.next_unit());
+        assert_eq!(rebuilt.stats(), stats);
+        let (a, b) = (f.timeline(), rebuilt.timeline());
+        assert_eq!(a.len(), b.len());
+        for ((la, sa), (lb, sb)) in a.iter().zip(b.iter()) {
+            assert_eq!((la, sa), (lb, sb));
+        }
+        // Both frames keep evolving identically.
+        let mut f2 = rebuilt;
+        let mut f1 = f;
+        for u in 17..30 {
+            f1.push(unit_isb(u, 5)).unwrap();
+            f2.push(unit_isb(u, 5)).unwrap();
+        }
+        assert_eq!(f1.timeline(), f2.timeline());
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_captures() {
+        // Wrong level count.
+        assert!(
+            TiltFrame::<Isb>::from_parts(small_spec(), vec![Vec::new(), Vec::new()], 0, 0).is_err()
+        );
+        // A level over its group size.
+        let over = vec![
+            (0..4)
+                .map(|u| TiltSlot {
+                    unit: u,
+                    measure: unit_isb(u, 5),
+                })
+                .collect::<Vec<_>>(),
+            Vec::new(),
+            Vec::new(),
+        ];
+        assert!(TiltFrame::<Isb>::from_parts(small_spec(), over, 4, 0).is_err());
+        // Out-of-order slots within a level.
+        let disordered = vec![
+            vec![
+                TiltSlot {
+                    unit: 2,
+                    measure: unit_isb(2, 5),
+                },
+                TiltSlot {
+                    unit: 1,
+                    measure: unit_isb(1, 5),
+                },
+            ],
+            Vec::new(),
+            Vec::new(),
+        ];
+        assert!(TiltFrame::<Isb>::from_parts(small_spec(), disordered, 3, 0).is_err());
     }
 
     #[test]

@@ -160,6 +160,17 @@ fn main() {
     // The other tenants are unaffected by the saturated one.
     let pump = server.close_unit(&ids[0]).unwrap();
     assert!(pump.errors.is_empty());
+
+    // A well-behaved producer responds to `Overloaded` with bounded
+    // retry: back off, let the pump drain the queue, try again — and
+    // give up with the typed error after `MAX_ATTEMPTS`, instead of
+    // spinning forever against a stuck tenant.
+    let record = RawRecord::new(vec![1, 1], flood_tick, 2.0);
+    match ingest_with_retry(&server, victim, &record) {
+        Ok(attempts) => println!("retry producer landed after {attempts} attempt(s)"),
+        Err(e) => panic!("queue drains under pumping, so retry must land: {e}"),
+    }
+
     // Draining the victim ingests every accepted record.
     server.close_unit(victim).unwrap();
     let stats = server.tenant_stats(victim).unwrap();
@@ -168,7 +179,37 @@ fn main() {
          rejections counted: {}",
         stats.overload_rejections
     );
-    assert_eq!(stats.overload_rejections, rejected);
+    // The retry producer's rejected attempts are counted too.
+    assert!(stats.overload_rejections >= rejected);
+}
+
+/// Bounded retry with backoff: the recommended producer-side response
+/// to [`ServeError::Overloaded`]. Each failed attempt pumps the tenant
+/// (draining its queue into the engine) and sleeps exponentially
+/// longer before retrying; any other error, and exhaustion, surface to
+/// the caller typed.
+fn ingest_with_retry(
+    server: &Server,
+    id: &TenantId,
+    record: &RawRecord,
+) -> Result<u32, ServeError> {
+    const MAX_ATTEMPTS: u32 = 5;
+    const BASE_BACKOFF: std::time::Duration = std::time::Duration::from_millis(1);
+    let mut last = None;
+    for attempt in 1..=MAX_ATTEMPTS {
+        match server.ingest(id, record) {
+            Ok(()) => return Ok(attempt),
+            Err(e @ ServeError::Overloaded { .. }) => {
+                // Help the queue drain, then back off exponentially:
+                // 1ms, 2ms, 4ms, ... before the next attempt.
+                server.pump_tenant(id)?;
+                thread::sleep(BASE_BACKOFF * 2u32.saturating_pow(attempt - 1));
+                last = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("exhaustion implies at least one rejection"))
 }
 
 fn print_summary(s: &DashboardSummary) {

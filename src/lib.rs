@@ -100,7 +100,7 @@ pub mod prelude {
     pub use regcube_regress::{aggregate, fold::FoldOp, IntVal, Isb, LinearFit, TimeSeries};
     pub use regcube_serve::{ServeConfig, Server, TenantId};
     pub use regcube_stream::{
-        Alarm, CubeSnapshot, EngineConfig, OnlineEngine, RawRecord, ReplaySource,
+        Alarm, CubeSnapshot, EngineConfig, OnlineEngine, RawRecord, ReplaySource, WatermarkPolicy,
     };
     pub use regcube_tilt::{TiltFrame, TiltSpec};
 }

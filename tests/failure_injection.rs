@@ -568,3 +568,182 @@ fn cleared_frontier_retracts_drilled_descendants_even_after_nan_noise() {
     );
     assert!(hits.is_empty(), "{hits:?}");
 }
+
+#[test]
+fn stalled_source_no_longer_blocks_closes_under_per_source_eviction() {
+    // Failure injection on the watermark path: one producer stalls
+    // mid-stream. A per-source low watermark (min over live sources)
+    // with no eviction seizes the whole pipeline — no unit can close
+    // while the laggard pins the minimum. With a finite `idle_units`
+    // the dead source is evicted and the healthy producers keep
+    // closing units.
+    fn run(policy: WatermarkPolicy) -> (usize, u64) {
+        let schema = CubeSchema::synthetic(2, 2, 2).unwrap();
+        let mut engine = EngineConfig::new(
+            schema,
+            CuboidSpec::new(vec![0, 0]),
+            CuboidSpec::new(vec![2, 2]),
+        )
+        .with_ticks_per_unit(4)
+        .with_reordering(256, 1)
+        .with_watermark_policy(policy)
+        .build()
+        .unwrap();
+        let mut closed = 0usize;
+        for t in 0..40i64 {
+            let healthy = RawRecord::new(vec![0, 0], t, t as f64).with_source(0);
+            engine.ingest(&healthy).unwrap();
+            closed += engine.drain_ready().unwrap().len();
+            // Source 1 dies after tick 7 (its watermark parks at unit 1).
+            if t < 8 {
+                let laggard = RawRecord::new(vec![1, 1], t, 1.0).with_source(1);
+                engine.ingest(&laggard).unwrap();
+                closed += engine.drain_ready().unwrap().len();
+            }
+        }
+        (closed, engine.stats().sources_evicted)
+    }
+
+    // No eviction (an effectively infinite idle allowance): the dead
+    // source pins the minimum at unit 1 forever, so with lateness 1
+    // not a single unit closes in 10 units of healthy traffic.
+    let (pinned_closed, pinned_evicted) = run(WatermarkPolicy::PerSource {
+        idle_units: i64::MAX / 2,
+    });
+    assert_eq!(pinned_evicted, 0);
+    assert_eq!(
+        pinned_closed, 0,
+        "an unevictable laggard must stall every close"
+    );
+    // With eviction: the laggard is dropped from the watermark once the
+    // healthy frontier runs `idle_units` past it, and closes resume
+    // behind the healthy source's own watermark.
+    let (ps_closed, ps_evicted) = run(WatermarkPolicy::PerSource { idle_units: 2 });
+    assert_eq!(ps_evicted, 1);
+    assert!(
+        ps_closed >= 7,
+        "per-source eviction must unblock closes, got {ps_closed}"
+    );
+    // The global policy never blocks (the watermark is the max
+    // frontier) — that is exactly why it silently sacrifices slow
+    // sources instead; the per-source policy matches its throughput
+    // here without giving the laggard up for lost while it is live.
+    let (global_closed, global_evicted) = run(WatermarkPolicy::Global);
+    assert_eq!(global_evicted, 0);
+    assert!(global_closed >= 7);
+}
+
+#[test]
+fn verdict_flipping_amendments_emit_matching_revisions_everywhere() {
+    // A late amendment that flips a closed unit's verdict must produce
+    // the matching typed `AlarmRevision` — and every consumer of alarm
+    // state (the engine's live alarm set, the `AlarmLog` episodes, the
+    // `DashboardSummary`) must agree with the amended frames.
+    use regcube::core::alarm::{self, AlarmLog, AlarmRevision, DashboardSummary, SharedSink};
+
+    const TPU: usize = 5;
+    const LATENESS: i64 = 2;
+    let log = alarm::shared(AlarmLog::new(64));
+    let dash = alarm::shared(DashboardSummary::new());
+    let schema = CubeSchema::synthetic(2, 2, 3).unwrap();
+    let mut engine = EngineConfig::new(
+        schema,
+        CuboidSpec::new(vec![0, 0]),
+        CuboidSpec::new(vec![2, 2]),
+    )
+    .with_policy(ExceptionPolicy::slope_threshold(0.8))
+    .with_ticks_per_unit(TPU)
+    .with_reordering(8, LATENESS)
+    .with_sinks([log.clone() as SharedSink, dash.clone() as SharedSink])
+    .build()
+    .unwrap();
+
+    // Unit 1 alarms (slope 0.9), unit 2 is quiet (slope 0.7); with
+    // lateness 2, unit u closes while unit u + 3 is being fed.
+    let slopes = [0.1, 0.9, 0.7, 0.1, 0.1, 0.1];
+    let mut reports = Vec::new();
+    for unit in 0..6i64 {
+        let t0 = unit * TPU as i64;
+        for t in t0..t0 + TPU as i64 {
+            let v = 1.0 + slopes[unit as usize] * (t - t0) as f64;
+            engine.ingest(&RawRecord::new(vec![0, 0], t, v)).unwrap();
+            reports.extend(engine.drain_ready().unwrap());
+        }
+        if unit == 4 {
+            // Unit 1 just closed with its alarm live on the frontier.
+            assert_eq!(engine.snapshot().alarms().len(), 1);
+            // Retraction: -1.0 on unit 1's last tick shifts its
+            // warehoused slope 0.9 -> 0.7, below the threshold. The
+            // frontier patch is immediate.
+            engine
+                .ingest(&RawRecord::new(vec![0, 0], 2 * TPU as i64 - 1, -1.0))
+                .unwrap();
+            reports.extend(engine.drain_ready().unwrap());
+            assert_eq!(
+                engine.snapshot().alarms().len(),
+                0,
+                "retraction must patch the live alarm set immediately"
+            );
+        }
+        if unit == 5 {
+            // Raise: +1.0 on closed-and-quiet unit 2's last tick lifts
+            // its slope 0.7 -> 0.9, above the threshold.
+            engine
+                .ingest(&RawRecord::new(vec![0, 0], 3 * TPU as i64 - 1, 1.0))
+                .unwrap();
+            reports.extend(engine.drain_ready().unwrap());
+            let snapshot = engine.snapshot();
+            let alarms = snapshot.alarms();
+            assert_eq!(alarms.len(), 1, "raise must patch the live alarm set");
+            assert!((alarms[0].score - 0.9).abs() < 1e-9, "{}", alarms[0].score);
+        }
+    }
+    reports.extend(engine.flush().unwrap());
+
+    // Exactly the two flips, typed, with the right units and scores.
+    let revisions: Vec<&AlarmRevision> = reports.iter().flat_map(|r| &r.alarm_revisions).collect();
+    assert_eq!(revisions.len(), 2, "{revisions:?}");
+    match revisions[0] {
+        AlarmRevision::Retracted {
+            unit,
+            old_score,
+            new_score,
+            ..
+        } => {
+            assert_eq!(*unit, 1);
+            assert!((old_score - 0.9).abs() < 1e-9);
+            assert!((new_score - 0.7).abs() < 1e-9);
+        }
+        other => panic!("expected a retraction, got {other}"),
+    }
+    match revisions[1] {
+        AlarmRevision::Raised {
+            unit,
+            old_score,
+            new_score,
+            ..
+        } => {
+            assert_eq!(*unit, 2);
+            assert!((old_score - 0.7).abs() < 1e-9);
+            assert!((new_score - 0.9).abs() < 1e-9);
+        }
+        other => panic!("expected a raise, got {other}"),
+    }
+
+    // The dashboard consumed both revisions.
+    assert_eq!(dash.lock().unwrap().revisions_seen(), 2);
+    // The episode log: revisions address o-layer slots, and episode
+    // history tracks exception cells (intermediate cuboids), so the
+    // retraction has no apex episode to patch — but the raise opens
+    // one at the live frontier, scored by the amended measure.
+    let log = log.lock().unwrap();
+    assert_eq!(log.revised_total(), 1);
+    let apex = log
+        .open_episodes()
+        .into_iter()
+        .find(|e| e.cell.ids() == [0, 0] && e.cuboid.total_depth() == 0)
+        .expect("the raise must open a frontier episode for the apex");
+    assert_eq!(apex.raised_at, 2);
+    assert!((apex.peak_score - 0.9).abs() < 1e-9);
+    assert_eq!(engine.stats().late_amendments, 2);
+}

@@ -187,6 +187,169 @@ fn run_pipeline(shards: usize, backend: Backend) -> String {
     out
 }
 
+/// The lateness phase: the same analysis through a watermark-reordering
+/// engine with per-source eviction, fed a silent source, in-lateness
+/// stragglers whose amendments **flip exception verdicts** (one
+/// retraction, one raise), and one beyond-lateness drop. Serializes the
+/// reports with their amendments and typed alarm revisions, plus the
+/// lateness counters — pinning the whole robustness path byte-for-byte.
+fn run_lateness_pipeline(shards: usize, backend: Backend) -> String {
+    const LATENESS: i64 = 2;
+    // Two m-cells only: every o-layer/ancestor aggregate sums at most
+    // two measures, so shard merge order cannot perturb a bit.
+    let cell_a: [u32; 2] = [0, 0];
+    let cell_b: [u32; 2] = [1, 2];
+    // Apex slope per unit = slope_a + slope_b against threshold 0.8:
+    // unit 1 alarms at 0.9 (then a late -1.0 retracts it to 0.7),
+    // unit 2 is quiet at 0.7 (then a late +1.0 raises it to 0.9).
+    let slopes: [(f64, f64); 6] = [
+        (0.1, 0.1),
+        (0.5, 0.4),
+        (0.35, 0.35),
+        (0.1, 0.1),
+        (0.1, 0.1),
+        (0.1, 0.1),
+    ];
+
+    let schema = CubeSchema::synthetic(2, 2, 3).unwrap();
+    let mut engine = EngineConfig::new(
+        schema,
+        CuboidSpec::new(vec![0, 0]),
+        CuboidSpec::new(vec![2, 2]),
+    )
+    .with_policy(ExceptionPolicy::slope_threshold(0.8))
+    .with_tilt(TiltSpec::new(vec![("unit", 4), ("coarse", 3)]).unwrap())
+    .with_ticks_per_unit(TICKS_PER_UNIT)
+    .with_backend(backend)
+    .with_shards(shards)
+    .with_reordering(8, LATENESS)
+    .with_watermark_policy(WatermarkPolicy::PerSource { idle_units: 2 })
+    .build()
+    .unwrap();
+
+    let mut out = String::new();
+    let mut reports = Vec::new();
+    let feed = |engine: &mut regcube::stream::OnlineEngine,
+                reports: &mut Vec<regcube::stream::UnitReport>,
+                record: &RawRecord| {
+        engine.ingest(record).unwrap();
+        reports.extend(engine.drain_ready().unwrap());
+    };
+
+    for unit in 0..UNITS {
+        let (sa, sb) = slopes[unit as usize];
+        let t0 = unit * TICKS_PER_UNIT as i64;
+        for t in t0..t0 + TICKS_PER_UNIT as i64 {
+            // Source 2 speaks exactly once (cell A's first record) and
+            // then falls silent: it pins the per-source low watermark
+            // until the frontier passes `idle_units` and evicts it.
+            let a_source = if t == 0 { 2 } else { 0 };
+            let a = RawRecord::new(cell_a.to_vec(), t, 1.0 + sa * (t - t0) as f64)
+                .with_source(a_source);
+            let b = RawRecord::new(cell_b.to_vec(), t, 1.0 + sb * (t - t0) as f64).with_source(1);
+            feed(&mut engine, &mut reports, &a);
+            feed(&mut engine, &mut reports, &b);
+        }
+        // Stragglers, injected right after their target unit closed
+        // (unit `u` closes once the low watermark passes
+        // `u + LATENESS`, so unit 1 is closed-and-amendable here at the
+        // end of unit 4, unit 2 at the end of unit 5).
+        if unit == 4 {
+            // Retract unit 1's alarm: -1.0 on cell A's last unit-1 tick
+            // drops its warehoused slope by 0.2, the apex to 0.7.
+            let tick = 2 * TICKS_PER_UNIT as i64 - 1;
+            feed(
+                &mut engine,
+                &mut reports,
+                &RawRecord::new(cell_a.to_vec(), tick, -1.0),
+            );
+            // The frontier patch is immediate: unit 1 is the engine's
+            // last closed unit, so its live alarm set (what snapshots
+            // serve) drops the retracted alarm right now.
+            writeln!(
+                out,
+                "alarms after retraction: {}",
+                engine.snapshot().alarms().len()
+            )
+            .unwrap();
+        }
+        if unit == 5 {
+            // Raise one on quiet unit 2: +1.0 on the same slot position
+            // lifts the apex from 0.7 to 0.9.
+            let tick = 3 * TICKS_PER_UNIT as i64 - 1;
+            feed(
+                &mut engine,
+                &mut reports,
+                &RawRecord::new(cell_a.to_vec(), tick, 1.0),
+            );
+            writeln!(
+                out,
+                "alarms after raise: {}",
+                engine.snapshot().alarms().len()
+            )
+            .unwrap();
+            // And one record from before the allowed lateness: counted
+            // as dropped, never applied.
+            feed(
+                &mut engine,
+                &mut reports,
+                &RawRecord::new(cell_a.to_vec(), 2, 9.0),
+            );
+        }
+    }
+    reports.extend(engine.flush().unwrap());
+
+    writeln!(out, "lateness pipeline").unwrap();
+    for report in &reports {
+        writeln!(
+            out,
+            "unit {} m_cells={} late_dropped={}",
+            report.unit, report.m_cells, report.late_dropped
+        )
+        .unwrap();
+        for alarm in &report.alarms {
+            writeln!(
+                out,
+                "  ALARM {} score={:.6} threshold={:.6} slope={:.6}",
+                alarm.key,
+                alarm.score,
+                alarm.threshold,
+                alarm.measure.slope()
+            )
+            .unwrap();
+        }
+        for amendment in &report.late_amendments {
+            writeln!(out, "  {amendment}").unwrap();
+        }
+        for revision in &report.alarm_revisions {
+            writeln!(out, "  {revision}").unwrap();
+        }
+    }
+    let stats = engine.stats();
+    writeln!(
+        out,
+        "lateness totals dropped={} amendments={} evicted={} held={}",
+        stats.late_dropped,
+        stats.late_amendments,
+        stats.sources_evicted,
+        stats.watermark_held_units
+    )
+    .unwrap();
+    // The frontier patch: after the retraction/raise, the engine's live
+    // alarm set (what snapshots serve) must agree with the amended
+    // frames.
+    writeln!(out, "final alarms").unwrap();
+    for alarm in engine.snapshot().alarms() {
+        writeln!(
+            out,
+            "  {} score={:.6} threshold={:.6}",
+            alarm.key, alarm.score, alarm.threshold
+        )
+        .unwrap();
+    }
+    out
+}
+
 fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
@@ -228,7 +391,7 @@ fn line_diff(expected: &str, actual: &str) -> String {
 
 #[test]
 fn pipeline_matches_golden_snapshot() {
-    let actual = run_pipeline(1, Backend::Row);
+    let actual = run_pipeline(1, Backend::Row) + &run_lateness_pipeline(1, Backend::Row);
 
     // The identical pipeline through 3 shards, and through the columnar
     // and arena backends at both shard counts, must serialize
@@ -240,7 +403,7 @@ fn pipeline_matches_golden_snapshot() {
         ("arena", 1, Backend::Arena),
         ("arena shards=3", 3, Backend::Arena),
     ] {
-        let other = run_pipeline(shards, backend);
+        let other = run_pipeline(shards, backend) + &run_lateness_pipeline(shards, backend);
         assert!(
             actual == other,
             "row shards=1 and {label} diverged:\n{}",
